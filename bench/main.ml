@@ -1,0 +1,535 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 5) against the OCaml reproduction, plus a
+   Bechamel microbenchmark suite for the moving parts.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table2  # one artifact
+     dune exec bench/main.exe -- --list  # artifact names
+
+   Absolute counts are smaller than the paper's (the corpus is a
+   scaled-down synthetic analogue); EXPERIMENTS.md records the
+   paper-vs-measured comparison and the shape criteria. *)
+
+open Sherlock_core
+open Sherlock_corpus
+module Table = Sherlock_util.Table
+module Opid = Sherlock_trace.Opid
+module Detector = Sherlock_fasttrack.Detector
+module Sync_model = Sherlock_fasttrack.Sync_model
+module Tsvd = Sherlock_tsvd.Tsvd
+
+let apps = Registry.all ()
+
+(* Inference results are shared by several tables; memoize per config. *)
+let infer_cache : (Config.t * string, Orchestrator.result) Hashtbl.t =
+  Hashtbl.create 32
+
+let infer ?(config = Config.default) (app : App.t) =
+  let key = (config, app.id) in
+  match Hashtbl.find_opt infer_cache key with
+  | Some r -> r
+  | None ->
+    let r = Orchestrator.infer ~config (App.subject app) in
+    Hashtbl.add infer_cache key r;
+    r
+
+let classify ?config (app : App.t) = Report.classify app.truth (infer ?config app).final
+
+module Sync_set = Set.Make (struct
+  type t = Opid.t * Verdict.role
+
+  let compare (o1, r1) (o2, r2) =
+    match Opid.compare o1 o2 with 0 -> compare r1 r2 | c -> c
+end)
+
+(* Unique synchronization counts across applications (the paper's
+   parenthesized sums): verdicts deduplicated by (operation, role). *)
+let unique_counts ?config () =
+  let correct = ref Sync_set.empty and total = ref Sync_set.empty in
+  List.iter
+    (fun app ->
+      let r = classify ?config app in
+      List.iter
+        (fun ((v : Verdict.t), cls) ->
+          total := Sync_set.add (v.op, v.role) !total;
+          match cls with
+          | Report.Correct _ -> correct := Sync_set.add (v.op, v.role) !correct
+          | Report.Data_racy | Report.Instr_error | Report.Not_sync -> ())
+        r.classified)
+    apps;
+  (Sync_set.cardinal !correct, Sync_set.cardinal !total)
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  let t =
+    Table.create ~title:"Table 1: Applications in benchmarks"
+      ~header:[ "ID"; "Name"; "LoC"; "#Stars"; "#Tests" ]
+  in
+  List.iter
+    (fun (a : App.t) ->
+      Table.add_row t
+        [
+          a.id; a.name;
+          Printf.sprintf "%.1fK" (float a.loc /. 1000.0);
+          string_of_int a.stars;
+          string_of_int (List.length a.tests);
+        ])
+    apps;
+  Table.print t
+
+let table2 () =
+  let t =
+    Table.create ~title:"Table 2: SherLock inferred results after 3 rounds"
+      ~header:[ "ID"; "Syncs"; "Data Racy"; "Instr. Errors"; "Not Sync" ]
+  in
+  let sums = Array.make 4 0 in
+  List.iter
+    (fun (a : App.t) ->
+      let r = classify a in
+      let row =
+        [
+          Report.num_correct r;
+          Report.count r Report.Data_racy;
+          Report.count r Report.Instr_error;
+          Report.count r Report.Not_sync;
+        ]
+      in
+      List.iteri (fun i v -> sums.(i) <- sums.(i) + v) row;
+      Table.add_row t (a.id :: List.map string_of_int row))
+    apps;
+  Table.add_separator t;
+  let unique, _ = unique_counts () in
+  Table.add_row t
+    [
+      "Sum";
+      Printf.sprintf "%d (%d)" sums.(0) unique;
+      string_of_int sums.(1);
+      string_of_int sums.(2);
+      string_of_int sums.(3);
+    ];
+  Table.print t
+
+let race_scores (a : App.t) model_of =
+  let logs = Orchestrator.run_test_logs (App.subject a) in
+  List.fold_left
+    (fun (true_races, false_races) log ->
+      let report = Detector.run (model_of log) log in
+      match Detector.first_race report with
+      | None -> (true_races, false_races)
+      | Some r ->
+        if Ground_truth.is_racy_field a.truth r.field then (true_races + 1, false_races)
+        else (true_races, false_races + 1))
+    (0, 0) logs
+
+let table3 () =
+  let t =
+    Table.create
+      ~title:
+        "Table 3: SherLock vs manual annotation in race detection (first race per run)"
+      ~header:
+        [ "ID"; "True Manual_dr"; "True SherLock_dr"; "False Manual_dr";
+          "False SherLock_dr" ]
+  in
+  let sums = Array.make 4 0 in
+  List.iter
+    (fun (a : App.t) ->
+      let verdicts = (infer a).final in
+      let mt, mf = race_scores a Sync_model.manual in
+      let st, sf = race_scores a (fun _ -> Sync_model.inferred verdicts) in
+      let row = [ mt; st; mf; sf ] in
+      List.iteri (fun i v -> sums.(i) <- sums.(i) + v) row;
+      Table.add_row t (a.id :: List.map string_of_int row))
+    apps;
+  Table.add_separator t;
+  Table.add_row t ("Sum" :: Array.to_list (Array.map string_of_int sums));
+  Table.print t
+
+let table4 () =
+  let causes =
+    Ground_truth.[ Instr_error; Double_role; Dispose; Static_ctor; Other_cause ]
+  in
+  let idx = function
+    | Ground_truth.Instr_error -> 0
+    | Ground_truth.Double_role -> 1
+    | Ground_truth.Dispose -> 2
+    | Ground_truth.Static_ctor -> 3
+    | Ground_truth.Other_cause -> 4
+  in
+  let false_sync = Array.make 5 0 in
+  let missed_sync = Array.make 5 0 in
+  let false_races = Array.make 5 0 in
+  List.iter
+    (fun (a : App.t) ->
+      let r = classify a in
+      List.iter
+        (fun ((v : Verdict.t), cls) ->
+          match cls with
+          | Report.Correct _ | Report.Data_racy -> ()
+          | Report.Instr_error | Report.Not_sync ->
+            let c = Report.false_positive_cause a.truth v in
+            false_sync.(idx c) <- false_sync.(idx c) + 1)
+        r.classified;
+      (* As in the paper (§5.5), uncategorized misses are only counted
+         when they surface through a false data race; the categorized
+         design cases (instrumentation, double role, dispose, statics)
+         are counted directly. *)
+      let other_missed_fields = Hashtbl.create 4 in
+      List.iter
+        (fun (e : Ground_truth.entry) ->
+          if e.category <> Ground_truth.Other_cause then
+            missed_sync.(idx e.category) <- missed_sync.(idx e.category) + 1)
+        r.missed;
+      (* SherLock_dr false races, attributed to the guard of the field. *)
+      let verdicts = (infer a).final in
+      let logs = Orchestrator.run_test_logs (App.subject a) in
+      List.iter
+        (fun log ->
+          let report = Detector.run (Sync_model.inferred verdicts) log in
+          List.iter
+            (fun (race : Detector.race) ->
+              if not (Ground_truth.is_racy_field a.truth race.field) then begin
+                let c = Ground_truth.guard_cause a.truth race.field in
+                false_races.(idx c) <- false_races.(idx c) + 1;
+                if c = Ground_truth.Other_cause then
+                  Hashtbl.replace other_missed_fields race.field ()
+              end)
+            report.races)
+        logs;
+      missed_sync.(idx Ground_truth.Other_cause) <-
+        missed_sync.(idx Ground_truth.Other_cause)
+        + Hashtbl.length other_missed_fields)
+    apps;
+  let t =
+    Table.create ~title:"Table 4: Breakdown of false positives/negatives"
+      ~header:[ ""; "#False Sync."; "#Missed Sync."; "#False Races" ]
+  in
+  List.iter
+    (fun c ->
+      let i = idx c in
+      Table.add_row t
+        [
+          Ground_truth.cause_name c;
+          string_of_int false_sync.(i);
+          string_of_int missed_sync.(i);
+          string_of_int false_races.(i);
+        ])
+    causes;
+  Table.add_separator t;
+  let sum a = Array.fold_left ( + ) 0 a in
+  Table.add_row t
+    [
+      "Total"; string_of_int (sum false_sync); string_of_int (sum missed_sync);
+      string_of_int (sum false_races);
+    ];
+  Table.print t
+
+let table5 () =
+  let variants =
+    [
+      ("SherLock", Config.default);
+      ("w/o Mostly are Protected", { Config.default with use_protected = false });
+      ("w/o Synchronizations are Rare", { Config.default with use_rare = false });
+      ("w/o Acq-Time Varies", { Config.default with use_variation = false });
+      ("w/o Mostly are Paired", { Config.default with use_paired = false });
+      ("w/o Read-Acq & Write-Rel", { Config.default with use_role_property = false });
+      ("w/o Single Role", { Config.default with use_single_role = false });
+    ]
+  in
+  let t =
+    Table.create ~title:"Table 5: Inference with or without certain hypothesis"
+      ~header:[ ""; "#Correct"; "#Total"; "Precision" ]
+  in
+  List.iter
+    (fun (name, config) ->
+      let correct, total = unique_counts ~config () in
+      let precision =
+        if total = 0 then "n/a"
+        else Printf.sprintf "%.0f%%" (100.0 *. float correct /. float total)
+      in
+      Table.add_row t [ name; string_of_int correct; string_of_int total; precision ])
+    variants;
+  Table.print t
+
+let table6 () =
+  let lambdas = [ 0.1; 0.2; 0.4; 0.6; 0.8; 1.0; 5.0; 10.0; 50.0; 100.0 ] in
+  let t =
+    Table.create ~title:"Table 6: Sensitivity of lambda (unique sums, 3 rounds)"
+      ~header:("lambda" :: List.map (Printf.sprintf "%g") lambdas)
+  in
+  let counts =
+    List.map (fun lambda -> unique_counts ~config:{ Config.default with lambda } ())
+      lambdas
+  in
+  Table.add_row t ("#correct" :: List.map (fun (c, _) -> string_of_int c) counts);
+  Table.add_row t ("#total" :: List.map (fun (_, n) -> string_of_int n) counts);
+  Table.print t
+
+let table7 () =
+  let nears = [ (10_000, "0.01s"); (1_000_000, "1s"); (100_000_000, "100s") ] in
+  let t =
+    Table.create ~title:"Table 7: Sensitivity of Near (unique sums, 3 rounds)"
+      ~header:("Near" :: List.map snd nears)
+  in
+  let counts =
+    List.map (fun (near, _) -> unique_counts ~config:{ Config.default with near } ())
+      nears
+  in
+  Table.add_row t ("#correct" :: List.map (fun (c, _) -> string_of_int c) counts);
+  Table.add_row t ("#total" :: List.map (fun (_, n) -> string_of_int n) counts);
+  Table.print t
+
+let figure4 () =
+  let settings =
+    [
+      ("SherLock", Config.default);
+      ("no delay injection", { Config.default with use_delays = false });
+      ("no accumulation", { Config.default with accumulate = false });
+      ("no race removal", { Config.default with use_race_removal = false });
+      ("no window refinement", { Config.default with use_refinement = false });
+    ]
+  in
+  let max_rounds = 6 in
+  let t =
+    Table.create
+      ~title:
+        "Figure 4: correctly inferred unique synchronizations per round,\n\
+         under different Perturber and feedback settings"
+      ~header:
+        ("setting" :: List.init max_rounds (fun i -> Printf.sprintf "run %d" (i + 1)))
+  in
+  List.iter
+    (fun (name, base) ->
+      let config = { base with Config.rounds = max_rounds } in
+      (* One inference run delivers the verdicts of every prefix round. *)
+      let sets = Array.make max_rounds Sync_set.empty in
+      List.iter
+        (fun (a : App.t) ->
+          let result = infer ~config a in
+          List.iter
+            (fun (r : Orchestrator.round_result) ->
+              let report = Report.classify a.truth r.verdicts in
+              List.iter
+                (fun ((v : Verdict.t), cls) ->
+                  match cls with
+                  | Report.Correct _ ->
+                    sets.(r.round - 1) <- Sync_set.add (v.op, v.role) sets.(r.round - 1)
+                  | Report.Data_racy | Report.Instr_error | Report.Not_sync -> ())
+                report.classified)
+            result.rounds)
+        apps;
+      Table.add_row t
+        (name :: Array.to_list (Array.map (fun s -> string_of_int (Sync_set.cardinal s)) sets)))
+    settings;
+  Table.print t
+
+let tables8_9 () =
+  print_endline "Tables 8/9: inferred synchronizations per application\n";
+  List.iter
+    (fun (a : App.t) ->
+      Report.print_sites Format.std_formatter ~app:a.name (infer a).final a.truth;
+      print_newline ())
+    apps
+
+let tsvd_enhance () =
+  let t =
+    Table.create
+      ~title:"Section 5.6: TSVD happens-before inference vs SherLock synchronizations"
+      ~header:[ "ID"; "Conflicting pairs"; "TSVD HB pairs"; "SherLock-synced pairs" ]
+  in
+  let sums = Array.make 3 0 in
+  List.iter
+    (fun (a : App.t) ->
+      if a.uses_unsafe_apis then begin
+        let o = Tsvd.analyze (App.subject a) (infer a).final in
+        let row =
+          [
+            List.length o.candidate_pairs; List.length o.tsvd_hb;
+            List.length o.sherlock_hb;
+          ]
+        in
+        List.iteri (fun i v -> sums.(i) <- sums.(i) + v) row;
+        Table.add_row t (a.id :: List.map string_of_int row)
+      end)
+    apps;
+  Table.add_separator t;
+  Table.add_row t ("Sum" :: Array.to_list (Array.map string_of_int sums));
+  Table.print t
+
+let overhead () =
+  (* Host wall-clock of the pipeline stages versus a bare run, over the
+     full corpus (one round, same seeds). *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let run_all instrument =
+    List.iter
+      (fun (a : App.t) ->
+        List.iteri
+          (fun i (_, body) ->
+            let seed =
+              Orchestrator.test_seed ~base:Config.default.seed ~round:1 ~test_index:i
+            in
+            ignore (Sherlock_sim.Runtime.run ~seed ~instrument body))
+          a.tests)
+      apps
+  in
+  let bare = time (fun () -> run_all Sherlock_sim.Runtime.no_instrument) in
+  let traced = time (fun () -> run_all (Sherlock_sim.Runtime.tracing ())) in
+  let full =
+    time (fun () ->
+        List.iter
+          (fun (a : App.t) ->
+            ignore
+              (Orchestrator.infer ~config:{ Config.default with rounds = 1 }
+                 (App.subject a)))
+          apps)
+  in
+  let three_rounds =
+    time (fun () ->
+        List.iter
+          (fun (a : App.t) -> ignore (Orchestrator.infer (App.subject a)))
+          apps)
+  in
+  let t =
+    Table.create ~title:"Section 5.6: Overhead (host time over the full corpus)"
+      ~header:[ "configuration"; "seconds"; "vs bare" ]
+  in
+  let pct x = Printf.sprintf "%+.0f%%" (100.0 *. ((x /. bare) -. 1.0)) in
+  Table.add_row t [ "bare execution"; Printf.sprintf "%.3f" bare; "-" ];
+  Table.add_row t [ "tracing"; Printf.sprintf "%.3f" traced; pct traced ];
+  Table.add_row t
+    [ "tracing + solving (1 round)"; Printf.sprintf "%.3f" full; pct full ];
+  Table.add_row t
+    [
+      "3 rounds with delay injection"; Printf.sprintf "%.3f" three_rounds;
+      pct (three_rounds /. 3.0) ^ " per round";
+    ];
+  Table.print t
+
+(* Extension ablations: parameters the paper fixes without sweeping
+   (window cap, verdict threshold, delay length) and the two documented
+   follow-ups (soft Single-Role, probabilistic delay injection). *)
+let ablation_extras () =
+  let sweep title rows =
+    let t = Table.create ~title ~header:[ "configuration"; "#Correct"; "#Total" ] in
+    List.iter
+      (fun (name, config) ->
+        let correct, total = unique_counts ~config () in
+        Table.add_row t [ name; string_of_int correct; string_of_int total ])
+      rows;
+    Table.print t
+  in
+  sweep "Extension: window cap per static location pair (paper fixes 15)"
+    (List.map
+       (fun cap ->
+         (Printf.sprintf "cap = %d" cap, { Config.default with window_cap = cap }))
+       [ 1; 5; 15; 50 ]);
+  sweep "Extension: verdict probability threshold (paper reads variables 'assigned 1')"
+    (List.map
+       (fun threshold ->
+         (Printf.sprintf "threshold = %.2f" threshold, { Config.default with threshold }))
+       [ 0.5; 0.9; 0.99 ]);
+  sweep "Extension: injected delay length (paper fixes 100 ms)"
+    (List.map
+       (fun delay_us ->
+         (Printf.sprintf "delay = %d ms" (delay_us / 1000), { Config.default with delay_us }))
+       [ 10_000; 100_000; 500_000 ]);
+  sweep "Extension: Single-Role as a soft constraint (paper 5.5 future work)"
+    [
+      ("hard (default)", Config.default);
+      ("soft", { Config.default with single_role_soft = true });
+      ("off", { Config.default with use_single_role = false });
+    ];
+  sweep "Extension: probabilistic delay injection (paper footnote 1)"
+    [
+      ("p = 1.0 (default)", Config.default);
+      ("p = 0.5", { Config.default with delay_probability = 0.5 });
+      ("p = 0.2", { Config.default with delay_probability = 0.2 });
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let app2 = Registry.find "App-2" in
+  let subject = App.subject app2 in
+  let flag_log = List.hd (Orchestrator.run_test_logs subject) in
+  let obs = Observations.create () in
+  Observations.add_log obs ~near:1_000_000 ~cap:15 ~refine:true flag_log;
+  let first_test = snd (List.hd app2.tests) in
+  let verdicts = (infer app2).final in
+  let tests =
+    [
+      Test.make ~name:"simulator: one App-2 test run"
+        (Staged.stage (fun () ->
+             ignore
+               (Sherlock_sim.Runtime.run ~seed:1
+                  ~instrument:(Sherlock_sim.Runtime.tracing ()) first_test)));
+      Test.make ~name:"windows: extraction"
+        (Staged.stage (fun () -> ignore (Sherlock_trace.Windows.extract flag_log)));
+      Test.make ~name:"solver: App-2 LP"
+        (Staged.stage (fun () -> ignore (Encoder.solve Config.default obs)));
+      Test.make ~name:"fasttrack: one trace"
+        (Staged.stage (fun () ->
+             ignore (Detector.run (Sync_model.inferred verdicts) flag_log)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"sherlock" ~fmt:"%s/%s" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Microbenchmarks (Bechamel, monotonic clock):";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "  %-40s %12.1f ns/run\n" name ns
+      | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("table6", table6);
+    ("table7", table7);
+    ("figure4", figure4);
+    ("tables8_9", tables8_9);
+    ("tsvd", tsvd_enhance);
+    ("ablation_extras", ablation_extras);
+    ("overhead", overhead);
+    ("microbench", bechamel_suite);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--list" :: _ -> List.iter (fun (name, _) -> print_endline name) artifacts
+  | _ :: ((_ :: _) as names) ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name artifacts with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown artifact %S (try --list)\n" name;
+          exit 2)
+      names
+  | _ ->
+    List.iter
+      (fun (name, f) ->
+        Printf.printf "==== %s ====\n%!" name;
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "(%s regenerated in %.1fs)\n\n%!" name
+          (Unix.gettimeofday () -. t0))
+      artifacts

@@ -1,0 +1,214 @@
+(* The command-line front end, mirroring the paper artifact's
+   Loop-delay-solve.ps1 workflow: pick an application, run its unit tests
+   under instrumentation for a number of rounds, and print the inferred
+   releasing/acquire sites.  Additional subcommands expose the race
+   detectors and the TSVD comparison. *)
+
+open Cmdliner
+open Sherlock_core
+open Sherlock_corpus
+
+let find_app name =
+  match Registry.find name with
+  | app -> app
+  | exception Not_found ->
+    Printf.eprintf "unknown application %S; try `sherlock list`\n" name;
+    exit 2
+
+let app_arg =
+  let doc = "Application to analyze (id like App-1 or name like RestSharp)." in
+  Arg.(required & opt (some string) None & info [ "a"; "app" ] ~docv:"APP" ~doc)
+
+let rounds_arg =
+  let doc = "Number of instrumented rounds per test input." in
+  Arg.(value & opt int Config.default.rounds & info [ "r"; "rounds" ] ~docv:"N" ~doc)
+
+let lambda_arg =
+  let doc = "Objective trade-off between Mostly-Protected and the other hypotheses." in
+  Arg.(value & opt float Config.default.lambda & info [ "lambda" ] ~docv:"L" ~doc)
+
+let near_arg =
+  let doc = "Conflicting-access window in virtual microseconds." in
+  Arg.(value & opt int Config.default.near & info [ "near" ] ~docv:"US" ~doc)
+
+let seed_arg =
+  let doc = "Base seed for the simulated schedules." in
+  Arg.(value & opt int Config.default.seed & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let config_term =
+  let make rounds lambda near seed = { Config.default with rounds; lambda; near; seed } in
+  Term.(const make $ rounds_arg $ lambda_arg $ near_arg $ seed_arg)
+
+let list_cmd =
+  let run () =
+    let table =
+      Sherlock_util.Table.create ~title:"Benchmark applications (paper Table 1)"
+        ~header:[ "ID"; "Name"; "LoC"; "#Stars"; "#Tests"; "Unsafe APIs" ]
+    in
+    List.iter
+      (fun (app : App.t) ->
+        Sherlock_util.Table.add_row table
+          [
+            app.id;
+            app.name;
+            string_of_int app.loc;
+            string_of_int app.stars;
+            string_of_int (List.length app.tests);
+            (if app.uses_unsafe_apis then "yes" else "no");
+          ])
+      (Registry.all ());
+    Sherlock_util.Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark applications.") Term.(const run $ const ())
+
+let infer_run config app_name =
+  let app = find_app app_name in
+  let result = Orchestrator.infer ~config (App.subject app) in
+  (app, result)
+
+let run_cmd =
+  let run config app_name verbose dump_dir =
+    let app, result = infer_run config app_name in
+    (match dump_dir with
+    | None -> ()
+    | Some dir ->
+      (* The artifact's log-file workflow: one trace file per test. *)
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let logs = Orchestrator.run_test_logs ~config (App.subject app) in
+      List.iteri
+        (fun i log ->
+          let name = fst (List.nth app.tests i) in
+          let path = Filename.concat dir (Printf.sprintf "%s-%s.trace" app.id name) in
+          Sherlock_trace.Trace_io.save log path;
+          Printf.printf "wrote %s
+" path)
+        logs);
+    if verbose then
+      List.iter
+        (fun (r : Orchestrator.round_result) ->
+          Printf.printf "round %d: %d windows, %d variables, %d delayed ops, %d verdicts\n"
+            r.round r.stats.num_windows r.stats.num_vars r.delayed_ops
+            (List.length r.verdicts))
+        result.rounds;
+    Report.print_sites Format.std_formatter ~app:app.name result.final app.truth;
+    let report = Report.classify app.truth result.final in
+    Printf.printf
+      "\n%d inferred: %d correct, %d data-racy, %d instrumentation errors, %d not-sync; %d missed\n"
+      (Report.num_inferred report) (Report.num_correct report)
+      (Report.count report Report.Data_racy)
+      (Report.count report Report.Instr_error)
+      (Report.count report Report.Not_sync)
+      (List.length report.missed)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-round statistics.")
+  in
+  let dump_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-trace" ] ~docv:"DIR"
+          ~doc:"Also write one serialized execution trace per test into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Infer synchronizations for one application (3 rounds by default).")
+    Term.(const run $ config_term $ app_arg $ verbose $ dump_dir)
+
+let race_cmd =
+  let run config app_name model_name =
+    let app, result = infer_run config app_name in
+    let subject = App.subject app in
+    let logs = Orchestrator.run_test_logs ~config subject in
+    let model log =
+      match model_name with
+      | "manual" -> Sherlock_fasttrack.Sync_model.manual log
+      | _ -> Sherlock_fasttrack.Sync_model.inferred result.final
+    in
+    List.iteri
+      (fun i log ->
+        let name = fst (List.nth app.tests i) in
+        let report = Sherlock_fasttrack.Detector.run (model log) log in
+        match Sherlock_fasttrack.Detector.first_race report with
+        | None -> Printf.printf "%-32s no race\n" name
+        | Some r ->
+          Printf.printf "%-32s race on %s (%s)\n" name r.field
+            (if Ground_truth.is_racy_field app.truth r.field then "true race"
+             else "false alarm"))
+      logs
+  in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("manual", "manual"); ("sherlock", "sherlock") ]) "sherlock"
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:"Synchronization model: $(b,manual) or $(b,sherlock).")
+  in
+  Cmd.v
+    (Cmd.info "race" ~doc:"Run the FastTrack race detector over an application's tests.")
+    Term.(const run $ config_term $ app_arg $ model)
+
+let tsvd_cmd =
+  let run config app_name =
+    let app, result = infer_run config app_name in
+    if not app.uses_unsafe_apis then
+      Printf.printf "%s does not call thread-unsafe collection APIs concurrently.\n"
+        app.name
+    else begin
+      let o = Sherlock_tsvd.Tsvd.analyze ~config (App.subject app) result.final in
+      Printf.printf "conflicting unsafe-API pairs: %d\n"
+        (List.length o.candidate_pairs);
+      Printf.printf "TSVD-inferred happens-before pairs: %d\n" (List.length o.tsvd_hb);
+      Printf.printf "SherLock-synchronized pairs: %d\n" (List.length o.sherlock_hb)
+    end
+  in
+  Cmd.v
+    (Cmd.info "tsvd" ~doc:"Compare TSVD happens-before inference with SherLock's.")
+    Term.(const run $ config_term $ app_arg)
+
+let solve_trace_cmd =
+  let run config paths =
+    (* The decoupled artifact workflow: solve from dumped trace files. *)
+    let obs = Observations.create () in
+    List.iter
+      (fun path ->
+        let log =
+          try Sherlock_trace.Trace_io.load path
+          with Failure msg | Sys_error msg ->
+            Printf.eprintf "cannot read trace %s: %s\n" path msg;
+            exit 2
+        in
+        Observations.add_log obs ~near:config.Config.near ~cap:config.window_cap
+          ~refine:config.use_refinement log)
+      paths;
+    let verdicts, stats = Encoder.solve config obs in
+    Printf.printf "%d traces, %d windows, %d variables
+" (List.length paths)
+      stats.num_windows stats.num_vars;
+    print_endline "Releasing sites:";
+    List.iter
+      (fun (v : Verdict.t) ->
+        Printf.printf "  %s
+" (Sherlock_trace.Opid.to_string v.op))
+      (Verdict.releases verdicts);
+    print_endline "Acquire sites:";
+    List.iter
+      (fun (v : Verdict.t) ->
+        Printf.printf "  %s
+" (Sherlock_trace.Opid.to_string v.op))
+      (Verdict.acquires verdicts)
+  in
+  let paths =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE" ~doc:"Trace files.")
+  in
+  Cmd.v
+    (Cmd.info "solve-trace"
+       ~doc:"Solve from serialized trace files (written by run --dump-trace).")
+    Term.(const run $ config_term $ paths)
+
+let main =
+  let doc = "unsupervised synchronization-operation inference (ASPLOS'21 reproduction)" in
+  Cmd.group
+    (Cmd.info "sherlock" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; race_cmd; tsvd_cmd; solve_trace_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,13 @@
+open Sherlock_core
+
+type t = {
+  id : string;
+  name : string;
+  loc : int;
+  stars : int;
+  tests : (string * (unit -> unit)) list;
+  truth : Ground_truth.t;
+  uses_unsafe_apis : bool;
+}
+
+let subject t = { Orchestrator.subject_name = t.name; tests = t.tests }

@@ -1,0 +1,22 @@
+(** The benchmark-application record (paper Table 1).
+
+    Each application is a synthetic analogue of one of the paper's eight
+    C# projects: it reproduces the project's synchronization idioms (the
+    ones SherLock inferred in Tables 8/9), its deliberate data races, and
+    its instrumentation blind spots, together with a ground-truth
+    inventory to score against.  The registry of all eight lives in
+    {!Registry}. *)
+
+open Sherlock_core
+
+type t = {
+  id : string;           (** "App-1" .. "App-8" *)
+  name : string;         (** paper project name *)
+  loc : int;             (** paper LoC, metadata for Table 1 *)
+  stars : int;           (** paper GitHub stars, metadata for Table 1 *)
+  tests : (string * (unit -> unit)) list;  (** unit tests, run in the simulator *)
+  truth : Ground_truth.t;
+  uses_unsafe_apis : bool;  (** calls thread-unsafe collections (TSVD scope) *)
+}
+
+val subject : t -> Orchestrator.subject

@@ -1,0 +1,449 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+
+(* Class names, C#-style, used both by the workload and the ground truth. *)
+let tests_cls = "Insights.Tests"
+
+let env_cls = "Insights.TestEnv"
+
+let buffer_cls = "Insights.TelemetryBuffer"
+
+let quota_cls = "Insights.QuotaTracker"
+
+let channel_cls = "Insights.InMemoryChannel"
+
+let worker_cls = "Insights.Worker"
+
+let metrics_cls = "Insights.Metrics"
+
+let gate_cls = "Insights.Gate"
+
+(* Read a cell several times, as telemetry code polling its configuration
+   does; the repetition is what the Synchronizations-are-Rare occurrence
+   penalty keys on to tell plain data reads from acquire operations. *)
+let poll cell times =
+  let v = ref (Heap.read cell) in
+  for _ = 2 to times do
+    Runtime.cpu 3 15;
+    v := Heap.read cell
+  done;
+  !v
+
+(* The testing-framework pattern of Figure 3.E: TestInitialize writes the
+   environment, the test method (run by the framework on a worker thread)
+   reads it and publishes its result, which the runner collects. *)
+let test_initialize_basic () =
+  let endpoint = Heap.cell ~cls:env_cls ~field:"endpoint" 0 in
+  let config = Heap.cell ~cls:env_cls ~field:"config" 0 in
+  let instrumentation_key = Heap.cell ~cls:env_cls ~field:"instrumentationKey" 0 in
+  let run_case meth ~result setup check =
+    Runtime.frame ~cls:tests_cls ~meth:"TestInitialize" (fun () ->
+        setup ();
+        Runtime.cpu 20 200);
+    let t =
+      Tasklib.start_new ~delegate:(tests_cls, meth) (fun () ->
+          Runtime.cpu 10 400;
+          Heap.write result (check ()))
+    in
+    Tasklib.wait t;
+    assert (Heap.read result = 1)
+  in
+  let outcome_basic = Heap.cell ~cls:tests_cls ~field:"outcomeBasic" 0 in
+  let outcome_context = Heap.cell ~cls:tests_cls ~field:"outcomeContext" 0 in
+  let outcome_correlation = Heap.cell ~cls:tests_cls ~field:"outcomeCorrelation" 0 in
+  run_case "BasicStartOperationWithActivity" ~result:outcome_basic
+    (fun () ->
+      Heap.write endpoint 443;
+      Heap.write endpoint 8443)
+    (fun () -> if poll endpoint 5 = 8443 then 1 else 0);
+  run_case "TelemetryContextIsInitialized" ~result:outcome_context
+    (fun () ->
+      Heap.write config 1;
+      Heap.write config 7)
+    (fun () -> if poll config 5 = 7 then 1 else 0);
+  run_case "OperationCorrelationUsesActivity" ~result:outcome_correlation
+    (fun () ->
+      Heap.write instrumentation_key 5;
+      Heap.write instrumentation_key 12345)
+    (fun () -> if poll instrumentation_key 5 = 12345 then 1 else 0)
+
+(* Monitor-protected telemetry buffer: the parent publishes the channel
+   settings, a producer appends (read-modify-write), a sender drains with
+   blind resets, and both report totals the parent reads after joining. *)
+let test_channel_send () =
+  let send_interval = Heap.cell ~cls:channel_cls ~field:"sendInterval" 0 in
+  let endpoint_addr = Heap.cell ~cls:channel_cls ~field:"endpointAddr" 0 in
+  let items = Heap.cell ~cls:buffer_cls ~field:"items" 0 in
+  let capacity_used = Heap.cell ~cls:buffer_cls ~field:"capacityUsed" 0 in
+  let items_sent = Heap.cell ~cls:channel_cls ~field:"itemsSent" 0 in
+  let batches_sent = Heap.cell ~cls:channel_cls ~field:"batchesSent" 0 in
+  let lock = Monitor.create () in
+  Heap.write send_interval 30;
+  Heap.write endpoint_addr 808;
+  let producer () =
+    let interval = poll send_interval 4 in
+    for _ = 1 to 4 do
+      Monitor.with_lock lock (fun () ->
+          let n = poll items 3 in
+          Heap.write items (n + 1);
+          Heap.write capacity_used ((n + 1) * 64));
+      Runtime.cpu interval (interval * 4)
+    done;
+    Heap.write items_sent 4
+  in
+  let sender () =
+    let addr = poll endpoint_addr 4 in
+    assert (addr = 808);
+    for _ = 1 to 4 do
+      Monitor.with_lock lock (fun () ->
+          (* Blind reset: no read, so the window's acquire side can only
+             be satisfied by the lock acquisition itself. *)
+          Heap.write items 0;
+          Heap.write capacity_used 0);
+      Runtime.cpu 40 150
+    done;
+    Heap.write batches_sent 4
+  in
+  let p = Threadlib.create ~delegate:(channel_cls, "ProducerLoop") producer in
+  let s = Threadlib.create ~delegate:(channel_cls, "SenderLoop") sender in
+  Threadlib.start p;
+  Threadlib.start s;
+  Threadlib.join p;
+  Threadlib.join s;
+  assert (Heap.read items_sent = 4);
+  assert (Heap.read batches_sent = 4)
+
+(* Second Monitor context (different fields, same lock API): quota
+   accounting.  Using the lock in two unrelated classes is what lets the
+   solver amortize Enter/Exit over many windows. *)
+let test_quota_update () =
+  let limit = Heap.cell ~cls:quota_cls ~field:"limit" 0 in
+  let quota = Heap.cell ~cls:quota_cls ~field:"quota" 1000 in
+  let spent = Heap.cell ~cls:quota_cls ~field:"spent" 0 in
+  let audits = Heap.cell ~cls:quota_cls ~field:"audits" 0 in
+  let lock = Monitor.create () in
+  Heap.write limit 1000;
+  let spender () =
+    let l = poll limit 3 in
+    for _ = 1 to 3 do
+      Monitor.with_lock lock (fun () ->
+          let s = poll spent 3 in
+          if s < l then Heap.write spent (s + 10));
+      Runtime.cpu 25 90
+    done
+  in
+  let refresher () =
+    for _ = 1 to 3 do
+      Monitor.with_lock lock (fun () ->
+          Heap.write quota 1000;
+          Heap.write spent 0);
+      Runtime.cpu 50 160
+    done;
+    Heap.write audits 3
+  in
+  let a = Threadlib.create ~delegate:(quota_cls, "SpenderLoop") spender in
+  let b = Threadlib.create ~delegate:(quota_cls, "RefresherLoop") refresher in
+  Threadlib.start a;
+  Threadlib.start b;
+  Threadlib.join a;
+  Threadlib.join b;
+  assert (Heap.read audits = 3)
+
+(* Volatile flush flag with a spin-waiting observer (Figure 3.B shape). *)
+let test_flush_flag () =
+  let flushed = Heap.cell ~cls:channel_cls ~field:"flushed" ~volatile:true false in
+  let pending = Heap.cell ~cls:channel_cls ~field:"pendingItems" 3 in
+  let flusher =
+    Threadlib.create ~delegate:(channel_cls, "FlushWorker") (fun () ->
+        Runtime.cpu 100 400;
+        Heap.write pending 0;
+        Heap.write flushed true)
+  in
+  Threadlib.start flusher;
+  Heap.spin_until flushed (fun b -> b);
+  assert (Heap.read pending = 0);
+  Threadlib.join flusher
+
+(* TaskFactory fan-out: the parent publishes a batch, each delegate
+   instance polls a different part of it and reports progress — the
+   task-creation variant the paper's manual race annotation misses. *)
+let test_send_batch () =
+  let batch_size = Heap.cell ~cls:worker_cls ~field:"batchSize" 0 in
+  let batch_head = Heap.cell ~cls:worker_cls ~field:"batchHead" 0 in
+  let retry_policy = Heap.cell ~cls:worker_cls ~field:"retryPolicy" 0 in
+  let progress =
+    Array.init 3 (fun i ->
+        Heap.cell ~cls:worker_cls ~field:(Printf.sprintf "progress%d" i) 0)
+  in
+  Heap.write batch_size 16;
+  Heap.write batch_head 100;
+  Heap.write retry_policy 2;
+  let parts = [| batch_size; batch_head; retry_policy |] in
+  let send i =
+    Tasklib.start_new ~delegate:(worker_cls, "<SendBatch>b__0") (fun () ->
+        Runtime.cpu 10 500;
+        let v = poll parts.(i mod 3) 5 in
+        Heap.write progress.(i) (v + 1))
+  in
+  let tasks = List.init 3 send in
+  List.iter Tasklib.wait tasks;
+  Array.iter (fun c -> assert (Heap.read c > 0)) progress;
+  (* Occasional retry path (a transient send failure): coordinates through
+     a semaphore.  Like real test suites, this branch only runs in some
+     executions, so its synchronizations surface over multiple rounds. *)
+  if Runtime.rand_int 3 = 0 then begin
+    let retry_result = Heap.cell ~cls:worker_cls ~field:"retryResult" 0 in
+    let sem = Semaphore.create 0 in
+    Heap.write retry_result 0;
+    let t =
+      Tasklib.start_new ~delegate:(worker_cls, "<RetrySend>b__1") (fun () ->
+          Heap.write retry_result 1;
+          Runtime.cpu 40 280;
+          let n = Workload.poll batch_size 4 in
+          Heap.write retry_result n;
+          Semaphore.release sem)
+    in
+    Semaphore.wait sem;
+    Heap.write retry_result 99;
+    Tasklib.wait t
+  end
+
+(* A custom gate whose release method is invisible to the instrumentation
+   (the simulated Mono.Cecil heuristic failure of §5.5): [open_gate] has
+   no method frame, so SherLock can only see the field writes next to it. *)
+type gate = {
+  opened : bool ref;
+  waiters : Runtime.Waitq.t;
+}
+
+let open_gate gate pending request_id =
+  (* Deliberately NOT wrapped in Runtime.frame: hidden from the trace. *)
+  Heap.write pending 0;
+  Heap.write request_id 77;
+  gate.opened := true;
+  ignore (Runtime.wake_all gate.waiters)
+
+let pass_gate gate =
+  Runtime.frame ~cls:gate_cls ~meth:"Pass" (fun () ->
+      while not !(gate.opened) do
+        Runtime.block gate.waiters
+      done)
+
+let test_gate_handoff () =
+  let pending = Heap.cell ~cls:gate_cls ~field:"pending" 5 in
+  let request_id = Heap.cell ~cls:gate_cls ~field:"requestId" 0 in
+  let gate = { opened = ref false; waiters = Runtime.Waitq.create () } in
+  let opener =
+    Threadlib.create ~delegate:(gate_cls, "OpenerLoop") (fun () ->
+        Runtime.cpu 80 300;
+        open_gate gate pending request_id)
+  in
+  Threadlib.start opener;
+  pass_gate gate;
+  assert (poll pending 3 = 0);
+  assert (poll request_id 3 = 77);
+  Threadlib.join opener
+
+(* Racy statistics counters (the paper's §5.2 misclassification source):
+   updated with no synchronization at all.  The racy accesses come after a
+   StartNew-published configuration phase, so a detector that misses the
+   fork edge reports the earlier (false) race first and never gets to
+   these. *)
+let test_metrics_race () =
+  let sampling_rate = Heap.cell ~cls:metrics_cls ~field:"samplingRate" 0 in
+  let sink_name = Heap.cell ~cls:metrics_cls ~field:"sinkName" 0 in
+  let sample_count = Heap.cell ~cls:metrics_cls ~field:"sampleCount" 0 in
+  let last_latency = Heap.cell ~cls:metrics_cls ~field:"lastLatency" 0 in
+  let flush_error = Heap.cell ~cls:metrics_cls ~field:"flushError" 0 in
+  let record_started = Heap.cell ~cls:metrics_cls ~field:"recordStarted" 0 in
+  (* A flag that *should* be volatile but is not: it does order the two
+     threads here, but it participates in a data race — the paper's
+     "Data Racy" misclassification bucket (§5.2). *)
+  let aggregated = Heap.cell ~cls:metrics_cls ~field:"aggregated" false in
+  Heap.write sampling_rate 10;
+  Heap.write sink_name 3;
+  Heap.write record_started 0;
+  let t1 =
+    Tasklib.start_new ~delegate:(metrics_cls, "<Record>b__0") (fun () ->
+        Heap.write record_started 1;
+        let r = poll sampling_rate 5 in
+        assert (r = 10);
+        Runtime.cpu 200 600;
+        (* Unsynchronized increments: a real data race. *)
+        let n = Heap.read sample_count in
+        Runtime.cpu 5 30;
+        Heap.write sample_count (n + 1);
+        Heap.write last_latency 100;
+        Heap.write flush_error 1;
+        (* Aggregate late, so the reader is already spinning by now. *)
+        Runtime.cpu 600 1200;
+        Heap.write aggregated true)
+  in
+  let t2 =
+    Tasklib.start_new ~delegate:(metrics_cls, "<Record>b__1") (fun () ->
+        Heap.write record_started 2;
+        let s = poll sink_name 5 in
+        assert (s = 3);
+        Runtime.cpu 180 550;
+        let n = Heap.read sample_count in
+        Runtime.cpu 5 30;
+        Heap.write sample_count (n + 1);
+        Heap.write last_latency 42;
+        Heap.write flush_error 2;
+        Heap.spin_until aggregated (fun b -> b);
+        assert (Heap.read last_latency > 0))
+  in
+  Tasklib.wait t1;
+  Tasklib.wait t2
+
+(* Semaphore-throttled senders: at most two transmissions in flight; each
+   sender writes its own slot, the parent reads them after the joins. *)
+let test_throttled_send () =
+  let quota_sem = "System.Threading.SemaphoreSlim" in
+  ignore quota_sem;
+  let endpoint_count = Heap.cell ~cls:worker_cls ~field:"endpointCount" 0 in
+  let slots =
+    Array.init 3 (fun i ->
+        Heap.cell ~cls:worker_cls ~field:(Printf.sprintf "slot%d" i) 0)
+  in
+  let sem = Semaphore.create 2 in
+  Heap.write endpoint_count 3;
+  let sender i =
+    Tasklib.start_new ~delegate:(worker_cls, "<ThrottledSend>b__0") (fun () ->
+        let n = poll endpoint_count 4 in
+        assert (n = 3);
+        Semaphore.wait sem;
+        Runtime.cpu 60 280;
+        Heap.write slots.(i) (i + 1);
+        Semaphore.release sem)
+  in
+  let tasks = List.init 3 sender in
+  List.iter Tasklib.wait tasks;
+  Array.iteri (fun i c -> assert (poll c 3 = i + 1)) slots
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry (Opid.exit ~cls:tests_cls "TestInitialize") Verdict.Release
+          "end of test setup (framework happens-before)";
+        entry
+          (Opid.enter ~cls:tests_cls "BasicStartOperationWithActivity")
+          Verdict.Acquire "start of unit test";
+        entry
+          (Opid.exit ~cls:tests_cls "BasicStartOperationWithActivity")
+          Verdict.Release "end of unit test";
+        entry
+          (Opid.enter ~cls:tests_cls "TelemetryContextIsInitialized")
+          Verdict.Acquire "start of unit test";
+        entry
+          (Opid.exit ~cls:tests_cls "TelemetryContextIsInitialized")
+          Verdict.Release "end of unit test";
+        entry
+          (Opid.enter ~cls:tests_cls "OperationCorrelationUsesActivity")
+          Verdict.Acquire "start of unit test";
+        entry
+          (Opid.exit ~cls:tests_cls "OperationCorrelationUsesActivity")
+          Verdict.Release "end of unit test";
+        entry (Opid.enter ~cls:Monitor.cls "Enter") Verdict.Acquire "acquire lock";
+        entry (Opid.exit ~cls:Monitor.cls "Exit") Verdict.Release "release lock";
+        entry (Opid.write ~cls:channel_cls "flushed") Verdict.Release "write flag";
+        entry (Opid.read ~cls:channel_cls "flushed") Verdict.Acquire "read flag";
+        entry (Opid.exit ~cls:Tasklib.factory_cls "StartNew") Verdict.Release
+          "create new task";
+        entry (Opid.enter ~cls:worker_cls "<SendBatch>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:worker_cls "<SendBatch>b__0") Verdict.Release
+          "end of task";
+        entry (Opid.enter ~cls:Tasklib.cls "Wait") Verdict.Acquire "wait for task";
+        entry (Opid.exit ~cls:Threadlib.cls "Start") Verdict.Release "launch new thread";
+        entry (Opid.enter ~cls:Threadlib.cls "Join") Verdict.Acquire "wait for thread";
+        entry (Opid.enter ~cls:channel_cls "ProducerLoop") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:channel_cls "ProducerLoop") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:channel_cls "SenderLoop") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:channel_cls "SenderLoop") Verdict.Release "end of thread";
+        entry (Opid.enter ~cls:channel_cls "FlushWorker") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:channel_cls "FlushWorker") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:quota_cls "SpenderLoop") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:quota_cls "RefresherLoop") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:quota_cls "RefresherLoop") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:gate_cls "OpenerLoop") Verdict.Acquire "start of thread";
+        entry ~category:Instr_error (Opid.exit ~cls:gate_cls "OpenGate") Verdict.Release
+          "hidden gate release (uninstrumented method)";
+        entry (Opid.enter ~cls:gate_cls "Pass") Verdict.Acquire "wait at gate";
+        entry (Opid.enter ~cls:metrics_cls "<Record>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.enter ~cls:metrics_cls "<Record>b__1") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:"System.Threading.SemaphoreSlim" "Release")
+          Verdict.Release "release semaphore";
+        entry (Opid.enter ~cls:worker_cls "<ThrottledSend>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:worker_cls "<ThrottledSend>b__0") Verdict.Release
+          "end of task";
+        entry (Opid.enter ~cls:"System.Threading.SemaphoreSlim" "Wait")
+          Verdict.Acquire "wait for semaphore";
+        entry (Opid.enter ~cls:worker_cls "<RetrySend>b__1") Verdict.Acquire
+          "start of retry task";
+        entry (Opid.exit ~cls:worker_cls "<RetrySend>b__1") Verdict.Release
+          "end of retry task";
+      ];
+    racy_fields =
+      [
+        metrics_cls ^ "::sampleCount";
+        metrics_cls ^ "::lastLatency";
+        metrics_cls ^ "::aggregated";
+        metrics_cls ^ "::flushError";
+        metrics_cls ^ "::recordStarted";
+      ];
+    error_scope = [ gate_cls ];
+    field_guard =
+      [
+        (env_cls ^ "::endpoint", Other_cause);
+        (env_cls ^ "::config", Other_cause);
+        (env_cls ^ "::instrumentationKey", Other_cause);
+        (worker_cls ^ "::batchSize", Other_cause);
+        (worker_cls ^ "::batchHead", Other_cause);
+        (worker_cls ^ "::retryPolicy", Other_cause);
+        (worker_cls ^ "::retryResult", Other_cause);
+        (worker_cls ^ "::endpointCount", Other_cause);
+        (worker_cls ^ "::slot0", Other_cause);
+        (worker_cls ^ "::slot1", Other_cause);
+        (worker_cls ^ "::slot2", Other_cause);
+        (metrics_cls ^ "::samplingRate", Other_cause);
+        (metrics_cls ^ "::sinkName", Other_cause);
+        (gate_cls ^ "::pending", Instr_error);
+        (gate_cls ^ "::requestId", Instr_error);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-1";
+    name = "ApplicationInsights";
+    loc = 67_500;
+    stars = 306;
+    tests =
+      [
+        ("TestInitializeBasic", test_initialize_basic);
+        ("ChannelSend", test_channel_send);
+        ("QuotaUpdate", test_quota_update);
+        ("FlushFlag", test_flush_flag);
+        ("SendBatch", test_send_batch);
+        ("GateHandoff", test_gate_handoff);
+        ("MetricsRace", test_metrics_race);
+        ("ThrottledSend", test_throttled_send);
+      ];
+    truth;
+    uses_unsafe_apis = false;
+  }

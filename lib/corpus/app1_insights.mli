@@ -1,0 +1,9 @@
+(** App-1: ApplicationInsights analogue.
+
+    The largest corpus member.  Idioms: the unit-testing framework's
+    TestInitialize happens-before edge, a Monitor-protected telemetry
+    buffer, a volatile flush flag, TaskFactory fan-out, a hidden custom
+    gate (simulated instrumentation error), and deliberately racy metrics
+    counters. *)
+
+val app : App.t

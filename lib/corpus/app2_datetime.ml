@@ -1,0 +1,216 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+open Workload
+
+let dict_cls = "App.Common.ConcurrentLazyDictionary"
+
+let easter_cls = "App.WorkingDays.EasterCalculator"
+
+let holidays_cls = "App.WorkingDays.ChristianHolidays"
+
+let tests_cls = "App.Tests.DayCacheTests"
+
+(* An application-level lazy dictionary: GetOrAdd runs the value factory
+   inside an internal (untraced) critical region, so the end of one call
+   happens before the start of the next — the Figure 3.C pattern.  The
+   factory result is cached in plain fields that concurrent callers read. *)
+type lazy_dict = {
+  lock : Runtime.Waitq.t;
+  mutable busy : bool;
+  mutable cached : bool;
+  day : int Heap.t;
+  month : int Heap.t;
+  hits : int Heap.t;
+}
+
+let make_dict () =
+  {
+    lock = Runtime.Waitq.create ();
+    busy = false;
+    cached = false;
+    day = Heap.cell ~cls:dict_cls ~field:"cachedDay" 0;
+    month = Heap.cell ~cls:dict_cls ~field:"cachedMonth" 0;
+    hits = Heap.cell ~cls:dict_cls ~field:"hits" 0;
+  }
+
+let get_or_add dict compute =
+  Runtime.frame ~cls:dict_cls ~meth:"GetOrAdd" (fun () ->
+      while dict.busy do
+        Runtime.block dict.lock
+      done;
+      dict.busy <- true;
+      (* Blind hit accounting: only the GetOrAdd entry can explain the
+         resulting write/write windows. *)
+      Heap.write dict.hits 1;
+      if not dict.cached then begin
+        let d, m = compute () in
+        Heap.write dict.day d;
+        Heap.write dict.month m;
+        dict.cached <- true
+      end
+      else begin
+        let d = poll dict.day 3 in
+        let m = poll dict.month 3 in
+        assert (d > 0 && m > 0)
+      end;
+      dict.busy <- false;
+      ignore (Runtime.wake_one dict.lock))
+
+let test_day_cache () =
+  let dict = make_dict () in
+  let year_a = Heap.cell ~cls:tests_cls ~field:"queryYearA" 0 in
+  let year_b = Heap.cell ~cls:tests_cls ~field:"queryYearB" 0 in
+  let found_a = Heap.cell ~cls:tests_cls ~field:"foundA" 0 in
+  let found_b = Heap.cell ~cls:tests_cls ~field:"foundB" 0 in
+  Heap.write year_a 2020;
+  Heap.write year_b 2021;
+  let querier name year found delay =
+    Threadlib.create ~delegate:(tests_cls, name) (fun () ->
+        let y = poll year 5 in
+        assert (y >= 2020);
+        chores ~cls:tests_cls 2;
+        Runtime.cpu 10 delay;
+        get_or_add dict (fun () ->
+            Runtime.cpu 100 400;
+            (21, 4));
+        Heap.write found 1)
+  in
+  let q1 = querier "<GetHoliday>b__0" year_a found_a 50 in
+  let q2 = querier "<GetHoliday>b__1" year_b found_b 120 in
+  Threadlib.start q1;
+  Threadlib.start q2;
+  Threadlib.join q1;
+  Threadlib.join q2;
+  (* Blind tally after the join: only Join's entry can explain it. *)
+  Heap.write dict.hits 0;
+  assert (poll found_a 3 = 1);
+  assert (poll found_b 3 = 1);
+  assert (poll dict.day 3 = 21)
+
+(* Static constructor semantics: the Easter calculator's Gauss tables are
+   initialized by the .cctor; any concurrent first use blocks until it
+   completes (language-enforced happens-before, §5.3.3). *)
+let test_easter_static () =
+  let golden = Heap.cell ~cls:easter_cls ~field:"goldenNumber" 0 in
+  let epact = Heap.cell ~cls:easter_cls ~field:"epactTable" 0 in
+  let statics =
+    Statics.declare ~cls:easter_cls (fun () ->
+        Runtime.cpu 150 500;
+        Heap.write golden 19;
+        Heap.write epact 29)
+  in
+  let calculate year =
+    Runtime.frame ~cls:easter_cls ~meth:"CalculateEasterDate" (fun () ->
+        Statics.ensure statics;
+        let g = poll golden 4 in
+        let e = poll epact 4 in
+        assert (g = 19 && e = 29);
+        (year mod 19) + g + e)
+  in
+  let worker year name =
+    Threadlib.create ~delegate:(easter_cls, name) (fun () ->
+        chores ~cls:easter_cls 2;
+        Runtime.cpu 5 60;
+        ignore (calculate year))
+  in
+  let w1 = worker 2020 "<Easter2020>b__0" in
+  let w2 = worker 2021 "<Easter2021>b__0" in
+  Threadlib.start w1;
+  Threadlib.start w2;
+  Threadlib.join w1;
+  Threadlib.join w2
+
+(* Volatile flag caching a computed holiday (Table 9's
+   Write/Read-ChristianHolidays::ascension). *)
+let test_ascension_flag () =
+  let ascension = Heap.cell ~cls:holidays_cls ~field:"ascension" ~volatile:true false in
+  let ascension_day = Heap.cell ~cls:holidays_cls ~field:"ascensionDay" 0 in
+  let computer =
+    Threadlib.create ~delegate:(holidays_cls, "ComputeWorker") (fun () ->
+        Runtime.cpu 120 450;
+        Heap.write ascension_day 39;
+        Heap.write ascension true)
+  in
+  Threadlib.start computer;
+  Heap.spin_until ascension (fun b -> b);
+  assert (Heap.read ascension_day = 39);
+  Threadlib.join computer
+
+(* The dictionary under contention from three queriers: exercises the
+   GetOrAdd atomic region repeatedly so its windows accumulate. *)
+let test_parallel_lookup () =
+  let dict = make_dict () in
+  let workers =
+    List.init 3 (fun i ->
+        Threadlib.create ~delegate:(dict_cls, "<Lookup>b__2") (fun () ->
+            chores ~cls:dict_cls 2;
+            Runtime.cpu (5 * (i + 1)) (90 * (i + 1));
+            get_or_add dict (fun () ->
+                Runtime.cpu 80 300;
+                (24, 12))))
+  in
+  List.iter Threadlib.start workers;
+  List.iter Threadlib.join workers;
+  Heap.write dict.hits 0;
+  assert (poll dict.day 3 = 24)
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry (Opid.exit ~cls:dict_cls "GetOrAdd") Verdict.Release
+          "end of atomic region";
+        entry (Opid.enter ~cls:dict_cls "GetOrAdd") Verdict.Acquire
+          "start of atomic region";
+        entry ~category:Static_ctor (Opid.exit ~cls:easter_cls ".cctor") Verdict.Release
+          "end of static constructor";
+        entry ~category:Static_ctor
+          (Opid.enter ~cls:easter_cls "CalculateEasterDate")
+          Verdict.Acquire "first access after static constructor";
+        entry (Opid.write ~cls:holidays_cls "ascension") Verdict.Release "write flag";
+        entry (Opid.read ~cls:holidays_cls "ascension") Verdict.Acquire "check flag";
+        entry (Opid.exit ~cls:Threadlib.cls "Start") Verdict.Release "launch new thread";
+        entry (Opid.enter ~cls:Threadlib.cls "Join") Verdict.Acquire "wait for thread";
+        entry (Opid.enter ~cls:tests_cls "<GetHoliday>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:tests_cls "<GetHoliday>b__0") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:tests_cls "<GetHoliday>b__1") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:tests_cls "<GetHoliday>b__1") Verdict.Release
+          "end of thread";
+      ];
+    racy_fields = [];
+    error_scope = [];
+    field_guard =
+      [
+        (dict_cls ^ "::cachedDay", Other_cause);
+        (dict_cls ^ "::hits", Other_cause);
+        (tests_cls ^ "::queryYearA", Other_cause);
+        (tests_cls ^ "::queryYearB", Other_cause);
+        (tests_cls ^ "::foundA", Other_cause);
+        (tests_cls ^ "::foundB", Other_cause);
+        (dict_cls ^ "::cachedMonth", Other_cause);
+        (easter_cls ^ "::goldenNumber", Static_ctor);
+        (easter_cls ^ "::epactTable", Static_ctor);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-2";
+    name = "DataTimeExtention";
+    loc = 3_100;
+    stars = 335;
+    tests =
+      [
+        ("DayCache", test_day_cache);
+        ("EasterStatic", test_easter_static);
+        ("AscensionFlag", test_ascension_flag);
+        ("ParallelLookup", test_parallel_lookup);
+      ];
+    truth;
+    uses_unsafe_apis = false;
+  }

@@ -1,0 +1,8 @@
+(** App-2: DateTimeExtensions analogue.
+
+    Small library with three idioms from the paper's Table 9: an
+    application-level ConcurrentLazyDictionary whose [GetOrAdd] is an
+    atomic region, a static constructor for the Easter calculator, and a
+    volatile computed-holiday flag. *)
+
+val app : App.t

@@ -1,0 +1,272 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+open Workload
+
+let scope_cls = "FluentAssertions.Execution.AssertionScope"
+
+let exec_cls = "FluentAssertions.Specialized.ExecutionTime"
+
+let specs_cls = "FluentAssertions.Equivalency.AssertionOptionsSpecs"
+
+let latch_cls = "FluentAssertions.Execution.TestLatch"
+
+(* Monitor-protected assertion scope: one thread pushes failures, another
+   harvests them with a blind reset. *)
+let test_assertion_scope () =
+  let failures = Heap.cell ~cls:scope_cls ~field:"failures" 0 in
+  let context_depth = Heap.cell ~cls:scope_cls ~field:"contextDepth" 0 in
+  let lock = Monitor.create () in
+  let asserter () =
+    for _ = 1 to 4 do
+      Monitor.with_lock lock (fun () ->
+          let f = poll failures 3 in
+          Heap.write failures (f + 1);
+          Heap.write context_depth 1);
+      Runtime.cpu 20 110
+    done
+  in
+  let harvester () =
+    for _ = 1 to 4 do
+      Monitor.with_lock lock (fun () ->
+          Heap.write failures 0;
+          Heap.write context_depth 0);
+      Runtime.cpu 35 140
+    done
+  in
+  let a = Threadlib.create ~delegate:(scope_cls, "AssertLoop") asserter in
+  let h = Threadlib.create ~delegate:(scope_cls, "HarvestLoop") harvester in
+  Threadlib.start a;
+  Threadlib.start h;
+  Threadlib.join a;
+  Threadlib.join h
+
+(* AssertionScope static constructor publishing the default strategy,
+   raced by two concurrent scope users. *)
+let test_scope_static () =
+  let strategy = Heap.cell ~cls:scope_cls ~field:"defaultStrategy" 0 in
+  let formatters = Heap.cell ~cls:scope_cls ~field:"formatters" 0 in
+  let statics =
+    Statics.declare ~cls:scope_cls (fun () ->
+        Runtime.cpu 120 420;
+        Heap.write strategy 2;
+        Heap.write formatters 11)
+  in
+  let use_scope name =
+    Threadlib.create ~delegate:(scope_cls, name) (fun () ->
+        Runtime.cpu 5 70;
+        Runtime.frame ~cls:scope_cls ~meth:"GetDefaultStrategy" (fun () ->
+            Statics.ensure statics;
+            let s = poll strategy 4 in
+            let f = poll formatters 4 in
+            assert (s = 2 && f = 11)))
+  in
+  let u1 = use_scope "<ScopeUser>b__0" in
+  let u2 = use_scope "<ScopeUser>b__1" in
+  Threadlib.start u1;
+  Threadlib.start u2;
+  Threadlib.join u1;
+  Threadlib.join u2
+
+(* Task.Run with the equality-strategy lambda of Table 8: the parent
+   publishes the options, the lambda polls them and reports. *)
+let test_concurrent_equality_strategy () =
+  let comparers = Heap.cell ~cls:specs_cls ~field:"comparers" 0 in
+  let conversions = Heap.cell ~cls:specs_cls ~field:"conversions" 0 in
+  let outcome = Heap.cell ~cls:specs_cls ~field:"outcome" 0 in
+  Heap.write comparers 4;
+  Heap.write conversions 2;
+  let t =
+    Tasklib.run
+      ~delegate:(specs_cls, "When_concurrently_getting_equality_strategy.b2")
+      (fun () ->
+        Runtime.cpu 15 350;
+        let c = poll comparers 5 in
+        let v = poll conversions 5 in
+        Heap.write outcome (c + v))
+  in
+  Tasklib.wait t;
+  assert (Heap.read outcome = 6)
+
+(* The <IsRunning> volatile flag of Table 8: the measured action flips it
+   off when done; the measuring thread spins on it. *)
+let test_execution_time () =
+  let is_running = Heap.cell ~cls:exec_cls ~field:"<IsRunning>" ~volatile:true true in
+  let elapsed = Heap.cell ~cls:exec_cls ~field:"elapsed" 0 in
+  let action =
+    Tasklib.run ~delegate:(exec_cls, "<.ctor>b__0") (fun () ->
+        Runtime.cpu 150 600;
+        Heap.write elapsed 42;
+        Heap.write is_running false)
+  in
+  Heap.spin_until is_running (fun b -> not b);
+  assert (Heap.read elapsed = 42);
+  Tasklib.wait action
+
+(* A countdown latch whose BOTH methods are invisible to instrumentation
+   (simulated binary-rewriter blind spot): SherLock can only see the
+   neighbouring field accesses of class TestLatch, yielding this app's
+   two instrumentation-error misclassifications. *)
+type latch = {
+  mutable remaining : int;
+  waiters : Runtime.Waitq.t;
+  armed : int Heap.t;
+  fired : int Heap.t;
+}
+
+let latch_signal l =
+  (* Hidden release: no frame. *)
+  Heap.write l.fired 1;
+  l.remaining <- l.remaining - 1;
+  if l.remaining = 0 then ignore (Runtime.wake_all l.waiters)
+
+let latch_await l =
+  (* Hidden acquire: no frame either. *)
+  while l.remaining > 0 do
+    Runtime.block l.waiters
+  done;
+  let f = poll l.fired 3 in
+  assert (f = 1)
+
+let test_latch () =
+  let l =
+    {
+      remaining = 2;
+      waiters = Runtime.Waitq.create ();
+      armed = Heap.cell ~cls:latch_cls ~field:"armed" 0;
+      fired = Heap.cell ~cls:latch_cls ~field:"fired" 0;
+    }
+  in
+  Heap.write l.armed 2;
+  let signaller name budget =
+    Threadlib.create ~delegate:(latch_cls, name) (fun () ->
+        let a = poll l.armed 3 in
+        assert (a = 2);
+        Runtime.cpu 60 budget;
+        latch_signal l)
+  in
+  let s1 = signaller "<Signal>b__0" 250 in
+  let s2 = signaller "<Signal>b__1" 400 in
+  Threadlib.start s1;
+  Threadlib.start s2;
+  latch_await l;
+  Threadlib.join s1;
+  Threadlib.join s2
+
+(* Racy caching of equivalency steps: two Task.Run lambdas mutate the
+   shared step list's bookkeeping with no synchronization (the real
+   project fixed several such races).  The configuration warm-up is
+   task-published, so the manual annotation list trips over it first. *)
+let test_racy_equivalency_steps () =
+  let options = Heap.cell ~cls:specs_cls ~field:"options" 0 in
+  let step_count = Heap.cell ~cls:specs_cls ~field:"stepCount" 0 in
+  let last_step = Heap.cell ~cls:specs_cls ~field:"lastStep" 0 in
+  Heap.write options 5;
+  let mutate name step =
+    Tasklib.run ~delegate:(specs_cls, name) (fun () ->
+        let o = poll options 5 in
+        assert (o = 5);
+        chores ~cls:specs_cls 2;
+        Runtime.cpu 150 500;
+        let n = Heap.read step_count in
+        Runtime.cpu 4 25;
+        Heap.write step_count (n + 1);
+        Heap.write last_step step)
+  in
+  let t1 = mutate "<AddEquivalencyStep>b__0" 1 in
+  let t2 = mutate "<AddEquivalencyStep>b__1" 2 in
+  Tasklib.wait t1;
+  Tasklib.wait t2
+
+(* Racy formatter registry: concurrent registration loses entries. *)
+let test_racy_formatters () =
+  let culture = Heap.cell ~cls:scope_cls ~field:"culture" 0 in
+  let formatter_count = Heap.cell ~cls:scope_cls ~field:"formatterCount" 0 in
+  Heap.write culture 9;
+  let register name =
+    Tasklib.run ~delegate:(scope_cls, name) (fun () ->
+        let c = poll culture 5 in
+        assert (c = 9);
+        chores ~cls:scope_cls 2;
+        Runtime.cpu 120 450;
+        let n = Heap.read formatter_count in
+        Runtime.cpu 4 20;
+        Heap.write formatter_count (n + 1))
+  in
+  let t1 = register "<RegisterFormatter>b__0" in
+  let t2 = register "<RegisterFormatter>b__1" in
+  Tasklib.wait t1;
+  Tasklib.wait t2
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry (Opid.enter ~cls:Monitor.cls "Enter") Verdict.Acquire "acquire lock";
+        entry (Opid.exit ~cls:Monitor.cls "Exit") Verdict.Release "release lock";
+        entry ~category:Static_ctor (Opid.exit ~cls:scope_cls ".cctor") Verdict.Release
+          "end of static constructor";
+        entry ~category:Static_ctor
+          (Opid.enter ~cls:scope_cls "GetDefaultStrategy")
+          Verdict.Acquire "first access after static constructor";
+        entry (Opid.exit ~cls:Tasklib.cls "Run") Verdict.Release "create new task";
+        entry
+          (Opid.enter ~cls:specs_cls "When_concurrently_getting_equality_strategy.b2")
+          Verdict.Acquire "start of task";
+        entry
+          (Opid.exit ~cls:specs_cls "When_concurrently_getting_equality_strategy.b2")
+          Verdict.Release "end of task";
+        entry (Opid.write ~cls:exec_cls "<IsRunning>") Verdict.Release "write flag";
+        entry (Opid.read ~cls:exec_cls "<IsRunning>") Verdict.Acquire "read flag";
+        entry (Opid.enter ~cls:exec_cls "<.ctor>b__0") Verdict.Acquire "start of task";
+        entry (Opid.exit ~cls:exec_cls "<.ctor>b__0") Verdict.Release "end of task";
+        entry (Opid.enter ~cls:Tasklib.cls "Wait") Verdict.Acquire "wait for task";
+        entry (Opid.exit ~cls:Threadlib.cls "Start") Verdict.Release "launch new thread";
+        entry (Opid.enter ~cls:Threadlib.cls "Join") Verdict.Acquire "wait for thread";
+        entry (Opid.enter ~cls:specs_cls "<AddEquivalencyStep>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.enter ~cls:specs_cls "<AddEquivalencyStep>b__1") Verdict.Acquire
+          "start of task";
+        entry (Opid.enter ~cls:scope_cls "<RegisterFormatter>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.enter ~cls:scope_cls "<RegisterFormatter>b__1") Verdict.Acquire
+          "start of task";
+        entry ~category:Instr_error (Opid.exit ~cls:latch_cls "Signal") Verdict.Release
+          "hidden latch release (uninstrumented)";
+        entry ~category:Instr_error (Opid.enter ~cls:latch_cls "Await") Verdict.Acquire
+          "hidden latch acquire (uninstrumented)";
+      ];
+    racy_fields = [ specs_cls ^ "::stepCount"; specs_cls ^ "::lastStep";
+                    scope_cls ^ "::formatterCount" ];
+    error_scope = [ latch_cls ];
+    field_guard =
+      [
+        (specs_cls ^ "::comparers", Other_cause);
+        (specs_cls ^ "::options", Other_cause);
+        (scope_cls ^ "::culture", Other_cause);
+        (specs_cls ^ "::conversions", Other_cause);
+        (latch_cls ^ "::armed", Instr_error);
+        (latch_cls ^ "::fired", Instr_error);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-3";
+    name = "FluentAssertion";
+    loc = 78_100;
+    stars = 1_886;
+    tests =
+      [
+        ("AssertionScope", test_assertion_scope);
+        ("ScopeStatic", test_scope_static);
+        ("ConcurrentEqualityStrategy", test_concurrent_equality_strategy);
+        ("ExecutionTime", test_execution_time);
+        ("Latch", test_latch);
+        ("RacyEquivalencySteps", test_racy_equivalency_steps);
+        ("RacyFormatters", test_racy_formatters);
+      ];
+    truth;
+    uses_unsafe_apis = false;
+  }

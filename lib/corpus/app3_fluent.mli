@@ -1,0 +1,9 @@
+(** App-3: FluentAssertions analogue.
+
+    Idioms from the paper's Table 8: a Monitor-protected assertion scope,
+    [Task::Run] with a test lambda, the [ExecutionTime::<IsRunning>]
+    volatile flag, the [AssertionScope] static constructor — plus a
+    hidden (uninstrumented) latch that produces the app's two
+    instrumentation-error misclassifications. *)
+
+val app : App.t

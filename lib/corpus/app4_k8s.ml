@@ -1,0 +1,290 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+open Workload
+
+let buffer_cls = "k8s.ByteBuffer"
+
+let config_cls = "k8s.KubernetesClientConfiguration"
+
+let exn_cls = "k8s.KubernetesException"
+
+let demuxer_cls = "k8s.StreamDemuxer"
+
+let watch_cls = "k8s.Watcher"
+
+(* ByteBuffer: a writer streams chunks under a Monitor and sets the
+   volatile endOfFile flag when done; the reader drains under the same
+   lock and while-loops on the flag (the paper's Figure 3.B example,
+   lifted verbatim from this app). *)
+let test_byte_buffer () =
+  let end_of_file = Heap.cell ~cls:buffer_cls ~field:"endOfFile" ~volatile:true false in
+  let bytes_buffered = Heap.cell ~cls:buffer_cls ~field:"bytesBuffered" 0 in
+  let write_offset = Heap.cell ~cls:buffer_cls ~field:"writeOffset" 0 in
+  let total_read = Heap.cell ~cls:buffer_cls ~field:"totalRead" 0 in
+  let lock = Monitor.create () in
+  let writer =
+    Threadlib.create ~delegate:(buffer_cls, "<WriteLoop>b__0") (fun () ->
+        for chunk = 1 to 3 do
+          Monitor.with_lock lock (fun () ->
+              let o = poll write_offset 3 in
+              Heap.write write_offset (o + 128);
+              Heap.write bytes_buffered 128);
+          Runtime.cpu (30 * chunk) 150
+        done;
+        Heap.write end_of_file true)
+  in
+  Threadlib.start writer;
+  let drained = ref 0 in
+  while not (Heap.read end_of_file) || !drained < 3 do
+    Monitor.with_lock lock (fun () ->
+        (* Blind drain: resets without reading. *)
+        Heap.write bytes_buffered 0);
+    incr drained;
+    Runtime.sleep (150 + Runtime.rand_int 300)
+  done;
+  Heap.write total_read (!drained * 128);
+  Threadlib.join writer
+
+(* Task-based kubeconfig loading: LoadKubeConfigAsync runs as a task
+   delegate writing the parsed config; the awaiting thread merges it
+   inside MergeKubeConfig after the wait (Table 9's await pairs). *)
+let test_load_kubeconfig () =
+  let host = Heap.cell ~cls:config_cls ~field:"host" 0 in
+  let namespace' = Heap.cell ~cls:config_cls ~field:"currentNamespace" 0 in
+  let token = Heap.cell ~cls:config_cls ~field:"accessToken" 0 in
+  Runtime.frame ~cls:config_cls ~meth:"GetKubernetesClientConfiguration" (fun () ->
+      let loader =
+        Tasklib.start_new ~delegate:(config_cls, "LoadKubeConfigAsync") (fun () ->
+            Runtime.cpu 100 700;
+            Heap.write host 6443;
+            Heap.write namespace' 3;
+            Heap.write token 998877)
+      in
+      Tasklib.wait loader;
+      Runtime.frame ~cls:config_cls ~meth:"MergeKubeConfig" (fun () ->
+          let h = poll host 4 in
+          let n = poll namespace' 4 in
+          let t = poll token 4 in
+          assert (h = 6443 && n = 3 && t = 998877)))
+
+(* Error-status flag: a watcher thread records a failure; the supervisor
+   polls the exception status (Table 9's Write/Read-KubernetesException::
+   Status "meet error" flag). *)
+let test_watch_error () =
+  let status = Heap.cell ~cls:exn_cls ~field:"Status" ~volatile:true 0 in
+  let reason = Heap.cell ~cls:exn_cls ~field:"reason" 0 in
+  let watcher =
+    Threadlib.create ~delegate:(watch_cls, "<WatchLoop>b__1") (fun () ->
+        chores ~cls:watch_cls 2;
+        Runtime.cpu 200 800;
+        Heap.write reason 404;
+        Heap.write status 1)
+  in
+  Threadlib.start watcher;
+  Heap.spin_until status (fun s -> s = 1);
+  assert (Heap.read reason = 404);
+  Threadlib.join watcher;
+  (* Occasional reconnect path after an error, with its own flag pair. *)
+  if Runtime.rand_int 3 = 0 then begin
+    let reconnected = Heap.cell ~cls:watch_cls ~field:"reconnected" ~volatile:true 0 in
+    let retry_count = Heap.cell ~cls:watch_cls ~field:"retryCount" 0 in
+    let reconnecter =
+      Threadlib.create ~delegate:(watch_cls, "<Reconnect>b__2") (fun () ->
+          chores ~cls:watch_cls 2;
+          Runtime.cpu 80 420;
+          Heap.write retry_count 1;
+          Heap.write reconnected 1)
+    in
+    Threadlib.start reconnecter;
+    Heap.spin_until reconnected (fun r -> r = 1);
+    assert (Heap.read retry_count = 1);
+    Threadlib.join reconnecter
+  end
+
+(* Stream demuxer disposed via the GC: the last use of the muxed stream
+   releases; the finalizer (Dispose) acquires when the collector runs. *)
+let test_demuxer_dispose () =
+  let buffered = Heap.cell ~cls:demuxer_cls ~field:"buffered" 0 in
+  let closed = Heap.cell ~cls:demuxer_cls ~field:"closed" 0 in
+  let refcount = Heap.cell ~cls:demuxer_cls ~field:"refcount" 0 in
+  let obj = Runtime.fresh_id () in
+  Finalizer.register ~cls:demuxer_cls ~obj (fun () ->
+      Heap.write refcount 0;
+      Runtime.cpu 20 200;
+      let b = poll buffered 6 in
+      assert (b = 512);
+      Heap.write closed 1);
+  chores ~cls:demuxer_cls 2;
+  Runtime.frame ~cls:demuxer_cls ~meth:"ReadMuxedStream" ~obj (fun () ->
+      Runtime.cpu 40 160;
+      Heap.write buffered 512;
+      Heap.write refcount 1);
+  Finalizer.collect obj;
+  (* Keep the world alive until the collector has swept; the wait itself
+     is untraced test scaffolding. *)
+  await_untraced closed (fun c -> c = 1)
+
+(* Two concurrent configuration loads through the same GetOrAdd-style
+   merge path, exercising the config class's windows a second way. *)
+let test_concurrent_merge () =
+  let server_version = Heap.cell ~cls:config_cls ~field:"serverVersion" 0 in
+  let api_version = Heap.cell ~cls:config_cls ~field:"apiVersion" 0 in
+  let merged = Heap.cell ~cls:config_cls ~field:"mergedCount" 0 in
+  Heap.write server_version 127;
+  Heap.write api_version 21;
+  let context_a = Heap.cell ~cls:config_cls ~field:"contextA" 0 in
+  let context_b = Heap.cell ~cls:config_cls ~field:"contextB" 0 in
+  let merge name version expect result =
+    Tasklib.start_new ~delegate:(config_cls, name) (fun () ->
+        (* Blind merge tally: only the delegate's entry explains it. *)
+        Heap.write merged 1;
+        Runtime.cpu 20 380;
+        let v = poll version 5 in
+        assert (v = expect);
+        chores ~cls:config_cls 2;
+        Runtime.frame ~cls:config_cls ~meth:"MergeKubeConfig" (fun () ->
+            Runtime.cpu 30 120);
+        Heap.write result expect)
+  in
+  let m1 = merge "<LoadA>b__0" server_version 127 context_a in
+  let m2 = merge "<LoadB>b__0" api_version 21 context_b in
+  Tasklib.wait m1;
+  Tasklib.wait m2;
+  Heap.write merged 0;
+  assert (poll context_a 3 = 127);
+  assert (poll context_b 3 = 21)
+
+(* The system ConcurrentDictionary (Figure 3.C with the real primitive):
+   two loaders race to populate the version cache; the delegate runs
+   atomically, so one computes and the other observes. *)
+let test_version_cache () =
+  let cached_minor = Heap.cell ~cls:config_cls ~field:"cachedMinor" 0 in
+  let cached_major = Heap.cell ~cls:config_cls ~field:"cachedMajor" 0 in
+  let cache = Conc_dict.create () in
+  let lookup name delay =
+    Threadlib.create ~delegate:(config_cls, name) (fun () ->
+        chores ~cls:config_cls 2;
+        Runtime.cpu 10 delay;
+        let v =
+          Conc_dict.get_or_add cache "server" ~delegate:(config_cls, "<FetchVersion>b__0")
+            (fun () ->
+              Runtime.cpu 120 420;
+              Heap.write cached_major 1;
+              Heap.write cached_minor 27;
+              127)
+        in
+        assert (v = 127);
+        let m = poll cached_minor 4 in
+        assert (m = 27))
+  in
+  let l1 = lookup "<VersionA>b__0" 60 in
+  let l2 = lookup "<VersionB>b__0" 150 in
+  Threadlib.start l1;
+  Threadlib.start l2;
+  Threadlib.join l1;
+  Threadlib.join l2;
+  assert (Heap.peek cached_major = 1)
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry (Opid.write ~cls:buffer_cls "endOfFile") Verdict.Release
+          "write flag: file is ready";
+        entry (Opid.read ~cls:buffer_cls "endOfFile") Verdict.Acquire
+          "read flag: file is ready";
+        entry (Opid.enter ~cls:Monitor.cls "Enter") Verdict.Acquire "acquire a lock";
+        entry (Opid.exit ~cls:Monitor.cls "Exit") Verdict.Release "release a lock";
+        entry (Opid.exit ~cls:config_cls "LoadKubeConfigAsync") Verdict.Release
+          "end of await task";
+        entry (Opid.enter ~cls:config_cls "MergeKubeConfig") Verdict.Acquire
+          "await task beginning";
+        entry (Opid.exit ~cls:Tasklib.factory_cls "StartNew") Verdict.Release
+          "create new task";
+        entry (Opid.enter ~cls:Tasklib.cls "Wait") Verdict.Acquire
+          "wait for an await task";
+        entry (Opid.write ~cls:exn_cls "Status") Verdict.Release
+          "write flag: meet error";
+        entry (Opid.read ~cls:exn_cls "Status") Verdict.Acquire "read flag: meet error";
+        entry (Opid.enter ~cls:watch_cls "<WatchLoop>b__1") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:watch_cls "<WatchLoop>b__1") Verdict.Release
+          "end of await task";
+        entry ~category:Dispose (Opid.exit ~cls:demuxer_cls "ReadMuxedStream")
+          Verdict.Release "end of last access";
+        entry ~category:Dispose (Opid.enter ~cls:demuxer_cls "Finalize") Verdict.Acquire
+          "start of disposal";
+        entry (Opid.exit ~cls:Threadlib.cls "Start") Verdict.Release "launch new thread";
+        entry (Opid.enter ~cls:Threadlib.cls "Join") Verdict.Acquire "wait for thread";
+        entry (Opid.enter ~cls:buffer_cls "<WriteLoop>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:buffer_cls "<WriteLoop>b__0") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:config_cls "<LoadA>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.enter ~cls:config_cls "<LoadB>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.write ~cls:watch_cls "reconnected") Verdict.Release
+          "write flag: reconnected";
+        entry (Opid.read ~cls:watch_cls "reconnected") Verdict.Acquire
+          "read flag: reconnected";
+        entry (Opid.enter ~cls:watch_cls "<Reconnect>b__2") Verdict.Acquire
+          "start of retry thread";
+        entry (Opid.exit ~cls:watch_cls "<Reconnect>b__2") Verdict.Release
+          "end of retry thread";
+        entry (Opid.exit ~cls:config_cls "<LoadA>b__0") Verdict.Release "end of task";
+        entry (Opid.exit ~cls:config_cls "<LoadB>b__0") Verdict.Release "end of task";
+        entry (Opid.enter ~cls:Conc_dict.cls "GetOrAdd") Verdict.Acquire
+          "start of atomic region";
+        entry (Opid.exit ~cls:Conc_dict.cls "GetOrAdd") Verdict.Release
+          "end of atomic region";
+        entry (Opid.enter ~cls:config_cls "<FetchVersion>b__0") Verdict.Acquire
+          "start of value factory";
+        entry (Opid.exit ~cls:config_cls "<FetchVersion>b__0") Verdict.Release
+          "end of value factory";
+        entry (Opid.enter ~cls:config_cls "<VersionA>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:config_cls "<VersionB>b__0") Verdict.Acquire
+          "start of thread";
+      ];
+    racy_fields = [];
+    error_scope = [];
+    field_guard =
+      [
+        (config_cls ^ "::host", Other_cause);
+        (config_cls ^ "::currentNamespace", Other_cause);
+        (config_cls ^ "::accessToken", Other_cause);
+        (config_cls ^ "::serverVersion", Other_cause);
+        (watch_cls ^ "::retryCount", Other_cause);
+        (demuxer_cls ^ "::buffered", Dispose);
+        (demuxer_cls ^ "::refcount", Dispose);
+        (config_cls ^ "::apiVersion", Other_cause);
+        (config_cls ^ "::contextA", Other_cause);
+        (config_cls ^ "::cachedMinor", Other_cause);
+        (config_cls ^ "::cachedMajor", Other_cause);
+        (config_cls ^ "::contextB", Other_cause);
+        (config_cls ^ "::mergedCount", Other_cause);
+        (demuxer_cls ^ "::closed", Dispose);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-4";
+    name = "K8s-client";
+    loc = 332_400;
+    stars = 395;
+    tests =
+      [
+        ("ByteBuffer", test_byte_buffer);
+        ("LoadKubeConfig", test_load_kubeconfig);
+        ("WatchError", test_watch_error);
+        ("DemuxerDispose", test_demuxer_dispose);
+        ("ConcurrentMerge", test_concurrent_merge);
+        ("VersionCache", test_version_cache);
+      ];
+    truth;
+    uses_unsafe_apis = false;
+  }

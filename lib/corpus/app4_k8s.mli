@@ -1,0 +1,8 @@
+(** App-4: KubernetesClient analogue.
+
+    The paper's richest app for async idioms (Table 9): the ByteBuffer
+    [endOfFile] flag with a while-loop consumer, Monitor-protected buffer
+    state, task-based kubeconfig loading awaited by [MergeKubeConfig], an
+    exception-status flag, and a stream demuxer disposed by the GC. *)
+
+val app : App.t

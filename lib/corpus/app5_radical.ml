@@ -1,0 +1,403 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+open Workload
+
+let broker_cls = "Radical.Messaging.MessageBroker"
+
+let entity_cls = "Radical.Model.Entity"
+
+let tracking_cls = "Radical.ChangeTracking.ChangeTrackingService"
+
+let metadata_cls = "Radical.Tests.Model.TestMetadata"
+
+let tests_cls = "Radical.Messaging.MessageBrokerTests"
+
+(* The broker's custom synchronization: SubscribeCore publishes the
+   handler under an internal (untraced) lock; Broadcast dispatches only
+   after subscription completed.  SherLock sees only the method frames
+   and the subscription fields. *)
+type broker = {
+  mutable locked : bool;
+  lock_queue : Runtime.Waitq.t;
+  mutable subscribed : bool;
+  ready_queue : Runtime.Waitq.t;
+  handler : int Heap.t;
+  topic : int Heap.t;
+  delivered : int Heap.t;
+}
+
+let make_broker () =
+  {
+    locked = false;
+    lock_queue = Runtime.Waitq.create ();
+    subscribed = false;
+    ready_queue = Runtime.Waitq.create ();
+    handler = Heap.cell ~cls:broker_cls ~field:"handler" 0;
+    topic = Heap.cell ~cls:broker_cls ~field:"topic" 0;
+    delivered = Heap.cell ~cls:broker_cls ~field:"delivered" 0;
+  }
+
+let broker_lock b =
+  while b.locked do
+    Runtime.block b.lock_queue
+  done;
+  b.locked <- true
+
+let broker_unlock b =
+  b.locked <- false;
+  ignore (Runtime.wake_one b.lock_queue)
+
+let subscribe_core b ~handler ~topic =
+  Runtime.frame ~cls:broker_cls ~meth:"<SubscribeCore>" (fun () ->
+      broker_lock b;
+      Runtime.cpu 30 120;
+      Heap.write b.handler handler;
+      Heap.write b.topic topic;
+      b.subscribed <- true;
+      broker_unlock b;
+      ignore (Runtime.wake_all b.ready_queue))
+
+let broadcast b =
+  Runtime.frame ~cls:broker_cls ~meth:"<Broadcast>" (fun () ->
+      while not b.subscribed do
+        Runtime.block b.ready_queue
+      done;
+      broker_lock b;
+      let h = poll b.handler 3 in
+      let t = poll b.topic 3 in
+      assert (h > 0 && t > 0);
+      Heap.write b.delivered 1;
+      broker_unlock b)
+
+let test_broker_different_thread () =
+  let b = make_broker () in
+  let subscriber =
+    Threadlib.create ~delegate:(tests_cls, "<MessageBroker_on_different_thread>")
+      (fun () ->
+        chores ~cls:broker_cls 2;
+        Runtime.cpu 40 200;
+        subscribe_core b ~handler:7 ~topic:3)
+  in
+  let broadcaster =
+    Threadlib.create ~delegate:(tests_cls, "<Broadcast_runner>") (fun () ->
+        Runtime.cpu 10 60;
+        broadcast b)
+  in
+  Threadlib.start subscriber;
+  Threadlib.start broadcaster;
+  Threadlib.join subscriber;
+  Threadlib.join broadcaster;
+  assert (Heap.read b.delivered = 1);
+  (* Occasional dead-letter path: undeliverable messages flow to a
+     dedicated handler signalled through an event handle. *)
+  if Runtime.rand_int 3 = 0 then begin
+    let dead_letter = Heap.cell ~cls:broker_cls ~field:"deadLetter" 0 in
+    let handled = Waithandle.create_auto () in
+    Heap.write dead_letter 0;
+    let handler =
+      Threadlib.create ~delegate:(tests_cls, "<DeadLetterHandler>") (fun () ->
+          Heap.write dead_letter 1;
+          chores ~cls:broker_cls 2;
+          Runtime.cpu 60 300;
+          Waithandle.set handled)
+    in
+    Threadlib.start handler;
+    Waithandle.wait_one handled;
+    Heap.write dead_letter 2;
+    Threadlib.join handler
+  end
+
+(* Entity finalization: EnsureNotDisposed performs the entity's last
+   traced accesses; the collector's Finalize reads them later (within the
+   GC latency, so windows do form).  The harness waits for the collector
+   with untraced reads — test scaffolding must not look like a sync. *)
+let test_entity_finalize () =
+  (* Each entity's disposal journal is written by both sides: the mutator
+     notes the request, the finalizer blindly logs completion *before*
+     reading the entity state — so the journal window can only be closed
+     by the finalizer's entry itself. *)
+  let make_entity () =
+    let state = Heap.cell ~cls:entity_cls ~field:"state" 0 in
+    let disposed = Heap.cell ~cls:entity_cls ~field:"disposed" 0 in
+    let journal = Heap.cell ~cls:entity_cls ~field:"disposeRequests" 0 in
+    let obj = Runtime.fresh_id () in
+    Finalizer.register ~cls:entity_cls ~obj (fun () ->
+        Heap.write journal obj;
+        (* Variable-length cleanup, as entity finalizers do. *)
+        Runtime.cpu 20 220;
+        let s = poll state 6 in
+        assert (s = 9);
+        Heap.write disposed 1);
+    (state, disposed, journal, obj)
+  in
+  let entities = List.init 3 (fun _ -> make_entity ()) in
+  chores ~cls:entity_cls 2;
+  List.iter
+    (fun (state, _, journal, obj) ->
+      Runtime.frame ~cls:entity_cls ~meth:"EnsureNotDisposed" ~obj (fun () ->
+          Runtime.cpu 30 140;
+          Heap.write state 3;
+          Runtime.cpu 10 50;
+          Heap.write state 9;
+          Heap.write journal obj);
+      Finalizer.collect obj)
+    entities;
+  List.iter (fun (_, disposed, _, _) -> await_untraced disposed (fun d -> d = 1)) entities
+
+(* Second finalizer context, so disposal windows appear in two classes. *)
+let test_tracking_finalize () =
+  let changes = Heap.cell ~cls:tracking_cls ~field:"changes" 0 in
+  let flushed = Heap.cell ~cls:tracking_cls ~field:"flushed" 0 in
+  let obj = Runtime.fresh_id () in
+  let journal = Heap.cell ~cls:tracking_cls ~field:"flushCount" 0 in
+  Finalizer.register ~cls:tracking_cls ~obj (fun () ->
+      Heap.write journal 1;
+      Runtime.cpu 15 180;
+      let c = poll changes 6 in
+      assert (c = 5);
+      Heap.write flushed 1);
+  chores ~cls:tracking_cls 2;
+  Runtime.frame ~cls:tracking_cls ~meth:"StopTracking" ~obj (fun () ->
+      Runtime.cpu 20 100;
+      Heap.write changes 2;
+      Runtime.cpu 10 40;
+      Heap.write changes 5;
+      Heap.write journal 0);
+  Finalizer.collect obj;
+  await_untraced flushed (fun f -> f = 1)
+
+(* A dispose pair beyond the reach of delay injection: the last access
+   happens more than Near before the finalizer runs, so no window ever
+   forms — the paper's Table 4 "Dispose" miss. *)
+let test_metadata_dispose_gap () =
+  let snapshot = Heap.cell ~cls:metadata_cls ~field:"snapshot" 0 in
+  let released = Heap.cell ~cls:metadata_cls ~field:"released" 0 in
+  let obj = Runtime.fresh_id () in
+  Finalizer.register ~cls:metadata_cls ~obj (fun () ->
+      let s = poll snapshot 3 in
+      assert (s = 4);
+      Heap.write released 1);
+  Runtime.frame ~cls:metadata_cls ~meth:"CaptureSnapshot" ~obj (fun () ->
+      Heap.write snapshot 4);
+  (* Age the object well past Near before making it collectable. *)
+  Runtime.sleep 1_400_000;
+  Finalizer.collect obj;
+  await_untraced released (fun r -> r = 1)
+
+(* Thread fan-out collected through event handles: each broadcaster sets
+   its handle; the runner WaitAll's and reads the results (Table 8's
+   n-to-1 WaitHandle::WaitAll acquire). *)
+let test_broadcast_from_multiple_threads () =
+  let received_a = Heap.cell ~cls:tests_cls ~field:"receivedA" 0 in
+  let received_b = Heap.cell ~cls:tests_cls ~field:"receivedB" 0 in
+  let h1 = Waithandle.create_manual () in
+  let h2 = Waithandle.create_manual () in
+  let collected = Heap.cell ~cls:tests_cls ~field:"collected" 0 in
+  let worker name result value handle =
+    Threadlib.create ~delegate:(tests_cls, name) (fun () ->
+        chores ~cls:tests_cls 3;
+        Runtime.cpu 50 400;
+        Heap.write result value;
+        Heap.write collected value;
+        Waithandle.set handle)
+  in
+  let w1 = worker "<broadcast_from_multiple_thread>_1" received_a 11 h1 in
+  let w2 = worker "<broadcast_from_multiple_thread>_2" received_b 22 h2 in
+  Threadlib.start w1;
+  Threadlib.start w2;
+  Waithandle.wait_all [ h1; h2 ];
+  Heap.write collected 0;
+  assert (poll received_a 4 = 11);
+  assert (poll received_b 4 = 22);
+  Threadlib.join w1;
+  Threadlib.join w2
+
+(* A racy observer counter updated by both workers with no protection. *)
+let test_racy_monitor () =
+  let observers = Heap.cell ~cls:tests_cls ~field:"observers" 0 in
+  let probe = Heap.cell ~cls:tests_cls ~field:"probe" 0 in
+  let seen_a = Heap.cell ~cls:tests_cls ~field:"seenA" 0 in
+  let seen_b = Heap.cell ~cls:tests_cls ~field:"seenB" 0 in
+  Heap.write probe 60;
+  let last_error = Heap.cell ~cls:tests_cls ~field:"lastError" 0 in
+  let observer_started = Heap.cell ~cls:tests_cls ~field:"observerStarted" 0 in
+  Heap.write observer_started 0;
+  let bump name seen =
+    let name_hash = String.length name in
+    (* Tasks, not threads: the manual annotation list knows thread forks
+       but not task creation, so its first report here is a false race. *)
+    Tasklib.start_new ~delegate:(tests_cls, name) (fun () ->
+        Heap.write observer_started name_hash;
+        chores ~cls:tests_cls 2;
+        let p = poll probe 5 in
+        assert (p = 60);
+        Runtime.cpu 100 300;
+        let o = Heap.read observers in
+        Runtime.cpu 5 25;
+        Heap.write observers (o + 1);
+        Heap.write last_error name_hash;
+        Heap.write seen 1)
+  in
+  let b1 = bump "<RacyObserver>b__0" seen_a in
+  let b2 = bump "<RacyObserver>b__1" seen_b in
+  Tasklib.wait b1;
+  Tasklib.wait b2;
+  assert (Heap.read observers >= 1);
+  assert (poll seen_a 3 = 1);
+  assert (poll seen_b 3 = 1)
+
+(* Barrier-phased exchange: each worker publishes its half, everyone
+   meets at the barrier, then each reads the other's half — the barrier
+   both releases (arrival) and acquires (departure). *)
+let test_phased_exchange () =
+  let left = Heap.cell ~cls:tests_cls ~field:"phaseLeft" 0 in
+  let right = Heap.cell ~cls:tests_cls ~field:"phaseRight" 0 in
+  let barrier = Barrier.create 2 in
+  let worker name mine theirs value =
+    Threadlib.create ~delegate:(tests_cls, name) (fun () ->
+        chores ~cls:tests_cls 2;
+        Runtime.cpu 30 250;
+        Heap.write mine value;
+        Barrier.signal_and_wait barrier;
+        let v = poll theirs 4 in
+        assert (v > 0))
+  in
+  let w1 = worker "<PhasedExchange>b__0" left right 1 in
+  let w2 = worker "<PhasedExchange>b__1" right left 2 in
+  Threadlib.start w1;
+  Threadlib.start w2;
+  Threadlib.join w1;
+  Threadlib.join w2;
+  assert (Barrier.phase barrier = 1)
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry (Opid.exit ~cls:broker_cls "<SubscribeCore>") Verdict.Release
+          "end of subscription";
+        entry (Opid.enter ~cls:broker_cls "<Broadcast>") Verdict.Acquire
+          "start of broadcast";
+        entry (Opid.exit ~cls:broker_cls "<Broadcast>") Verdict.Release
+          "end of broadcast";
+        entry ~category:Dispose (Opid.exit ~cls:entity_cls "EnsureNotDisposed")
+          Verdict.Release "end of last access";
+        entry ~category:Dispose (Opid.enter ~cls:entity_cls "Finalize") Verdict.Acquire
+          "start of disposal";
+        entry ~category:Dispose (Opid.exit ~cls:tracking_cls "StopTracking")
+          Verdict.Release "end of last access";
+        entry ~category:Dispose (Opid.enter ~cls:tracking_cls "Finalize")
+          Verdict.Acquire "start of disposal";
+        entry ~category:Dispose (Opid.exit ~cls:metadata_cls "CaptureSnapshot")
+          Verdict.Release "end of last access (beyond Near)";
+        entry ~category:Dispose (Opid.enter ~cls:metadata_cls "Finalize")
+          Verdict.Acquire "start of disposal (beyond Near)";
+        entry (Opid.exit ~cls:Threadlib.cls "Start") Verdict.Release
+          "launch new thread";
+        entry (Opid.exit ~cls:"System.Threading.Tasks.TaskFactory" "StartNew")
+          Verdict.Release "create new task";
+        entry (Opid.enter ~cls:"System.Threading.Tasks.Task" "Wait") Verdict.Acquire
+          "wait for task";
+        entry (Opid.enter ~cls:Threadlib.cls "Join") Verdict.Acquire "wait for thread";
+        entry (Opid.exit ~cls:Waithandle.event_cls "Set") Verdict.Release
+          "release semaphore";
+        entry (Opid.enter ~cls:Waithandle.wait_cls "WaitAll") Verdict.Acquire
+          "wait for semaphore";
+        entry (Opid.enter ~cls:Waithandle.wait_cls "WaitOne") Verdict.Acquire
+          "wait for semaphore";
+        entry ~category:Double_role (Opid.enter ~cls:Barrier.cls "SignalAndWait")
+          Verdict.Acquire "arrive at barrier / wait for phase";
+        entry ~category:Double_role (Opid.exit ~cls:Barrier.cls "SignalAndWait")
+          Verdict.Release "leave barrier phase";
+        entry (Opid.enter ~cls:tests_cls "<PhasedExchange>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:tests_cls "<PhasedExchange>b__1") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:tests_cls "<DeadLetterHandler>") Verdict.Acquire
+          "start of dead-letter handler";
+        entry (Opid.exit ~cls:tests_cls "<DeadLetterHandler>") Verdict.Release
+          "end of dead-letter handler";
+        entry
+          (Opid.enter ~cls:tests_cls "<broadcast_from_multiple_thread>_1")
+          Verdict.Acquire "start of thread";
+        entry
+          (Opid.exit ~cls:tests_cls "<broadcast_from_multiple_thread>_1")
+          Verdict.Release "end of thread";
+        entry
+          (Opid.enter ~cls:tests_cls "<broadcast_from_multiple_thread>_2")
+          Verdict.Acquire "start of thread";
+        entry
+          (Opid.exit ~cls:tests_cls "<broadcast_from_multiple_thread>_2")
+          Verdict.Release "end of thread";
+        entry
+          (Opid.enter ~cls:tests_cls "<MessageBroker_on_different_thread>")
+          Verdict.Acquire "start of thread";
+        entry
+          (Opid.exit ~cls:tests_cls "<MessageBroker_on_different_thread>")
+          Verdict.Release "end of thread";
+        entry (Opid.enter ~cls:tests_cls "<Broadcast_runner>") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:tests_cls "<Broadcast_runner>") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:tests_cls "<RacyObserver>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:tests_cls "<RacyObserver>b__0") Verdict.Release
+          "end of thread";
+        entry (Opid.exit ~cls:tests_cls "<RacyObserver>b__1") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:tests_cls "<RacyObserver>b__1") Verdict.Acquire
+          "start of thread";
+      ];
+    racy_fields =
+      [
+        tests_cls ^ "::observers";
+        tests_cls ^ "::lastError";
+        tests_cls ^ "::observerStarted";
+      ];
+    error_scope = [];
+    field_guard =
+      [
+        (broker_cls ^ "::handler", Other_cause);
+        (broker_cls ^ "::topic", Other_cause);
+        (broker_cls ^ "::delivered", Other_cause);
+        (broker_cls ^ "::deadLetter", Other_cause);
+        (entity_cls ^ "::state", Dispose);
+        (entity_cls ^ "::disposed", Dispose);
+        (tracking_cls ^ "::changes", Dispose);
+        (tracking_cls ^ "::flushed", Dispose);
+        (metadata_cls ^ "::snapshot", Dispose);
+        (metadata_cls ^ "::released", Dispose);
+        (tests_cls ^ "::receivedA", Other_cause);
+        (tests_cls ^ "::receivedB", Other_cause);
+        (tests_cls ^ "::probe", Other_cause);
+        (tests_cls ^ "::collected", Other_cause);
+        (tests_cls ^ "::seenA", Other_cause);
+        (tests_cls ^ "::phaseLeft", Double_role);
+        (tests_cls ^ "::phaseRight", Double_role);
+        (tests_cls ^ "::seenB", Other_cause);
+        (entity_cls ^ "::disposeRequests", Dispose);
+        (tracking_cls ^ "::flushCount", Dispose);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-5";
+    name = "Radical";
+    loc = 95_900;
+    stars = 33;
+    tests =
+      [
+        ("BrokerDifferentThread", test_broker_different_thread);
+        ("EntityFinalize", test_entity_finalize);
+        ("TrackingFinalize", test_tracking_finalize);
+        ("MetadataDisposeGap", test_metadata_dispose_gap);
+        ("BroadcastFromMultipleThreads", test_broadcast_from_multiple_threads);
+        ("RacyMonitor", test_racy_monitor);
+        ("PhasedExchange", test_phased_exchange);
+      ];
+    truth;
+    uses_unsafe_apis = false;
+  }

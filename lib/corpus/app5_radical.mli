@@ -1,0 +1,9 @@
+(** App-5: Radical analogue.
+
+    Idioms from the paper's Table 8: the MessageBroker's subscribe/
+    broadcast custom synchronization, entity finalizers paired with the
+    last-access release, a dispose pair deliberately out of the delay
+    injector's reach (a Table 4 "Dispose" miss), Thread.Start fan-out
+    collected by WaitHandle::WaitAll, and a racy change-counter. *)
+
+val app : App.t

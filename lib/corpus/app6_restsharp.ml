@@ -1,0 +1,285 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+open Workload
+
+let http_cls = "RestSharp.Http"
+
+let client_cls = "RestSharp.RestClient"
+
+let server_cls = "RestSharp.Tests.Shared.Fixtures.WebServer"
+
+let handlers_cls = "RestSharp.Tests.Shared.Fixtures.Handlers"
+
+(* The test web server: requests are queued to the thread pool; each
+   work item runs the server's handler lambda, which reads the request
+   fields published by the test and signals completion. *)
+let test_webserver_roundtrip () =
+  let request_url = Heap.cell ~cls:server_cls ~field:"requestUrl" 0 in
+  let request_body = Heap.cell ~cls:server_cls ~field:"requestBody" 0 in
+  let response_code = Heap.cell ~cls:server_cls ~field:"responseCode" 0 in
+  let done_handle = Waithandle.create_auto () in
+  Heap.write request_url 8080;
+  (* C#-style property accessors, traced as set_/get_ members. *)
+  Heap.setter request_body 314;
+  assert (Heap.getter request_body = 314);
+  Heap.write request_body 314;
+  let served = Heap.cell ~cls:server_cls ~field:"servedCount" 0 in
+  Heap.write served 0;
+  Threadpool.queue_user_work_item ~delegate:(server_cls, "<Run>b__40") (fun () ->
+      Heap.write served 1;
+      Runtime.cpu 30 350;
+      let u = poll request_url 5 in
+      assert (u = 8080);
+      chores ~cls:server_cls 2;
+      Heap.write response_code 200;
+      Waithandle.set done_handle);
+  Waithandle.wait_one done_handle;
+  Heap.write served 0;
+  assert (poll response_code 3 = 200);
+  (* Occasional 302 redirect: a second hop through the pool. *)
+  if Runtime.rand_int 3 = 0 then begin
+    let redirect_url = Heap.cell ~cls:server_cls ~field:"redirectUrl" 0 in
+    let hop_done = Waithandle.create_auto () in
+    Heap.write redirect_url 8081;
+    Threadpool.queue_user_work_item ~delegate:(server_cls, "<Redirect>b__42") (fun () ->
+        Heap.write served 1;
+        let u = poll redirect_url 5 in
+        assert (u = 8081);
+        Runtime.cpu 30 240;
+        Waithandle.set hop_done);
+    Waithandle.wait_one hop_done;
+    Heap.write served 0
+  end
+
+(* Two queued handlers racing for the same fixture, each polling a
+   different request field — diversifies the QueueUserWorkItem windows. *)
+let test_webserver_parallel_handlers () =
+  let header_count = Heap.cell ~cls:server_cls ~field:"headerCount" 0 in
+  let cookie_count = Heap.cell ~cls:server_cls ~field:"cookieCount" 0 in
+  let served = Heap.cell ~cls:server_cls ~field:"served" 0 in
+  let h1 = Waithandle.create_auto () in
+  let h2 = Waithandle.create_auto () in
+  Heap.write header_count 6;
+  Heap.write cookie_count 2;
+  let handled_a = Heap.cell ~cls:server_cls ~field:"handledA" 0 in
+  let handled_b = Heap.cell ~cls:handlers_cls ~field:"handledB" 0 in
+  Heap.write handled_a 0;
+  Heap.write handled_b 0;
+  Threadpool.queue_user_work_item ~delegate:(server_cls, "<Run>b__41") (fun () ->
+      Heap.write handled_a 1;
+      let h = poll header_count 5 in
+      assert (h = 6);
+      chores ~cls:server_cls 2;
+      Runtime.cpu 40 220;
+      Waithandle.set h1);
+  Threadpool.queue_user_work_item ~delegate:(handlers_cls, "<Generic>b__30") (fun () ->
+      Heap.write handled_b 1;
+      let c = poll cookie_count 5 in
+      assert (c = 2);
+      chores ~cls:handlers_cls 2;
+      Runtime.cpu 60 260;
+      Waithandle.set h2);
+  Waithandle.wait_one h1;
+  Waithandle.wait_one h2;
+  Heap.write served 2;
+  assert (poll handled_a 3 = 1);
+  assert (poll handled_b 3 = 1)
+
+(* Async request body writing chained with ContinueWith: the first
+   callback writes the body, the continuation sends it (Figure 3.D). *)
+let test_write_request_body_async () =
+  let body_bytes = Heap.cell ~cls:http_cls ~field:"bodyBytes" 0 in
+  let content_length = Heap.cell ~cls:http_cls ~field:"contentLength" 0 in
+  let sent = Heap.cell ~cls:http_cls ~field:"sent" 0 in
+  let writer =
+    Tasklib.create ~delegate:(http_cls, "<WriteRequestBodyAsync>b__2") (fun () ->
+        Runtime.cpu 50 420;
+        Heap.write body_bytes 2048;
+        Heap.write content_length 2048)
+  in
+  let sender =
+    Tasklib.continue_with writer ~delegate:(http_cls, "<WriteRequestBodyAsync>b__0")
+      (fun () ->
+        Heap.write sent 1;
+        let b = poll body_bytes 5 in
+        let l = poll content_length 5 in
+        assert (b = l))
+  in
+  Tasklib.start writer;
+  Tasklib.wait sender;
+  Heap.write sent 0
+
+(* ExecuteAsync completion: the client's lambda publishes the response
+   and signals; the test thread waits on the handle and asserts.  The
+   handler list is a thread-unsafe collection (List.Add / Contains),
+   properly guarded here by the handle — TSVD's scope. *)
+let test_execute_async () =
+  let status = Heap.cell ~cls:client_cls ~field:"status" 0 in
+  let cookies = Heap.cell ~cls:client_cls ~field:"cookies" 0 in
+  let handlers = Unsafe_list.create () in
+  let completed = Waithandle.create_manual () in
+  Unsafe_list.add handlers 1;
+  Heap.write cookies 1;
+  let t =
+    Tasklib.start_new ~delegate:(client_cls, "<ExecuteAsync>b__0") (fun () ->
+        Heap.write cookies 2;
+        chores ~cls:client_cls 2;
+        Runtime.cpu 80 500;
+        Heap.write status 200;
+        Heap.write cookies 3;
+        Unsafe_list.add handlers 2;
+        Waithandle.set completed)
+  in
+  Waithandle.wait_one completed;
+  assert (Unsafe_list.contains handlers 2);
+  assert (poll status 4 = 200);
+  Tasklib.wait t;
+  Heap.write cookies 0
+
+(* Racy cookie container: two queued requests update the shared jar's
+   counters with no lock (the GitHub "race condition" reports this app
+   was picked from).  Pool work items hide the fork from Manual_dr. *)
+let test_racy_cookie_jar () =
+  let base_url = Heap.cell ~cls:client_cls ~field:"baseUrl" 0 in
+  let jar_size = Heap.cell ~cls:client_cls ~field:"jarSize" 0 in
+  let last_cookie = Heap.cell ~cls:client_cls ~field:"lastCookie" 0 in
+  let h1 = Waithandle.create_auto () in
+  let h2 = Waithandle.create_auto () in
+  Heap.write base_url 443;
+  let request name cookie handle =
+    Threadpool.queue_user_work_item ~delegate:(client_cls, name) (fun () ->
+        let u = poll base_url 5 in
+        assert (u = 443);
+        chores ~cls:client_cls 2;
+        Runtime.cpu 140 480;
+        let n = Heap.read jar_size in
+        Runtime.cpu 4 22;
+        Heap.write jar_size (n + 1);
+        Heap.write last_cookie cookie;
+        Waithandle.set handle)
+  in
+  request "<SendRequest>b__0" 1 h1;
+  request "<SendRequest>b__1" 2 h2;
+  Waithandle.wait_one h1;
+  Waithandle.wait_one h2;
+  Heap.write base_url 0
+
+(* Connection-pool throttling: a semaphore caps concurrent requests; each
+   request records its own latency slot. *)
+let test_connection_pool () =
+  let pool_size = Heap.cell ~cls:client_cls ~field:"poolSize" 0 in
+  let latency_a = Heap.cell ~cls:client_cls ~field:"latencyA" 0 in
+  let latency_b = Heap.cell ~cls:client_cls ~field:"latencyB" 0 in
+  let sem = Semaphore.create 1 in
+  Heap.write pool_size 1;
+  let request name latency value =
+    Tasklib.start_new ~delegate:(client_cls, name) (fun () ->
+        let p = poll pool_size 4 in
+        assert (p = 1);
+        Semaphore.wait sem;
+        Runtime.cpu 50 300;
+        Heap.write latency value;
+        Semaphore.release sem)
+  in
+  let r1 = request "<PooledRequest>b__0" latency_a 11 in
+  let r2 = request "<PooledRequest>b__1" latency_b 22 in
+  Tasklib.wait r1;
+  Tasklib.wait r2;
+  assert (poll latency_a 3 = 11);
+  assert (poll latency_b 3 = 22)
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry (Opid.exit ~cls:Threadpool.cls "QueueUserWorkItem") Verdict.Release
+          "create new task";
+        entry (Opid.enter ~cls:server_cls "<Run>b__40") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:server_cls "<Run>b__40") Verdict.Release "end of task";
+        entry (Opid.enter ~cls:server_cls "<Run>b__41") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:server_cls "<Redirect>b__42") Verdict.Acquire
+          "start of redirect hop";
+        entry (Opid.exit ~cls:server_cls "<Redirect>b__42") Verdict.Release
+          "end of redirect hop";
+        entry (Opid.enter ~cls:handlers_cls "<Generic>b__30") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:handlers_cls "<Generic>b__30") Verdict.Release
+          "end of task";
+        entry (Opid.exit ~cls:Waithandle.event_cls "Set") Verdict.Release
+          "release semaphore";
+        entry (Opid.enter ~cls:Waithandle.wait_cls "WaitOne") Verdict.Acquire
+          "wait for semaphore";
+        entry (Opid.exit ~cls:http_cls "<WriteRequestBodyAsync>b__2") Verdict.Release
+          "end of task";
+        entry (Opid.enter ~cls:http_cls "<WriteRequestBodyAsync>b__0") Verdict.Acquire
+          "start of message handler";
+        entry (Opid.exit ~cls:client_cls "<ExecuteAsync>b__0") Verdict.Release
+          "end of task";
+        entry (Opid.enter ~cls:client_cls "<ExecuteAsync>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:Tasklib.factory_cls "StartNew") Verdict.Release
+          "create new task";
+        entry (Opid.enter ~cls:Tasklib.cls "Wait") Verdict.Acquire "wait for task";
+        entry (Opid.enter ~cls:client_cls "<SendRequest>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.enter ~cls:client_cls "<SendRequest>b__1") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:"System.Threading.SemaphoreSlim" "Release")
+          Verdict.Release "release pooled connection";
+        entry (Opid.enter ~cls:"System.Threading.SemaphoreSlim" "Wait")
+          Verdict.Acquire "wait for pooled connection";
+        entry (Opid.enter ~cls:client_cls "<PooledRequest>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:client_cls "<PooledRequest>b__0") Verdict.Release
+          "end of task";
+        entry (Opid.enter ~cls:client_cls "<PooledRequest>b__1") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:client_cls "<PooledRequest>b__1") Verdict.Release
+          "end of task";
+      ];
+    racy_fields = [ client_cls ^ "::jarSize"; client_cls ^ "::lastCookie" ];
+    error_scope = [];
+    field_guard =
+      [
+        (server_cls ^ "::requestUrl", Other_cause);
+        (server_cls ^ "::redirectUrl", Other_cause);
+        (client_cls ^ "::baseUrl", Other_cause);
+        (client_cls ^ "::poolSize", Other_cause);
+        (client_cls ^ "::latencyA", Other_cause);
+        (client_cls ^ "::latencyB", Other_cause);
+        (server_cls ^ "::servedCount", Other_cause);
+        (server_cls ^ "::handledA", Other_cause);
+        (handlers_cls ^ "::handledB", Other_cause);
+        (server_cls ^ "::requestBody", Other_cause);
+        (server_cls ^ "::responseCode", Other_cause);
+        (server_cls ^ "::headerCount", Other_cause);
+        (server_cls ^ "::cookieCount", Other_cause);
+        (client_cls ^ "::status", Other_cause);
+        (client_cls ^ "::cookies", Other_cause);
+        (http_cls ^ "::bodyBytes", Other_cause);
+        (http_cls ^ "::contentLength", Other_cause);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-6";
+    name = "RestSharp";
+    loc = 19_800;
+    stars = 7_363;
+    tests =
+      [
+        ("WebserverRoundtrip", test_webserver_roundtrip);
+        ("WebserverParallelHandlers", test_webserver_parallel_handlers);
+        ("WriteRequestBodyAsync", test_write_request_body_async);
+        ("ExecuteAsync", test_execute_async);
+        ("RacyCookieJar", test_racy_cookie_jar);
+        ("ConnectionPool", test_connection_pool);
+      ];
+    truth;
+    uses_unsafe_apis = true;
+  }

@@ -1,0 +1,8 @@
+(** App-6: RestSharp analogue.
+
+    Idioms from the paper's Table 8: ThreadPool work items running the
+    test web server's handlers, EventWaitHandle request-completion
+    signalling, async continuation callbacks chained with ContinueWith,
+    and a thread-unsafe handler list (TSVD's target API). *)
+
+val app : App.t

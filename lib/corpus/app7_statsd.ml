@@ -1,0 +1,271 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+open Workload
+
+let parser_cls = "Statsd.MessageParser"
+
+let pipeline_cls = "Statsd.Pipeline"
+
+let stats_cls = "Statsd.Statistics"
+
+let udp_cls = "Statsd.UdpListener"
+
+(* Figure 3.A verbatim: the listener posts events into the parser block;
+   a consumer thread receives each event and runs Messagehandler, which
+   reads the event payload fields. *)
+let test_parser_block () =
+  let payload_kind = Heap.cell ~cls:udp_cls ~field:"payloadKind" 0 in
+  let payload_value = Heap.cell ~cls:udp_cls ~field:"payloadValue" 0 in
+  let handled = Heap.cell ~cls:parser_cls ~field:"handled" 0 in
+  let block = Dataflow.create () in
+  let consumer =
+    Threadlib.create ~delegate:(parser_cls, "<ConsumeLoop>b__0") (fun () ->
+        for _ = 1 to 3 do
+          let n = Dataflow.receive block in
+          Runtime.frame ~cls:parser_cls ~meth:"Messagehandler" (fun () ->
+              let k = poll payload_kind 3 in
+              let v = poll payload_value 3 in
+              assert (k > 0 && v >= n);
+              Heap.write handled n)
+        done)
+  in
+  Threadlib.start consumer;
+  for i = 1 to 3 do
+    Heap.write payload_kind i;
+    Heap.write payload_value (i * 10);
+    Dataflow.post block i;
+    Runtime.cpu 80 300
+  done;
+  Threadlib.join consumer;
+  assert (Heap.peek handled = 3)
+
+(* Figure 3.D: a parse task continued by a publish task. *)
+let test_continue_with () =
+  let parsed = Heap.cell ~cls:pipeline_cls ~field:"parsed" 0 in
+  let bucket = Heap.cell ~cls:pipeline_cls ~field:"bucket" 0 in
+  let published = Heap.cell ~cls:pipeline_cls ~field:"published" 0 in
+  let parse =
+    Tasklib.create ~delegate:(pipeline_cls, "<Parse>a1") (fun () ->
+        Runtime.cpu 60 480;
+        Heap.write parsed 17;
+        Heap.write bucket 5)
+  in
+  let publish =
+    Tasklib.continue_with parse ~delegate:(pipeline_cls, "<Publish>a2") (fun () ->
+        Heap.write published 1;
+        let p = poll parsed 5 in
+        let b = poll bucket 5 in
+        assert (p = 17 && b = 5);
+        chores ~cls:pipeline_cls 2)
+  in
+  Tasklib.start parse;
+  Tasklib.wait publish;
+  Heap.write published 0;
+  assert (Heap.peek parsed = 17);
+  (* Occasional retry continuation chained after the publish. *)
+  if Runtime.rand_int 3 = 0 then begin
+    let retried = Heap.cell ~cls:pipeline_cls ~field:"retried" 0 in
+    Heap.write retried 0;
+    let retry =
+      Tasklib.continue_with publish ~delegate:(pipeline_cls, "<Retry>a3") (fun () ->
+          Heap.write retried 1;
+          let b = poll bucket 5 in
+          assert (b = 5);
+          chores ~cls:pipeline_cls 2)
+    in
+    Tasklib.wait retry;
+    Heap.write retried 2
+  end
+
+(* The racy statistics: four counter operations with no synchronization,
+   updated by two dataflow consumers after a properly-guarded warm-up. *)
+let test_racy_counters () =
+  let prefix = Heap.cell ~cls:stats_cls ~field:"prefix" 0 in
+  let count = Heap.cell ~cls:stats_cls ~field:"count" 0 in
+  let gauge = Heap.cell ~cls:stats_cls ~field:"gauge" 0 in
+  let block = Dataflow.create () in
+  Heap.write prefix 1000;
+  let last_flush = Heap.cell ~cls:stats_cls ~field:"lastFlush" 0 in
+  let seen_a = Heap.cell ~cls:stats_cls ~field:"seenA" 0 in
+  let seen_b = Heap.cell ~cls:stats_cls ~field:"seenB" 0 in
+  let bump_started = Heap.cell ~cls:stats_cls ~field:"bumpStarted" 0 in
+  Heap.write bump_started 0;
+  let bump name seen =
+    Tasklib.start_new ~delegate:(stats_cls, name) (fun () ->
+        Heap.write bump_started 1;
+        let item = Dataflow.receive block in
+        let p = poll prefix 4 in
+        assert (p = 1000);
+        chores ~cls:stats_cls 2;
+        Runtime.cpu 100 400;
+        let c = Heap.read count in
+        Runtime.cpu 4 20;
+        Heap.write count (c + item);
+        let g = Heap.read gauge in
+        Runtime.cpu 4 20;
+        Heap.write gauge (g + 1);
+        Heap.write last_flush item;
+        Heap.write seen item)
+  in
+  let b1 = bump "<Increment>b__0" seen_a in
+  let b2 = bump "<Increment>b__1" seen_b in
+  Dataflow.post block 1;
+  Dataflow.post block 2;
+  Tasklib.wait b1;
+  Tasklib.wait b2;
+  assert (poll seen_a 3 > 0);
+  assert (poll seen_b 3 > 0)
+
+(* Thread-unsafe metrics list written by the pipeline and read by the
+   flusher, guarded by the dataflow handoff (TSVD's scope). *)
+let test_metrics_list () =
+  let flushed = Heap.cell ~cls:stats_cls ~field:"flushedBatches" 0 in
+  let metrics = Unsafe_list.create () in
+  let buckets = Unsafe_dict.create () in
+  let block = Dataflow.create () in
+  let flusher =
+    Threadlib.create ~delegate:(stats_cls, "<FlushLoop>b__0") (fun () ->
+        let n = Dataflow.receive block in
+        assert (Unsafe_list.contains metrics n);
+        assert (Unsafe_dict.try_get_value buckets "gauges" = Some n);
+        (* A deferred audit pass, well beyond TSVD's attribution horizon
+           yet still ordered by the dataflow handoff. *)
+        Runtime.sleep 400_000;
+        assert (Unsafe_list.count metrics >= 1);
+        Heap.write flushed 1)
+  in
+  Threadlib.start flusher;
+  Unsafe_list.add metrics 42;
+  Unsafe_dict.add buckets "gauges" 42;
+  Dataflow.post block 42;
+  Threadlib.join flusher;
+  assert (Heap.peek flushed = 1)
+
+(* A two-stage dataflow pipeline: raw packets flow into the parser block,
+   parsed metrics into the aggregator block; each stage's consumer runs on
+   its own thread. *)
+let test_two_stage_pipeline () =
+  let packet_size = Heap.cell ~cls:udp_cls ~field:"packetSize" 0 in
+  let parsed_kind = Heap.cell ~cls:parser_cls ~field:"parsedKind" 0 in
+  let aggregated_total = Heap.cell ~cls:stats_cls ~field:"aggregatedTotal" 0 in
+  let raw = Dataflow.create () in
+  let parsed = Dataflow.create () in
+  let parser =
+    Threadlib.create ~delegate:(parser_cls, "<ParseStage>b__0") (fun () ->
+        for _ = 1 to 2 do
+          let n = Dataflow.receive raw in
+          let s = poll packet_size 3 in
+          assert (s > 0);
+          Heap.write parsed_kind n;
+          Dataflow.post parsed (n * 10)
+        done)
+  in
+  let aggregator =
+    Threadlib.create ~delegate:(stats_cls, "<AggregateStage>b__0") (fun () ->
+        for _ = 1 to 2 do
+          let v = Dataflow.receive parsed in
+          let k = poll parsed_kind 3 in
+          assert (k > 0);
+          Heap.write aggregated_total v
+        done)
+  in
+  Threadlib.start parser;
+  Threadlib.start aggregator;
+  for i = 1 to 2 do
+    Heap.write packet_size (64 * i);
+    Dataflow.post raw i;
+    Runtime.cpu 100 350
+  done;
+  Threadlib.join parser;
+  Threadlib.join aggregator;
+  assert (Heap.read aggregated_total = 20)
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry (Opid.exit ~cls:Dataflow.cls "Post") Verdict.Release
+          "post event to block";
+        entry (Opid.enter ~cls:Dataflow.cls "Receive") Verdict.Acquire
+          "wait for event";
+        entry (Opid.enter ~cls:parser_cls "Messagehandler") Verdict.Acquire
+          "start of message handler";
+        entry (Opid.exit ~cls:parser_cls "Messagehandler") Verdict.Release
+          "end of message handler";
+        entry (Opid.enter ~cls:parser_cls "<ConsumeLoop>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:pipeline_cls "<Parse>a1") Verdict.Release
+          "end of task a1";
+        entry (Opid.enter ~cls:pipeline_cls "<Publish>a2") Verdict.Acquire
+          "start of task a2";
+        entry (Opid.exit ~cls:pipeline_cls "<Publish>a2") Verdict.Release
+          "end of task a2";
+        entry (Opid.enter ~cls:pipeline_cls "<Retry>a3") Verdict.Acquire
+          "start of retry task a3";
+        entry (Opid.exit ~cls:pipeline_cls "<Retry>a3") Verdict.Release
+          "end of retry task a3";
+        entry (Opid.exit ~cls:Tasklib.cls "ContinueWith") Verdict.Release
+          "register continuation";
+        entry (Opid.enter ~cls:Tasklib.cls "Wait") Verdict.Acquire "wait for task";
+        entry (Opid.exit ~cls:Threadlib.cls "Start") Verdict.Release
+          "launch new thread";
+        entry (Opid.exit ~cls:Tasklib.factory_cls "StartNew") Verdict.Release
+          "create new task";
+        entry (Opid.enter ~cls:Threadlib.cls "Join") Verdict.Acquire "wait for thread";
+        entry (Opid.enter ~cls:stats_cls "<FlushLoop>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:stats_cls "<Increment>b__0") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:stats_cls "<Increment>b__1") Verdict.Acquire
+          "start of thread";
+        entry (Opid.enter ~cls:parser_cls "<ParseStage>b__0") Verdict.Acquire
+          "start of pipeline stage";
+        entry (Opid.exit ~cls:parser_cls "<ParseStage>b__0") Verdict.Release
+          "end of pipeline stage";
+        entry (Opid.enter ~cls:stats_cls "<AggregateStage>b__0") Verdict.Acquire
+          "start of pipeline stage";
+      ];
+    racy_fields =
+      [
+        stats_cls ^ "::count";
+        stats_cls ^ "::gauge";
+        stats_cls ^ "::lastFlush";
+        stats_cls ^ "::bumpStarted";
+      ];
+    error_scope = [];
+    field_guard =
+      [
+        (udp_cls ^ "::payloadKind", Other_cause);
+        (udp_cls ^ "::packetSize", Other_cause);
+        (parser_cls ^ "::parsedKind", Other_cause);
+        (stats_cls ^ "::aggregatedTotal", Other_cause);
+        (udp_cls ^ "::payloadValue", Other_cause);
+        (pipeline_cls ^ "::parsed", Other_cause);
+        (pipeline_cls ^ "::bucket", Other_cause);
+        (stats_cls ^ "::prefix", Other_cause);
+        (stats_cls ^ "::seenA", Other_cause);
+        (stats_cls ^ "::seenB", Other_cause);
+        (pipeline_cls ^ "::published", Other_cause);
+        (pipeline_cls ^ "::retried", Other_cause);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-7";
+    name = "Stastd";
+    loc = 2_300;
+    stars = 125;
+    tests =
+      [
+        ("ParserBlock", test_parser_block);
+        ("ContinueWith", test_continue_with);
+        ("RacyCounters", test_racy_counters);
+        ("MetricsList", test_metrics_list);
+        ("TwoStagePipeline", test_two_stage_pipeline);
+      ];
+    truth;
+    uses_unsafe_apis = true;
+  }

@@ -1,0 +1,8 @@
+(** App-7: Statsd analogue.
+
+    Idioms from the paper's Figure 3.A/D and Table 2: a DataflowBlock
+    Post/Receive pipeline feeding a message handler, task continuations,
+    a thread-unsafe metrics list, and the app's characteristic racy
+    statistics counters (4 data-racy operations in Table 2). *)
+
+val app : App.t

@@ -1,0 +1,224 @@
+open Sherlock_sim
+open Sherlock_trace
+open Sherlock_core
+open Workload
+
+let factory_cls = "System.Linq.Dynamic.ClassFactory"
+
+let tests_cls = "System.Linq.Dynamic.Test.DynamicExpressionTests"
+
+(* ClassFactory static constructor publishing the module builder, raced
+   by two first users of GetDynamicClass. *)
+let test_class_factory_static () =
+  let module_builder = Heap.cell ~cls:factory_cls ~field:"moduleBuilder" 0 in
+  let class_count = Heap.cell ~cls:factory_cls ~field:"classCount" 0 in
+  let statics =
+    Statics.declare ~cls:factory_cls (fun () ->
+        Runtime.cpu 150 500;
+        Heap.write module_builder 77;
+        Heap.write class_count 0)
+  in
+  let created_a = Heap.cell ~cls:tests_cls ~field:"createdA" 0 in
+  let created_b = Heap.cell ~cls:tests_cls ~field:"createdB" 0 in
+  let get_dynamic_class name created =
+    Threadlib.create ~delegate:(tests_cls, name) (fun () ->
+        chores ~cls:tests_cls 2;
+        Runtime.cpu 5 80;
+        Runtime.frame ~cls:factory_cls ~meth:"GetDynamicClass" (fun () ->
+            Statics.ensure statics;
+            let b = poll module_builder 5 in
+            assert (b = 77));
+        Heap.write created 1)
+  in
+  let u1 = get_dynamic_class "<CreateClass_TheadSafe>" created_a in
+  let u2 = get_dynamic_class "<CreateClass_TheadSafe>_2" created_b in
+  Threadlib.start u1;
+  Threadlib.start u2;
+  Threadlib.join u1;
+  Threadlib.join u2;
+  assert (poll created_a 3 = 1);
+  assert (poll created_b 3 = 1)
+
+(* The class cache guarded by a ReaderWriterLock: readers look classes up
+   concurrently; on a miss the reader upgrades to a writer lock — the API
+   that both releases (the read lock) and acquires (the write lock),
+   violating the Single-Role assumption. *)
+let test_upgrade_lock () =
+  let classes = Heap.cell ~cls:factory_cls ~field:"classes" 0 in
+  let generation = Heap.cell ~cls:factory_cls ~field:"generation" 0 in
+  let rw = Rwlock.create () in
+  let lookup_or_create () =
+    Rwlock.acquire_reader rw;
+    let c = poll classes 3 in
+    if c = 0 then begin
+      Rwlock.upgrade_to_writer_lock rw;
+      (* Double-checked under the writer lock. *)
+      if Heap.read classes = 0 then begin
+        Runtime.cpu 40 160;
+        Heap.write classes 1;
+        Heap.write generation 1
+      end;
+      Rwlock.downgrade_from_writer_lock rw
+    end;
+    Rwlock.release_reader rw
+  in
+  let workers =
+    List.init 3 (fun i ->
+        Threadlib.create ~delegate:(factory_cls, "<LookupOrCreate>b__0") (fun () ->
+            Runtime.cpu (10 * (i + 1)) (120 * (i + 1));
+            lookup_or_create ()))
+  in
+  List.iter Threadlib.start workers;
+  List.iter Threadlib.join workers;
+  assert (Heap.peek classes = 1)
+
+(* TaskFactory-driven expression parsing: the parent publishes the
+   expression, the task parses it and reports the node count. *)
+let test_parse_expression () =
+  let expression = Heap.cell ~cls:tests_cls ~field:"expression" 0 in
+  let node_count = Heap.cell ~cls:tests_cls ~field:"nodeCount" 0 in
+  Heap.write expression 9001;
+  let t =
+    Tasklib.start_new ~delegate:(tests_cls, "<ParseExpression>b__0") (fun () ->
+        Runtime.cpu 30 420;
+        let e = poll expression 5 in
+        assert (e = 9001);
+        chores ~cls:tests_cls 2;
+        Heap.write node_count 12)
+  in
+  Tasklib.wait t;
+  Heap.write node_count 0
+
+(* A static parser cache whose first cross-thread use happens well beyond
+   Near after its constructor: no window ever forms, so the pair is a
+   designed miss (the paper's Table 4 static-constructor bucket). *)
+let parser_cls = "System.Linq.Dynamic.ParserCache"
+
+let test_late_static_use () =
+  let keywords = Heap.cell ~cls:parser_cls ~field:"keywords" 0 in
+  let statics =
+    Statics.declare ~cls:parser_cls (fun () ->
+        Runtime.cpu 50 150;
+        Heap.write keywords 42)
+  in
+  Runtime.frame ~cls:parser_cls ~meth:"WarmUp" (fun () -> Statics.ensure statics);
+  (* Age the process well past Near before the cross-thread first use. *)
+  Runtime.sleep 1_500_000;
+  let reader =
+    Threadlib.create ~delegate:(tests_cls, "<LateParse>b__0") (fun () ->
+        Runtime.frame ~cls:parser_cls ~meth:"TokenizeLate" (fun () ->
+            Statics.ensure statics;
+            let k = poll keywords 4 in
+            assert (k = 42)))
+  in
+  Threadlib.start reader;
+  Threadlib.join reader
+
+(* Monitor-protected compiled-expression cache: lookups read-modify-write
+   under the lock, the evictor blind-resets. *)
+let test_expression_cache () =
+  let cache_entries = Heap.cell ~cls:tests_cls ~field:"cacheEntries" 0 in
+  let cache_hits = Heap.cell ~cls:tests_cls ~field:"cacheHits" 0 in
+  let lock = Monitor.create () in
+  let looker () =
+    for _ = 1 to 3 do
+      Monitor.with_lock lock (fun () ->
+          let n = poll cache_entries 3 in
+          Heap.write cache_entries (n + 1);
+          Heap.write cache_hits (n * 2));
+      Runtime.cpu 25 110
+    done
+  in
+  let evictor () =
+    for _ = 1 to 3 do
+      Monitor.with_lock lock (fun () ->
+          Heap.write cache_entries 0;
+          Heap.write cache_hits 0);
+      Runtime.cpu 45 170
+    done
+  in
+  let a = Threadlib.create ~delegate:(tests_cls, "<CacheLookup>b__0") looker in
+  let b = Threadlib.create ~delegate:(tests_cls, "<CacheEvict>b__0") evictor in
+  Threadlib.start a;
+  Threadlib.start b;
+  Threadlib.join a;
+  Threadlib.join b
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs =
+      [
+        entry ~category:Static_ctor (Opid.exit ~cls:factory_cls ".cctor")
+          Verdict.Release "end of static constructor";
+        entry ~category:Static_ctor (Opid.exit ~cls:parser_cls ".cctor")
+          Verdict.Release "end of static constructor (beyond Near)";
+        entry ~category:Static_ctor (Opid.enter ~cls:parser_cls "TokenizeLate")
+          Verdict.Acquire "first access after static constructor (beyond Near)";
+        entry ~category:Static_ctor (Opid.enter ~cls:factory_cls "GetDynamicClass")
+          Verdict.Acquire "first access after static constructor";
+        entry (Opid.enter ~cls:tests_cls "<CreateClass_TheadSafe>") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:tests_cls "<CreateClass_TheadSafe>") Verdict.Release
+          "end of thread";
+        entry (Opid.enter ~cls:tests_cls "<CreateClass_TheadSafe>_2") Verdict.Acquire
+          "start of thread";
+        entry (Opid.exit ~cls:tests_cls "<CreateClass_TheadSafe>_2") Verdict.Release
+          "end of thread";
+        entry (Opid.exit ~cls:tests_cls "<ParseExpression>b__0") Verdict.Release
+          "end of task";
+        entry (Opid.enter ~cls:Tasklib.cls "Wait") Verdict.Acquire "wait for task";
+        entry ~category:Double_role
+          (Opid.enter ~cls:Rwlock.cls "UpgradeToWriterLock")
+          Verdict.Acquire "require lock";
+        entry ~category:Double_role
+          (Opid.exit ~cls:Rwlock.cls "UpgradeToWriterLock")
+          Verdict.Release "release (reader) lock inside upgrade";
+        entry (Opid.exit ~cls:Rwlock.cls "DowngradeFromWriterLock") Verdict.Release
+          "release lock";
+        entry (Opid.enter ~cls:Rwlock.cls "AcquireReaderLock") Verdict.Acquire
+          "require lock";
+        entry (Opid.exit ~cls:Rwlock.cls "ReleaseReaderLock") Verdict.Release
+          "release lock";
+        entry (Opid.exit ~cls:Tasklib.factory_cls "StartNew") Verdict.Release
+          "create new Task";
+        entry (Opid.enter ~cls:tests_cls "<ParseExpression>b__0") Verdict.Acquire
+          "start of task";
+        entry (Opid.exit ~cls:Threadlib.cls "Start") Verdict.Release
+          "launch new thread";
+        entry (Opid.enter ~cls:Monitor.cls "Enter") Verdict.Acquire "acquire lock";
+        entry (Opid.exit ~cls:Monitor.cls "Exit") Verdict.Release "release lock";
+        entry (Opid.enter ~cls:Threadlib.cls "Join") Verdict.Acquire "wait for thread";
+      ];
+    racy_fields = [];
+    error_scope = [];
+    field_guard =
+      [
+        (factory_cls ^ "::moduleBuilder", Static_ctor);
+        (parser_cls ^ "::keywords", Static_ctor);
+        (factory_cls ^ "::classes", Double_role);
+        (factory_cls ^ "::generation", Double_role);
+        (tests_cls ^ "::expression", Other_cause);
+        (tests_cls ^ "::createdA", Other_cause);
+        (tests_cls ^ "::createdB", Other_cause);
+        (tests_cls ^ "::nodeCount", Other_cause);
+      ];
+  }
+
+let app =
+  {
+    App.id = "App-8";
+    name = "System.Linq.Dynamic";
+    loc = 1_100;
+    stars = 399;
+    tests =
+      [
+        ("ClassFactoryStatic", test_class_factory_static);
+        ("UpgradeLock", test_upgrade_lock);
+        ("ParseExpression", test_parse_expression);
+        ("ExpressionCache", test_expression_cache);
+        ("LateStaticUse", test_late_static_use);
+      ];
+    truth;
+    uses_unsafe_apis = false;
+  }

@@ -1,0 +1,8 @@
+(** App-8: System.Linq.Dynamic analogue.
+
+    The smallest corpus member (Table 9): the ClassFactory static
+    constructor, a ReaderWriterLock whose UpgradeToWriterLock violates
+    SherLock's Single-Role assumption (the paper's Double-Role failure,
+    §5.5), and TaskFactory-driven thread-safe class creation. *)
+
+val app : App.t

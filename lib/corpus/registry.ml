@@ -1,0 +1,20 @@
+let all () =
+  [
+    App1_insights.app;
+    App2_datetime.app;
+    App3_fluent.app;
+    App4_k8s.app;
+    App5_radical.app;
+    App6_restsharp.app;
+    App7_statsd.app;
+    App8_linq.app;
+  ]
+
+let find key =
+  let key = String.lowercase_ascii key in
+  let matches (a : App.t) =
+    String.lowercase_ascii a.id = key || String.lowercase_ascii a.name = key
+  in
+  match List.find_opt matches (all ()) with
+  | Some a -> a
+  | None -> raise Not_found

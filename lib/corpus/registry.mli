@@ -1,0 +1,8 @@
+(** The eight-application benchmark registry (paper Table 1). *)
+
+val all : unit -> App.t list
+(** In Table 1 order, App-1 through App-8. *)
+
+val find : string -> App.t
+(** Look up by [id] or [name], case-insensitively.
+    Raises [Not_found]. *)

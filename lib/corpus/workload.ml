@@ -1,0 +1,20 @@
+open Sherlock_sim
+
+let poll cell times =
+  let v = ref (Heap.read cell) in
+  for _ = 2 to times do
+    Runtime.cpu 3 15;
+    v := Heap.read cell
+  done;
+  !v
+
+let await_untraced cell pred =
+  while not (pred (Heap.peek cell)) do
+    Runtime.sleep (300 + Runtime.rand_int 500)
+  done
+
+let chores ~cls n =
+  for i = 1 to n do
+    let meth = if i mod 2 = 0 then "FormatValue" else "Validate" in
+    Runtime.frame ~cls ~meth (fun () -> Runtime.sleep 9)
+  done

@@ -1,0 +1,38 @@
+(** A FastTrack-style dynamic race detector over simulator traces.
+
+    Implements the epoch/vector-clock algorithm of Flanagan & Freund,
+    parameterized by a {!Sync_model} — the paper's §5.4 setup, where the
+    same detector runs once with manual annotations (Manual_dr) and once
+    with SherLock's inferred synchronizations (SherLock_dr).
+
+    Interpretation details for method-shaped synchronizations:
+    - a release recognized at a method's *End* also publishes at the
+      method's *Begin* (sound: it publishes a smaller clock), so the
+      publish always precedes the woken thread's next event;
+    - an acquire recognized at a method's *Begin* joins at the Begin and
+      again at the matching End, so blocking calls pick up the release
+      that happened while they waited.
+
+    Accesses that the model classifies as synchronization are exempt from
+    race checking, as annotated volatiles are in FastTrack. *)
+
+open Sherlock_trace
+
+type race = {
+  field : string;        (** static field key of the racy variable *)
+  addr : int;
+  first_op : Opid.t;
+  second_op : Opid.t;
+  time : int;            (** when the second access executed *)
+}
+
+type report = {
+  races : race list;       (** in detection order, deduplicated by field *)
+  checked_accesses : int;
+}
+
+val run : Sync_model.t -> Log.t -> report
+
+val first_race : report -> race option
+(** The first reported race — the only one FastTrack's guarantee covers
+    (the paper counts only this one per run, §5.4). *)

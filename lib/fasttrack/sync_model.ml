@@ -1,0 +1,102 @@
+open Sherlock_trace
+module Verdict = Sherlock_core.Verdict
+
+type channel =
+  | Target of int
+  | Class of string
+
+type action =
+  | Acquire of channel list
+  | Release of channel list
+  | No_sync
+
+type t = {
+  name : string;
+  classify : Event.t -> action;
+}
+
+(* Class-hierarchy aliases: a release on a derived class is visible to
+   acquirers keyed on the base (EventWaitHandle::Set pairs with
+   WaitHandle::WaitOne/WaitAll). *)
+let base_class = function
+  | "System.Threading.EventWaitHandle" -> Some "System.Threading.WaitHandle"
+  | _ -> None
+
+let channels_of_event (e : Event.t) =
+  if Opid.is_access e.op then [ Target e.target ]
+  else begin
+    let cls_channels =
+      Class e.op.cls
+      :: (match base_class e.op.cls with Some b -> [ Class b ] | None -> [])
+    in
+    if e.target <> 0 then Target e.target :: cls_channels else cls_channels
+  end
+
+(* The annotation list of Manual_dr.  Releases are recognized at the
+   releasing call's entry (the publish must precede the internal wake-up)
+   and acquires at the blocking call's exit — the standard way race
+   detectors hook synchronization APIs. *)
+let manual (log : Log.t) =
+  let volatile addr = Hashtbl.mem log.volatile_addrs addr in
+  (* Thread::Start targets, for the fork edge the annotations do know. *)
+  let thread_targets = Hashtbl.create 8 in
+  (* Classes with a static constructor: the annotations support the
+     language-guaranteed static-initialization happens-before (§5.4), so
+     any method entry of such a class acquires from the .cctor's exit. *)
+  let cctor_classes = Hashtbl.create 8 in
+  Log.iter
+    (fun (e : Event.t) ->
+      if e.op.cls = "System.Threading.Thread" && e.op.member = "Start" && e.target <> 0
+      then Hashtbl.replace thread_targets e.target ();
+      if e.op.member = ".cctor" then Hashtbl.replace cctor_classes e.op.cls ())
+    log;
+  let classify (e : Event.t) =
+    let ch = channels_of_event e in
+    let is cls member = e.op.cls = cls && e.op.member = member in
+    match e.op.kind with
+    | Opid.Read -> if volatile e.target then Acquire ch else No_sync
+    | Opid.Write -> if volatile e.target then Release ch else No_sync
+    | Opid.Begin ->
+      if
+        is "System.Threading.Barrier" "SignalAndWait" (* arrival releases *)
+        || is "System.Threading.Monitor" "Exit"
+        || is "System.Threading.Thread" "Start"
+        || is "System.Threading.EventWaitHandle" "Set"
+        || is "System.Threading.ReaderWriterLock" "ReleaseReaderLock"
+        || is "System.Threading.ReaderWriterLock" "ReleaseWriterLock"
+      then Release ch
+      else if
+        e.target <> 0 && Hashtbl.mem thread_targets e.target
+        && not (Opid.is_system e.op)
+      then Acquire ch (* thread delegate entry: the fork's child side *)
+      else if Hashtbl.mem cctor_classes e.op.cls && e.op.member <> ".cctor" then
+        Acquire [ Class e.op.cls ] (* static-initialization happens-before *)
+      else No_sync
+    | Opid.End ->
+      if
+        is "System.Threading.Barrier" "SignalAndWait" (* departure acquires *)
+        || is "System.Threading.Monitor" "Enter"
+        || is "System.Threading.Thread" "Join"
+        || is "System.Threading.WaitHandle" "WaitOne"
+        || is "System.Threading.WaitHandle" "WaitAll"
+        || is "System.Threading.ReaderWriterLock" "AcquireReaderLock"
+        || is "System.Threading.ReaderWriterLock" "AcquireWriterLock"
+      then Acquire ch
+      else if e.op.member = ".cctor" then Release ch
+      else No_sync
+  in
+  { name = "Manual"; classify }
+
+(* SherLock_dr: exactly the inferred operations induce happens-before.
+   Begin-acquires and End-releases are interpreted by the detector with
+   the double-join/double-publish scheme (see {!Detector}). *)
+let inferred verdicts =
+  let table = Hashtbl.create 64 in
+  List.iter (fun (v : Verdict.t) -> Hashtbl.replace table (v.op, v.role) ()) verdicts;
+  let classify (e : Event.t) =
+    let ch = channels_of_event e in
+    if Hashtbl.mem table (e.op, Verdict.Acquire) then Acquire ch
+    else if Hashtbl.mem table (e.op, Verdict.Release) then Release ch
+    else No_sync
+  in
+  { name = "SherLock"; classify }

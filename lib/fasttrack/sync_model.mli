@@ -1,0 +1,41 @@
+(** Synchronization models: which trace events induce happens-before.
+
+    A model maps each event to acquire/release actions on *channels*.
+    A release publishes the thread's clock to the channel; an acquire
+    joins from it.  Channel identity follows the event's dynamic target
+    (field address or parent object id) with the class name as fallback,
+    plus a per-class channel so that cross-class pairs (e.g.
+    [EventWaitHandle::Set] / [WaitHandle::WaitAll]) still meet.
+
+    Two models reproduce the paper's §5.4 comparison:
+    - {!manual} — the hand-annotated list (Monitor, Thread fork/join,
+      ReaderWriterLock, volatile fields, wait handles, static
+      constructors).  Deliberately ignorant of tasks, thread pools,
+      dataflow blocks, finalizers, and custom application synchronization,
+      like the Manual_dr baseline;
+    - {!inferred} — exactly the operations SherLock inferred. *)
+
+open Sherlock_trace
+
+type channel =
+  | Target of int      (** dynamic object / address channel *)
+  | Class of string    (** static per-class channel *)
+
+type action =
+  | Acquire of channel list
+  | Release of channel list
+  | No_sync
+
+type t = {
+  name : string;
+  classify : Event.t -> action;
+}
+
+val channels_of_event : Event.t -> channel list
+(** The target channel (when the event has a target) plus the class
+    channel. *)
+
+val manual : Log.t -> t
+(** Needs the log for its volatile-address registry. *)
+
+val inferred : Sherlock_core.Verdict.t list -> t

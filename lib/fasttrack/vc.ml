@@ -1,0 +1,27 @@
+type t = int array
+
+let create n = Array.make (max n 1) 0
+
+let size = Array.length
+
+let get t i = if i < Array.length t then t.(i) else 0
+
+let inc t i = t.(i) <- t.(i) + 1
+
+let join dst src =
+  for i = 0 to min (Array.length dst) (Array.length src) - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let copy = Array.copy
+
+let leq a b =
+  let n = max (Array.length a) (Array.length b) in
+  let rec check i = i >= n || (get a i <= get b i && check (i + 1)) in
+  check 0
+
+let epoch_leq ~tid ~clock t = clock <= get t tid
+
+let pp ppf t =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int t)))

@@ -1,0 +1,27 @@
+(** Vector clocks over thread ids (dense arrays). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the zero clock over [n] threads. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val inc : t -> int -> unit
+(** Increment one component in place. *)
+
+val join : t -> t -> unit
+(** [join dst src]: componentwise max into [dst]. *)
+
+val copy : t -> t
+
+val leq : t -> t -> bool
+(** Pointwise comparison: [leq a b] iff a happens-before-or-equals b. *)
+
+val epoch_leq : tid:int -> clock:int -> t -> bool
+(** FastTrack's epoch test: does the single epoch [(tid, clock)] precede
+    clock [t]? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Linear expressions over integer-indexed variables.
+
+    This is the expression language of the LP layer: an affine combination
+    [c0 + sum_i (c_i * x_i)].  Variables are plain integers issued by
+    {!Problem}; coefficients of equal variables merge on addition and
+    zero-coefficient terms are dropped, so expressions are canonical. *)
+
+type t
+
+val zero : t
+
+val const : float -> t
+(** Constant expression. *)
+
+val var : ?coeff:float -> int -> t
+(** [var v] is [1.0 * x_v]; [var ~coeff v] scales it. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val neg : t -> t
+
+val scale : float -> t -> t
+
+val sum : t list -> t
+
+val constant : t -> float
+(** The affine constant [c0]. *)
+
+val terms : t -> (int * float) list
+(** Variable terms in increasing variable order, zero coefficients
+    omitted. *)
+
+val coeff : t -> int -> float
+(** Coefficient of a variable, 0 if absent. *)
+
+val eval : (int -> float) -> t -> float
+(** Evaluate under an assignment. *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit
+(** Human-readable form, e.g. [0.2*x + 1.0*y - 3]. *)

@@ -1,0 +1,80 @@
+type var = int
+
+type status =
+  | Solved of float
+  | Infeasible
+  | Unbounded
+
+type t = {
+  mutable names : string list; (* reversed *)
+  mutable count : int;
+  mutable constrs : Simplex.constr list; (* reversed *)
+  mutable nconstrs : int;
+  mutable objective : Linexpr.t;
+}
+
+let create () =
+  { names = []; count = 0; constrs = []; nconstrs = 0; objective = Linexpr.zero }
+
+let push_constr t c =
+  t.constrs <- c :: t.constrs;
+  t.nconstrs <- t.nconstrs + 1
+
+let add_constr t expr relation rhs =
+  push_constr t
+    {
+      Simplex.row = Linexpr.terms expr;
+      relation;
+      rhs = rhs -. Linexpr.constant expr;
+    }
+
+let add_var t ?ub name =
+  let v = t.count in
+  t.count <- v + 1;
+  t.names <- name :: t.names;
+  (match ub with
+  | Some u -> add_constr t (Linexpr.var v) Simplex.Le u
+  | None -> ());
+  v
+
+let name t v =
+  let arr = Array.of_list (List.rev t.names) in
+  if v >= 0 && v < Array.length arr then arr.(v) else Printf.sprintf "_v%d" v
+
+let num_vars t = t.count
+
+let add_le t e rhs = add_constr t e Simplex.Le rhs
+
+let add_ge t e rhs = add_constr t e Simplex.Ge rhs
+
+let add_eq t e rhs = add_constr t e Simplex.Eq rhs
+
+let add_objective t e = t.objective <- Linexpr.add t.objective e
+
+let hinge t ~weight nm e =
+  let h = add_var t nm in
+  (* h >= e, i.e. e - h <= 0; h >= 0 is implicit. *)
+  add_le t (Linexpr.sub e (Linexpr.var h)) 0.0;
+  add_objective t (Linexpr.var ~coeff:weight h);
+  h
+
+let abs t ~weight nm e =
+  let a = add_var t nm in
+  add_le t (Linexpr.sub e (Linexpr.var a)) 0.0;
+  add_le t (Linexpr.sub (Linexpr.neg e) (Linexpr.var a)) 0.0;
+  add_objective t (Linexpr.var ~coeff:weight a);
+  a
+
+let solve t =
+  let objective = Linexpr.terms t.objective in
+  match
+    Simplex.solve ~num_vars:t.count ~objective (List.rev t.constrs)
+  with
+  | Simplex.Optimal { objective = obj; solution } ->
+    let obj = obj +. Linexpr.constant t.objective in
+    (Solved obj, fun v -> if v >= 0 && v < Array.length solution then solution.(v) else 0.0)
+  | Simplex.Infeasible -> (Infeasible, fun _ -> 0.0)
+  | Simplex.Unbounded -> (Unbounded, fun _ -> 0.0)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "lp: %d vars, %d constraints" t.count t.nconstrs

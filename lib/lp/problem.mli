@@ -1,0 +1,58 @@
+(** Linear-program builder.
+
+    A thin modelling layer over {!Simplex}: named variables with bounds, a
+    minimization objective accumulated term by term, and the two non-linear
+    shapes the SherLock encoding needs, both with their standard exact LP
+    reductions:
+
+    - {!hinge} — [max(0, e)], for the Mostly-Protected terms (Equation 2);
+    - {!abs} — [|e|], for the Mostly-Paired terms (Equations 6 and 7).
+
+    All variables are bounded below by 0, matching their reading as
+    probabilities or penalties. *)
+
+type t
+
+type var = int
+
+type status =
+  | Solved of float  (** optimal objective value *)
+  | Infeasible
+  | Unbounded
+
+val create : unit -> t
+
+val add_var : t -> ?ub:float -> string -> var
+(** [add_var t name] declares a variable in [\[0, inf)]; [~ub] caps it
+    (probability variables use [~ub:1.0]).  Names are for diagnostics and
+    need not be unique. *)
+
+val name : t -> var -> string
+
+val num_vars : t -> int
+
+val add_le : t -> Linexpr.t -> float -> unit
+(** Constraint [e <= rhs] (any constant inside [e] is folded into [rhs]). *)
+
+val add_ge : t -> Linexpr.t -> float -> unit
+
+val add_eq : t -> Linexpr.t -> float -> unit
+
+val add_objective : t -> Linexpr.t -> unit
+(** Accumulate a term into the minimization objective. *)
+
+val hinge : t -> weight:float -> string -> Linexpr.t -> var
+(** [hinge t ~weight name e] adds a fresh variable [h >= max(0, e)] and the
+    objective term [weight * h]; at the optimum [h = max(0, e)] because [h]
+    is minimized.  Returns [h]. *)
+
+val abs : t -> weight:float -> string -> Linexpr.t -> var
+(** [abs t ~weight name e] adds a fresh [a >= |e|] with objective term
+    [weight * a]; at the optimum [a = |e|].  Returns [a]. *)
+
+val solve : t -> status * (var -> float)
+(** Solve the accumulated program.  The assignment function returns 0 for
+    every variable when the program is not [Solved]. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line size summary (variables / constraints), for logs. *)

@@ -1,0 +1,28 @@
+(** Two-phase dense primal simplex.
+
+    Solves [minimize c.x  subject to  A x (<=|>=|=) b,  x >= 0] exactly in
+    floating point, using Bland's anti-cycling rule.  This is the solver
+    behind {!Problem}; SherLock's Equation (8) instances are small (a few
+    hundred rows), so a dense tableau is the simplest adequate choice —
+    the paper's artifact similarly delegates to a generic LP package. *)
+
+type relation =
+  | Le
+  | Ge
+  | Eq
+
+type constr = {
+  row : (int * float) list;  (** sparse row: (variable, coefficient) *)
+  relation : relation;
+  rhs : float;
+}
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Infeasible
+
+val solve : num_vars:int -> objective:(int * float) list -> constr list -> outcome
+(** [solve ~num_vars ~objective constrs] minimizes over variables
+    [0 .. num_vars - 1], all implicitly bounded below by 0.  The returned
+    [solution] has length [num_vars]. *)

@@ -1,0 +1,51 @@
+type t = {
+  lambda : float;
+  near : int;
+  window_cap : int;
+  delay_us : int;
+  rounds : int;
+  threshold : float;
+  rare_coeff : float;
+  seed : int;
+  use_protected : bool;
+  use_rare : bool;
+  use_variation : bool;
+  use_paired : bool;
+  use_role_property : bool;
+  use_single_role : bool;
+  single_role_soft : bool;
+  use_delays : bool;
+  delay_probability : float;
+  accumulate : bool;
+  use_race_removal : bool;
+  use_refinement : bool;
+}
+
+let default =
+  {
+    lambda = 0.2;
+    near = 1_000_000;
+    window_cap = 15;
+    delay_us = 100_000;
+    rounds = 3;
+    threshold = 0.9;
+    rare_coeff = 0.1;
+    seed = 42;
+    use_protected = true;
+    use_rare = true;
+    use_variation = true;
+    use_paired = true;
+    use_role_property = true;
+    use_single_role = true;
+    single_role_soft = false;
+    use_delays = true;
+    delay_probability = 1.0;
+    accumulate = true;
+    use_race_removal = true;
+    use_refinement = true;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "lambda=%g near=%dus cap=%d delay=%dus rounds=%d threshold=%g seed=%d" t.lambda
+    t.near t.window_cap t.delay_us t.rounds t.threshold t.seed

@@ -1,0 +1,41 @@
+(** SherLock configuration.
+
+    Every knob evaluated in the paper is here: the objective trade-off
+    [lambda] (Table 6), the conflict window [near] (Table 7), the
+    hypothesis/property toggles (Table 5), and the perturber/feedback
+    toggles (Figure 4). *)
+
+type t = {
+  lambda : float;       (** weight of all non-Mostly-Protected terms; 0.2 *)
+  near : int;           (** conflicting-access window, us; 1 s *)
+  window_cap : int;     (** max windows per static location pair; 15 *)
+  delay_us : int;       (** injected delay; 100 ms *)
+  rounds : int;         (** runs per test input; 3 *)
+  threshold : float;    (** probability at which a variable counts as 1; 0.9 *)
+  rare_coeff : float;   (** coefficient of the rare term (Equation 4); 0.1 *)
+  seed : int;           (** base seed for all simulated schedules *)
+  (* Hypotheses and properties — §2, ablated in Table 5. *)
+  use_protected : bool;      (** Mostly Protected (Equation 2) *)
+  use_rare : bool;           (** Synchronizations are Rare (Equations 3–4) *)
+  use_variation : bool;      (** Acquisition-Time Mostly Varies (Equation 5) *)
+  use_paired : bool;         (** Mostly Paired (Equations 6–7) *)
+  use_role_property : bool;  (** Read-Acquire & Write-Release (Equation 1) *)
+  use_single_role : bool;    (** Single Role for library APIs *)
+  single_role_soft : bool;
+      (** extension (paper §5.5 future work): penalize Single-Role
+          violations instead of forbidding them *)
+  (* Perturber / feedback — §3 and §4.3, ablated in Figure 4. *)
+  use_delays : bool;         (** inject delays before inferred releases *)
+  delay_probability : float;
+      (** extension (paper footnote 1): probability of injecting each
+          planned delay instance; 1.0 = always *)
+  accumulate : bool;         (** keep observations across runs *)
+  use_race_removal : bool;   (** drop protected terms of observed races *)
+  use_refinement : bool;     (** shrink windows from delay propagation *)
+}
+
+val default : t
+(** The paper's defaults: lambda 0.2, near 1 s, cap 15, delay 100 ms,
+    3 rounds, everything enabled. *)
+
+val pp : Format.formatter -> t -> unit

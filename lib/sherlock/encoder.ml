@@ -1,0 +1,220 @@
+open Sherlock_trace
+open Sherlock_lp
+
+type solve_stats = {
+  num_vars : int;
+  num_windows : int;
+  objective : float;
+}
+
+type role = Verdict.role =
+  | Acquire
+  | Release
+
+(* Which roles an operation kind can play.  With the Read-Acquire &
+   Write-Release property this is Equation (1): the infeasible variables
+   are simply never created (equivalent to pinning them to 0). *)
+let feasible_roles (config : Config.t) (op : Opid.t) =
+  if config.use_role_property then
+    match op.kind with
+    | Opid.Read | Opid.Begin -> [ Acquire ]
+    | Opid.Write | Opid.End -> [ Release ]
+  else [ Acquire; Release ]
+
+let role_ok config op role = List.mem role (feasible_roles config op)
+
+type vars = {
+  problem : Problem.t;
+  table : (Opid.t * role, Problem.var) Hashtbl.t;
+}
+
+let var_of vars op role =
+  match Hashtbl.find_opt vars.table (op, role) with
+  | Some v -> v
+  | None ->
+    let suffix = match role with Acquire -> "^acq" | Release -> "^rel" in
+    let v = Problem.add_var vars.problem ~ub:1.0 (Opid.to_string op ^ suffix) in
+    Hashtbl.add vars.table (op, role) v;
+    v
+
+(* Sum of role variables over the distinct ops of a window side (each op
+   subtracted once regardless of its dynamic occurrence count — paper
+   §4.2, "we always only subtract its corresponding probability variable
+   once"). *)
+let side_sum config vars side role =
+  Opid.Map.fold
+    (fun op _count acc ->
+      if role_ok config op role then Linexpr.add acc (Linexpr.var (var_of vars op role))
+      else acc)
+    side Linexpr.zero
+
+let encode_protected config vars (w : Observations.merged_window) idx =
+  let weight = float_of_int w.weight in
+  let term role side tag =
+    let sum = side_sum config vars side role in
+    ignore
+      (Problem.hinge vars.problem ~weight
+         (Printf.sprintf "%s(w%d)" tag idx)
+         (Linexpr.sub (Linexpr.const 1.0) sum))
+  in
+  term Release w.rel "rel";
+  term Acquire w.acq "acq"
+
+let solve (config : Config.t) obs =
+  let problem = Problem.create () in
+  let vars = { problem; table = Hashtbl.create 64 } in
+  let windows =
+    List.filter
+      (fun (w : Observations.merged_window) ->
+        not (config.use_race_removal && Observations.is_racy_pair obs w.pair))
+      (Observations.windows obs)
+  in
+  (* Instantiate variables for every candidate op so that the rare /
+     paired / variation terms see them even when the protected hypothesis
+     is ablated. *)
+  let candidates = ref Opid.Set.empty in
+  List.iter
+    (fun (w : Observations.merged_window) ->
+      Opid.Map.iter (fun op _ -> candidates := Opid.Set.add op !candidates) w.rel;
+      Opid.Map.iter (fun op _ -> candidates := Opid.Set.add op !candidates) w.acq)
+    windows;
+  Opid.Set.iter
+    (fun op -> List.iter (fun role -> ignore (var_of vars op role)) (feasible_roles config op))
+    !candidates;
+  (* Mostly Protected (Equation 2). *)
+  if config.use_protected then List.iteri (fun i w -> encode_protected config vars w i) windows;
+  let lambda = config.lambda in
+  (* Synchronizations are Rare (Equations 3 and 4). *)
+  if config.use_rare then
+    Hashtbl.iter
+      (fun (op, _role) v ->
+        let rare = config.rare_coeff *. Observations.avg_occurrence obs op in
+        Problem.add_objective problem (Linexpr.var ~coeff:(lambda *. (1.0 +. rare)) v))
+      vars.table;
+  (* Acquisition-Time Mostly Varies (Equation 5): penalize begin^acq of
+     methods whose duration varies little compared to the others. *)
+  if config.use_variation then begin
+    let durs = Observations.durations obs in
+    Hashtbl.iter
+      (fun ((op : Opid.t), role) v ->
+        if role = Acquire && op.kind = Opid.Begin then begin
+          let pct = Durations.cv_percentile durs (Opid.method_key op) in
+          let coeff = lambda *. (1.0 -. pct) in
+          if coeff > 0.0 then Problem.add_objective problem (Linexpr.var ~coeff v)
+        end)
+      vars.table
+  end;
+  (* Mostly Paired (Equations 6 and 7). *)
+  if config.use_paired then begin
+    (* Per-class method balance. *)
+    let by_class : (string, Linexpr.t ref) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun ((op : Opid.t), role) v ->
+        if Opid.is_frame op then begin
+          let signed =
+            match role with
+            | Acquire -> Linexpr.var v
+            | Release -> Linexpr.var ~coeff:(-1.0) v
+          in
+          match Hashtbl.find_opt by_class op.cls with
+          | Some r -> r := Linexpr.add !r signed
+          | None -> Hashtbl.add by_class op.cls (ref signed)
+        end)
+      vars.table;
+    Hashtbl.iter
+      (fun cls expr ->
+        ignore (Problem.abs problem ~weight:lambda ("pair_c(" ^ cls ^ ")") !expr))
+      by_class;
+    (* Per-field read-acquire / write-release balance. *)
+    let fields = ref Opid.Set.empty in
+    Hashtbl.iter
+      (fun ((op : Opid.t), _) _ ->
+        if Opid.is_access op then
+          fields := Opid.Set.add { op with kind = Opid.Read } !fields)
+      vars.table;
+    Opid.Set.iter
+      (fun read_op ->
+        let write_op = { read_op with kind = Opid.Write } in
+        let term op role sign =
+          match Hashtbl.find_opt vars.table (op, role) with
+          | Some v -> Linexpr.var ~coeff:sign v
+          | None -> Linexpr.zero
+        in
+        let expr =
+          Linexpr.add (term read_op Acquire 1.0) (term write_op Release (-1.0))
+        in
+        ignore
+          (Problem.abs problem ~weight:lambda
+             ("pair_f(" ^ Opid.field_key read_op ^ ")")
+             expr))
+      !fields
+  end;
+  (* Single Role for library APIs. *)
+  if config.use_single_role then begin
+    let methods = ref Opid.Set.empty in
+    Hashtbl.iter
+      (fun ((op : Opid.t), _) _ ->
+        if Opid.is_frame op && Opid.is_system op then
+          methods := Opid.Set.add { op with kind = Opid.Begin } !methods)
+      vars.table;
+    Opid.Set.iter
+      (fun begin_op ->
+        let end_op = { begin_op with kind = Opid.End } in
+        match
+          ( Hashtbl.find_opt vars.table (begin_op, Acquire),
+            Hashtbl.find_opt vars.table (end_op, Release) )
+        with
+        | Some b, Some e ->
+          let sum = Linexpr.add (Linexpr.var b) (Linexpr.var e) in
+          if config.single_role_soft then
+            (* Extension (paper §5.5): penalize the violation rather than
+               forbid it, so APIs like UpgradeToWriterLock can keep both
+               roles when the windows demand it. *)
+            ignore
+              (Problem.hinge problem ~weight:lambda
+                 ("single_role(" ^ Opid.method_key begin_op ^ ")")
+                 (Linexpr.sub sum (Linexpr.const 1.0)))
+          else Problem.add_le problem sum 1.0
+        | _ -> ())
+      !methods
+  end;
+  (* The LP relaxation occasionally leaves a tie split fractionally (for
+     example 0.5/0.5 across a Single-Role pair), which the paper's
+     "variables assigned 1" reading would silently drop.  Round by
+     repeatedly pinning the largest fractional variable to 1 and
+     re-solving — a cheap branch-free integrality repair. *)
+  let rec solve_rounded budget =
+    let status, assignment = Problem.solve problem in
+    let solved = match status with Problem.Solved _ -> true | _ -> false in
+    if budget = 0 || not solved then (status, assignment)
+    else begin
+      let best = ref None in
+      Hashtbl.iter
+        (fun _ v ->
+          let p = assignment v in
+          if p > 0.15 && p < config.threshold then
+            match !best with
+            | Some (_, q) when q >= p -> ()
+            | _ -> best := Some (v, p))
+        vars.table;
+      match !best with
+      | None -> (status, assignment)
+      | Some (v, _) ->
+        Problem.add_ge problem (Linexpr.var v) 1.0;
+        solve_rounded (budget - 1)
+    end
+  in
+  let status, assignment = solve_rounded 25 in
+  let objective = match status with Problem.Solved obj -> obj | _ -> nan in
+  let verdicts =
+    Hashtbl.fold
+      (fun (op, role) v acc ->
+        let p = assignment v in
+        if p >= config.threshold then
+          { Verdict.op; role; probability = p } :: acc
+        else acc)
+      vars.table []
+    |> List.sort Verdict.compare
+  in
+  ( verdicts,
+    { num_vars = Problem.num_vars problem; num_windows = List.length windows; objective } )

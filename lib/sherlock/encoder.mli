@@ -1,0 +1,34 @@
+(** The LP encoding of the synchronization properties and hypotheses
+    (paper §4.2, Equations 1–8).
+
+    Each candidate operation gets up to two probability variables in
+    [\[0,1\]] — acquire and release — restricted by the Read-Acquire &
+    Write-Release property to the feasible role (reads and method entries
+    acquire; writes and method exits release).  The hypotheses become:
+
+    - Mostly Protected: a hinge term [max(0, 1 - sum of side variables)]
+      per window side (Equation 2), weighted by the window's multiplicity;
+    - Synchronizations are Rare: the regularizer [sum v] (Equation 3) and
+      the occurrence penalty [0.1 * avg_occurrence * v] (Equation 4);
+    - Acquisition-Time Mostly Varies: [(1 - percentile(CV)) * begin^acq]
+      per method (Equation 5);
+    - Mostly Paired: [|sum acq - sum rel|] per class and
+      [|read^acq - write^rel|] per field (Equations 6–7);
+    - Single Role: [begin(l)^acq + end(l)^rel <= 1] for library APIs.
+      (The paper prints this constraint with the two structurally-zero
+      variables; we encode the evidently intended pair — see DESIGN.md.)
+
+    All non-protected terms are scaled by [lambda] (Equation 8). *)
+
+
+type solve_stats = {
+  num_vars : int;
+  num_windows : int;
+  objective : float;
+}
+
+val solve : Config.t -> Observations.t -> Verdict.t list * solve_stats
+(** Build and solve the LP for the accumulated observations; operations
+    whose variable reaches [config.threshold] become verdicts.  Windows
+    whose static pair was ever observed racing are excluded from the
+    protected terms when [use_race_removal] is set. *)

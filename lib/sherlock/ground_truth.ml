@@ -1,0 +1,41 @@
+open Sherlock_trace
+
+type cause =
+  | Instr_error
+  | Double_role
+  | Dispose
+  | Static_ctor
+  | Other_cause
+
+type entry = {
+  op : Opid.t;
+  role : Verdict.role;
+  description : string;
+  category : cause;
+}
+
+type t = {
+  syncs : entry list;
+  racy_fields : string list;
+  error_scope : string list;
+  field_guard : (string * cause) list;
+}
+
+let empty = { syncs = []; racy_fields = []; error_scope = []; field_guard = [] }
+
+let entry ?(category = Other_cause) op role description = { op; role; description; category }
+
+let find t op role =
+  List.find_opt (fun e -> Opid.equal e.op op && e.role = role) t.syncs
+
+let is_racy_field t key = List.mem key t.racy_fields
+
+let cause_name = function
+  | Instr_error -> "Instr. Errors"
+  | Double_role -> "Double Roles"
+  | Dispose -> "Dispose"
+  | Static_ctor -> "Static Ctr."
+  | Other_cause -> "Others"
+
+let guard_cause t key =
+  match List.assoc_opt key t.field_guard with Some c -> c | None -> Other_cause

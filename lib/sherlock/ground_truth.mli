@@ -1,0 +1,49 @@
+(** Ground-truth synchronization inventories for evaluation.
+
+    Each benchmark application declares which operations truly are
+    synchronizations, which fields genuinely race, and how its exotic
+    cases should be categorized — the information the paper's authors
+    recovered by manual inspection (§5.2, §5.5). *)
+
+open Sherlock_trace
+
+(** Failure categories of Table 4. *)
+type cause =
+  | Instr_error  (** the true sync was hidden from instrumentation *)
+  | Double_role  (** an API that both releases and acquires *)
+  | Dispose      (** finalizer / dispose pairs beyond the GC's delay reach *)
+  | Static_ctor  (** static-constructor release pairs *)
+  | Other_cause
+
+type entry = {
+  op : Opid.t;
+  role : Verdict.role;
+  description : string;  (** Tables 8/9-style one-liner *)
+  category : cause;      (** the bucket a miss of this sync falls into *)
+}
+
+type t = {
+  syncs : entry list;
+  racy_fields : string list;
+      (** field keys ([Cls::field]) of true data races in the app *)
+  error_scope : string list;
+      (** class names whose spurious inferences stem from simulated
+          instrumentation errors (a hidden true sync nearby) *)
+  field_guard : (string * cause) list;
+      (** for fields protected by exotic syncs: field key -> the category
+          a missed-sync false race on that field belongs to *)
+}
+
+val empty : t
+
+val entry : ?category:cause -> Opid.t -> Verdict.role -> string -> entry
+
+val find : t -> Opid.t -> Verdict.role -> entry option
+
+val is_racy_field : t -> string -> bool
+
+val cause_name : cause -> string
+
+val guard_cause : t -> string -> cause
+(** Category of a false race on the given field key; [Other_cause] when
+    unlisted. *)

@@ -1,0 +1,81 @@
+open Sherlock_trace
+
+type merged_window = {
+  pair : Opid.t * Opid.t;
+  field : string;
+  rel : Windows.side;
+  acq : Windows.side;
+  weight : int;
+}
+
+module Key = struct
+  type t = (Opid.t * Opid.t) * (Opid.t * int) list * (Opid.t * int) list
+
+  let of_window (w : Windows.t) =
+    (w.pair, Opid.Map.bindings w.rel, Opid.Map.bindings w.acq)
+end
+
+type t = {
+  merged : (Key.t, merged_window ref) Hashtbl.t;
+  mutable races : (Opid.t * Opid.t) list;
+  durs : Durations.t;
+  mutable nruns : int;
+}
+
+let create () =
+  { merged = Hashtbl.create 64; races = []; durs = Durations.create (); nruns = 0 }
+
+let add_window t (w : Windows.t) =
+  let key = Key.of_window w in
+  match Hashtbl.find_opt t.merged key with
+  | Some r -> r := { !r with weight = !r.weight + 1 }
+  | None ->
+    Hashtbl.add t.merged key
+      (ref { pair = w.pair; field = w.field; rel = w.rel; acq = w.acq; weight = 1 })
+
+let add_log t ~near ~cap ~refine log =
+  t.nruns <- t.nruns + 1;
+  Durations.record_log t.durs log;
+  let windows, races = Windows.extract ~near ~cap ~refine log in
+  List.iter (add_window t) windows;
+  List.iter
+    (fun (r : Windows.race) ->
+      if not (List.exists (fun p -> p = r.race_pair) t.races) then
+        t.races <- r.race_pair :: t.races)
+    races
+
+let windows t = Hashtbl.fold (fun _ r acc -> !r :: acc) t.merged []
+
+let racy_pairs t = t.races
+
+let is_racy_pair t pair =
+  List.exists (fun (a, b) -> Opid.equal a (fst pair) && Opid.equal b (snd pair)) t.races
+
+let durations t = t.durs
+
+let runs t = t.nruns
+
+let avg_occurrence t op =
+  let total, count =
+    Hashtbl.fold
+      (fun _ r (total, count) ->
+        let w = !r in
+        let tally side (total, count) =
+          match Opid.Map.find_opt op side with
+          | Some n -> (total + (n * w.weight), count + w.weight)
+          | None -> (total, count)
+        in
+        tally w.rel (tally w.acq (total, count)))
+      t.merged (0, 0)
+  in
+  if count = 0 then 0.0 else float_of_int total /. float_of_int count
+
+let candidate_count t =
+  let ops = ref Opid.Set.empty in
+  Hashtbl.iter
+    (fun _ r ->
+      let w = !r in
+      Opid.Map.iter (fun op _ -> ops := Opid.Set.add op !ops) w.rel;
+      Opid.Map.iter (fun op _ -> ops := Opid.Set.add op !ops) w.acq)
+    t.merged;
+  Opid.Set.cardinal !ops

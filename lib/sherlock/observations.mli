@@ -1,0 +1,43 @@
+(** Accumulated observations across runs (paper §4.3).
+
+    Nothing from earlier runs is discarded: new windows and races are
+    appended, method-duration samples grow, and the per-operation
+    occurrence statistics are recomputed from the full window set.
+    Identical windows (same conflicting pair, same candidate multisets)
+    are merged with a multiplicity, which keeps the LP small without
+    changing the objective. *)
+
+open Sherlock_trace
+
+type merged_window = {
+  pair : Opid.t * Opid.t;
+  field : string;
+  rel : Windows.side;
+  acq : Windows.side;
+  weight : int;  (** how many identical dynamic windows merged into this *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_log : t -> near:int -> cap:int -> refine:bool -> Log.t -> unit
+(** Extract windows and races from one run's trace and fold them in. *)
+
+val windows : t -> merged_window list
+
+val racy_pairs : t -> (Opid.t * Opid.t) list
+(** Static conflicting pairs observed to race in at least one window. *)
+
+val is_racy_pair : t -> Opid.t * Opid.t -> bool
+
+val durations : t -> Durations.t
+
+val runs : t -> int
+
+val avg_occurrence : t -> Opid.t -> float
+(** Average number of dynamic instances of the op per window in which it
+    appears (on either side) — the input to the rare term (Equation 4). *)
+
+val candidate_count : t -> int
+(** Distinct candidate operations across all windows. *)

@@ -1,0 +1,68 @@
+open Sherlock_sim
+
+type subject = {
+  subject_name : string;
+  tests : (string * (unit -> unit)) list;
+}
+
+type round_result = {
+  round : int;
+  verdicts : Verdict.t list;
+  stats : Encoder.solve_stats;
+  delayed_ops : int;
+}
+
+type result = {
+  rounds : round_result list;
+  final : Verdict.t list;
+  observations : Observations.t;
+}
+
+let test_seed ~base ~round ~test_index = (base * 1_000_003) + (round * 7919) + test_index
+
+let run_one (config : Config.t) ~round ~test_index plan body =
+  let seed = test_seed ~base:config.seed ~round ~test_index in
+  let delay_before =
+    if config.delay_probability >= 1.0 then Perturber.delay_before plan
+    else begin
+      (* Probabilistic injection (paper footnote 1): each dynamic
+         instance is delayed with probability p, deterministically per
+         seed. *)
+      let rng = Sherlock_util.Rng.create (seed lxor 0x5eed) in
+      fun op ->
+        let d = Perturber.delay_before plan op in
+        if d > 0 && Sherlock_util.Rng.float rng 1.0 <= config.delay_probability
+        then d
+        else 0
+    end
+  in
+  Runtime.run ~seed ~instrument:(Runtime.tracing ~delay_before ()) body
+
+let infer ?(config = Config.default) subject =
+  let obs = ref (Observations.create ()) in
+  let plan = ref Perturber.empty in
+  let rounds = ref [] in
+  for round = 1 to config.rounds do
+    if not config.accumulate then obs := Observations.create ();
+    List.iteri
+      (fun test_index (_name, body) ->
+        let log = run_one config ~round ~test_index !plan body in
+        Observations.add_log !obs ~near:config.near ~cap:config.window_cap
+          ~refine:config.use_refinement log)
+      subject.tests;
+    let verdicts, stats = Encoder.solve config !obs in
+    rounds :=
+      { round; verdicts; stats; delayed_ops = Perturber.size !plan } :: !rounds;
+    plan :=
+      (if config.use_delays then Perturber.of_verdicts ~delay_us:config.delay_us verdicts
+       else Perturber.empty)
+  done;
+  let rounds = List.rev !rounds in
+  let final = match List.rev rounds with last :: _ -> last.verdicts | [] -> [] in
+  { rounds; final; observations = !obs }
+
+let run_test_logs ?(config = Config.default) subject =
+  List.mapi
+    (fun test_index (_name, body) ->
+      run_one config ~round:1 ~test_index Perturber.empty body)
+    subject.tests

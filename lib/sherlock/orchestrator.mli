@@ -1,0 +1,40 @@
+(** The multi-round inference loop (Figure 1): run the subject's tests
+    under instrumentation, accumulate observations, solve, derive a delay
+    plan, repeat.
+
+    Round 1 runs with no delays (there is no inference yet); each later
+    round injects delays before the previous round's inferred releases.
+    With [accumulate] off (a Figure 4 ablation) each round solves over
+    that round's observations only. *)
+
+open Sherlock_trace
+
+type subject = {
+  subject_name : string;
+  tests : (string * (unit -> unit)) list;
+      (** named unit tests; each runs inside a fresh simulator world *)
+}
+
+type round_result = {
+  round : int;  (** 1-based *)
+  verdicts : Verdict.t list;
+  stats : Encoder.solve_stats;
+  delayed_ops : int;  (** size of the delay plan this round ran under *)
+}
+
+type result = {
+  rounds : round_result list;  (** in round order *)
+  final : Verdict.t list;
+  observations : Observations.t;  (** state after the last round *)
+}
+
+val infer : ?config:Config.t -> subject -> result
+(** Run [config.rounds] rounds over all tests. *)
+
+val run_test_logs : ?config:Config.t -> subject -> Log.t list
+(** One uninstrumented-delay (round-1 style) traced run per test, with the
+    same seeds the first inference round uses — the input shared with the
+    race detectors and the TSVD baseline. *)
+
+val test_seed : base:int -> round:int -> test_index:int -> int
+(** The deterministic seed used for a given (round, test) execution. *)

@@ -1,0 +1,24 @@
+open Sherlock_trace
+
+type plan = int Opid.Map.t
+
+let empty = Opid.Map.empty
+
+let of_verdicts ~delay_us verdicts =
+  List.fold_left
+    (fun plan (v : Verdict.t) ->
+      match v.role with
+      | Verdict.Acquire -> plan
+      | Verdict.Release ->
+        let target =
+          match v.op.kind with
+          | Opid.Write | Opid.Read | Opid.Begin -> v.op
+          | Opid.End -> { v.op with kind = Opid.Begin }
+        in
+        Opid.Map.add target delay_us plan)
+    empty verdicts
+
+let delay_before plan op =
+  match Opid.Map.find_opt op plan with Some d -> d | None -> 0
+
+let size = Opid.Map.cardinal

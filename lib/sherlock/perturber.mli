@@ -1,0 +1,24 @@
+(** Feedback-based delay injection (paper §3, §4.3).
+
+    After each round the perturber turns the current release verdicts into
+    a delay plan: a fixed virtual delay before every dynamic instance of
+    every inferred release.  For a release that is a method *exit*, the
+    delay is placed before the method's *entry* — delaying the whole call
+    is the only way to delay the release action it contains (instrumenting
+    "immediately before the call site", as the paper's observer does). *)
+
+open Sherlock_trace
+
+type plan
+
+val empty : plan
+
+val of_verdicts : delay_us:int -> Verdict.t list -> plan
+(** Build the plan from the current round's release verdicts. *)
+
+val delay_before : plan -> Opid.t -> int
+(** The delay to inject before one dynamic instance of [op]; 0 if none.
+    This is plugged directly into {!Sherlock_sim.Runtime.instrument}. *)
+
+val size : plan -> int
+(** Number of distinct delayed operations. *)

@@ -1,0 +1,81 @@
+open Sherlock_trace
+
+type verdict_class =
+  | Correct of Ground_truth.entry
+  | Data_racy
+  | Instr_error
+  | Not_sync
+
+type t = {
+  classified : (Verdict.t * verdict_class) list;
+  missed : Ground_truth.entry list;
+}
+
+let classify_one (gt : Ground_truth.t) (v : Verdict.t) =
+  match Ground_truth.find gt v.op v.role with
+  | Some entry -> Correct entry
+  | None ->
+    if Opid.is_access v.op && Ground_truth.is_racy_field gt (Opid.field_key v.op) then
+      Data_racy
+    else if List.mem v.op.cls gt.error_scope then Instr_error
+    else Not_sync
+
+let classify gt verdicts =
+  let classified = List.map (fun v -> (v, classify_one gt v)) verdicts in
+  let inferred_ok (entry : Ground_truth.entry) =
+    List.exists
+      (function
+        | _, Correct (e : Ground_truth.entry) ->
+          Opid.equal e.op entry.op && e.role = entry.role
+        | _ -> false)
+      classified
+  in
+  let missed = List.filter (fun e -> not (inferred_ok e)) gt.syncs in
+  { classified; missed }
+
+let count t cls =
+  let matches = function
+    | Correct _, Correct _ | Data_racy, Data_racy | Instr_error, Instr_error
+    | Not_sync, Not_sync ->
+      true
+    | (Correct _ | Data_racy | Instr_error | Not_sync), _ -> false
+  in
+  List.length (List.filter (fun (_, c) -> matches (c, cls)) t.classified)
+
+let num_correct t =
+  List.length
+    (List.filter (function _, Correct _ -> true | _ -> false) t.classified)
+
+let num_inferred t = List.length t.classified
+
+let precision t =
+  if num_inferred t = 0 then nan
+  else float_of_int (num_correct t) /. float_of_int (num_inferred t)
+
+let correct_ops t =
+  List.filter_map (function v, Correct e -> Some (v, e) | _ -> None) t.classified
+
+let false_positive_cause (gt : Ground_truth.t) (v : Verdict.t) =
+  if List.mem v.op.cls gt.error_scope then Ground_truth.Instr_error
+  else if
+    v.op.member = "UpgradeToWriterLock" || v.op.member = "DowngradeFromWriterLock"
+  then Ground_truth.Double_role
+  else if v.op.member = "Finalize" || v.op.member = "Dispose" then Ground_truth.Dispose
+  else if v.op.member = ".cctor" then Ground_truth.Static_ctor
+  else Ground_truth.Other_cause
+
+let print_sites ppf ~app verdicts gt =
+  let describe (v : Verdict.t) =
+    match Ground_truth.find gt v.op v.role with
+    | Some e -> Printf.sprintf "%-70s %s" (Opid.to_string v.op) e.description
+    | None -> Opid.to_string v.op
+  in
+  Format.fprintf ppf "App:%s@." app;
+  Format.fprintf ppf "Releasing sites:@.";
+  List.iter
+    (fun v -> Format.fprintf ppf "  %s@." (describe v))
+    (Verdict.releases verdicts);
+  Format.fprintf ppf "Acquire sites:@.";
+  List.iter
+    (fun v -> Format.fprintf ppf "  %s@." (describe v))
+    (Verdict.acquires verdicts)

@@ -1,0 +1,38 @@
+(** Scoring inferred verdicts against an application's ground truth —
+    the bookkeeping behind Tables 2, 4, 5, 6, 7 and Figure 4. *)
+
+
+type verdict_class =
+  | Correct of Ground_truth.entry
+  | Data_racy   (** an access participating in a true data race (§5.2) *)
+  | Instr_error (** fallout of a simulated instrumentation error *)
+  | Not_sync    (** plain false positive *)
+
+type t = {
+  classified : (Verdict.t * verdict_class) list;
+  missed : Ground_truth.entry list;  (** true syncs not inferred *)
+}
+
+val classify : Ground_truth.t -> Verdict.t list -> t
+
+val count : t -> verdict_class -> int
+(** Matching on the constructor only (payloads ignored). *)
+
+val num_correct : t -> int
+
+val num_inferred : t -> int
+
+val precision : t -> float
+(** correct / inferred; nan when nothing was inferred. *)
+
+val correct_ops : t -> (Verdict.t * Ground_truth.entry) list
+
+val false_positive_cause : Ground_truth.t -> Verdict.t -> Ground_truth.cause
+(** Table 4 bucket for a non-correct verdict: instrumentation scope,
+    then structural cues (ReaderWriterLock upgrade/downgrade ->
+    Double_role; Finalize/Dispose -> Dispose; .cctor -> Static_ctor),
+    else Others. *)
+
+val print_sites : Format.formatter -> app:string -> Verdict.t list -> Ground_truth.t -> unit
+(** Render the artifact's result format: "Releasing sites: ... Acquire
+    sites: ...", with Tables 8/9-style descriptions where known. *)

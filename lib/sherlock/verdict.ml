@@ -1,0 +1,29 @@
+open Sherlock_trace
+
+type role =
+  | Acquire
+  | Release
+
+type t = {
+  op : Opid.t;
+  role : role;
+  probability : float;
+}
+
+let role_name = function Acquire -> "acquire" | Release -> "release"
+
+let role_rank = function Acquire -> 0 | Release -> 1
+
+let compare a b =
+  match Opid.compare a.op b.op with
+  | 0 -> Int.compare (role_rank a.role) (role_rank b.role)
+  | c -> c
+
+let mem op role verdicts = List.exists (fun v -> Opid.equal v.op op && v.role = role) verdicts
+
+let releases = List.filter (fun v -> v.role = Release)
+
+let acquires = List.filter (fun v -> v.role = Acquire)
+
+let pp ppf v =
+  Format.fprintf ppf "%s %a (p=%.2f)" (role_name v.role) Opid.pp v.op v.probability

@@ -1,0 +1,26 @@
+(** Inference outcomes: an operation judged to be a synchronization. *)
+
+open Sherlock_trace
+
+type role =
+  | Acquire
+  | Release
+
+type t = {
+  op : Opid.t;
+  role : role;
+  probability : float;  (** the LP variable's value, in [threshold, 1] *)
+}
+
+val role_name : role -> string
+
+val compare : t -> t -> int
+(** Order by operation then role; probability is not part of identity. *)
+
+val mem : Opid.t -> role -> t list -> bool
+
+val releases : t list -> t list
+
+val acquires : t list -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** A C#-style [System.Threading.Barrier].
+
+    [signal_and_wait] releases the current phase's work (arrival
+    publishes) and acquires everyone else's (departure observes) — an
+    API that inherently has both roles, like the paper's
+    UpgradeToWriteLock discussion.  The manually-annotated race-detection
+    baseline supports barriers (paper §5.4). *)
+
+type t
+
+val create : int -> t
+(** Number of participants per phase; must be positive. *)
+
+val signal_and_wait : t -> unit
+(** Traced [System.Threading.Barrier::SignalAndWait]; blocks until all
+    participants of the current phase arrived, then releases them all and
+    starts the next phase. *)
+
+val phase : t -> int
+(** Completed phases so far. *)
+
+val id : t -> int
+
+val cls : string
+(** ["System.Threading.Barrier"]. *)

@@ -1,0 +1,23 @@
+(** A concurrent dictionary with [GetOrAdd] delegate semantics
+    (paper Figure 3.C): the value-factory delegate runs atomically with
+    respect to other [GetOrAdd] calls on the same dictionary, so the end
+    of one delegate happens before the start of the next — a
+    happens-before edge SherLock infers with no knowledge of the
+    dictionary's internals. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+
+val get_or_add : ('k, 'v) t -> 'k -> delegate:string * string -> (unit -> 'v) -> 'v
+(** Traced [System.Collections.Concurrent.ConcurrentDictionary::GetOrAdd];
+    the delegate frame ([delegate] names it) runs only when the key was
+    absent, holding the dictionary's internal (untraced) lock. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Untraced helper for assertions in tests. *)
+
+val id : ('k, 'v) t -> int
+
+val cls : string
+(** ["System.Collections.Concurrent.ConcurrentDictionary"]. *)

@@ -1,0 +1,24 @@
+(** A TPL-Dataflow-style buffer block with blocking [Post]/[Receive] —
+    the asynchronous producer/consumer pair of the paper's Figure 3.A
+    ([_block.Post(e)] releases; [Receive] acquires). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val post : 'a t -> 'a -> unit
+(** Traced [System.Threading.Tasks.Dataflow.DataflowBlock::Post]. *)
+
+val receive : 'a t -> 'a
+(** Traced [System.Threading.Tasks.Dataflow.DataflowBlock::Receive];
+    blocks until an item is available. *)
+
+val try_receive : 'a t -> 'a option
+(** Non-blocking variant (still traced as [Receive]). *)
+
+val length : 'a t -> int
+
+val id : 'a t -> int
+
+val cls : string
+(** ["System.Threading.Tasks.Dataflow.DataflowBlock"]. *)

@@ -1,0 +1,49 @@
+let gc_latency = (20_000, 120_000)
+
+type entry = {
+  cls : string;
+  obj : int;
+  finalize : unit -> unit;
+  mutable collectable : bool;
+  mutable finalized : bool;
+}
+
+type gc = {
+  mutable entries : entry list;
+  mutable running : bool;
+}
+
+let slot : gc Runtime.Slot.t = Runtime.Slot.create "gc"
+
+let get_gc () = Runtime.Slot.find slot ~default:(fun () -> { entries = []; running = false })
+
+let sweep gc =
+  List.iter
+    (fun e ->
+      if e.collectable && not e.finalized then begin
+        e.finalized <- true;
+        Runtime.frame ~cls:e.cls ~meth:"Finalize" ~obj:e.obj e.finalize
+      end)
+    gc.entries
+
+let gc_loop gc () =
+  let lo, hi = gc_latency in
+  while true do
+    Runtime.sleep (lo + Runtime.rand_int (hi - lo + 1));
+    sweep gc
+  done
+
+let ensure_collector gc =
+  if not gc.running then begin
+    gc.running <- true;
+    ignore (Runtime.spawn ~daemon:true ~name:"gc" (gc_loop gc))
+  end
+
+let register ~cls ~obj finalize =
+  let gc = get_gc () in
+  ensure_collector gc;
+  gc.entries <- { cls; obj; finalize; collectable = false; finalized = false } :: gc.entries
+
+let collect obj =
+  let gc = get_gc () in
+  List.iter (fun e -> if e.obj = obj then e.collectable <- true) gc.entries

@@ -1,0 +1,21 @@
+(** Simulated garbage-collector finalization.
+
+    C# guarantees a finalizer only runs once its object is unreachable, so
+    the instruction removing the last reference happens before
+    [Finalize-Begin] — one of the non-traditional synchronizations
+    SherLock infers (paper §5.3.3) and also a known source of inference
+    misses (§5.5: the GC runs "at a much later time", beyond the reach of
+    delay injection).  The simulated collector reproduces that lag: a
+    daemon thread scans for collectable objects every few virtual
+    milliseconds. *)
+
+val register : cls:string -> obj:int -> (unit -> unit) -> unit
+(** Give object [obj] a finalizer, traced as [cls::Finalize]. *)
+
+val collect : int -> unit
+(** Mark the object unreachable; the program should have traced the
+    last-reference-removing write just before.  The collector will run the
+    finalizer at some later virtual time. *)
+
+val gc_latency : int * int
+(** Bounds (us) on the collector's scan period. *)

@@ -1,0 +1,46 @@
+open Sherlock_trace
+
+type 'a t = {
+  addr : int;
+  cls : string;
+  field : string;
+  mutable value : 'a;
+}
+
+let cell ~cls ~field ?(volatile = false) init =
+  let addr = Runtime.fresh_id () in
+  if volatile then Runtime.register_volatile addr;
+  { addr; cls; field; value = init }
+
+let read c =
+  Runtime.traced (Opid.read ~cls:c.cls c.field) ~target:c.addr;
+  c.value
+
+(* The event (and any injected delay) precedes the store, so delaying a
+   release write really does delay its visibility to other threads. *)
+let write c v =
+  Runtime.traced (Opid.write ~cls:c.cls c.field) ~target:c.addr;
+  c.value <- v
+
+let peek c = c.value
+
+let poke c v = c.value <- v
+
+let addr c = c.addr
+
+let cls c = c.cls
+
+let field c = c.field
+
+let getter c =
+  Runtime.traced (Opid.read ~cls:c.cls ("get_" ^ c.field)) ~target:c.addr;
+  c.value
+
+let setter c v =
+  Runtime.traced (Opid.write ~cls:c.cls ("set_" ^ c.field)) ~target:c.addr;
+  c.value <- v
+
+let spin_until c pred =
+  while not (pred (read c)) do
+    Runtime.sleep (200 + Runtime.rand_int 400)
+  done

@@ -1,0 +1,48 @@
+let cls = "System.Threading.Monitor"
+
+type t = {
+  id : int;
+  mutable owner : int option;
+  mutable depth : int;
+  queue : Runtime.Waitq.t;
+}
+
+let create () =
+  { id = Runtime.fresh_id (); owner = None; depth = 0; queue = Runtime.Waitq.create () }
+
+let enter t =
+  Runtime.frame ~cls ~meth:"Enter" ~obj:t.id (fun () ->
+      let me = Runtime.self () in
+      let rec loop () =
+        match t.owner with
+        | None ->
+          t.owner <- Some me;
+          t.depth <- 1
+        | Some o when o = me -> t.depth <- t.depth + 1
+        | Some _ ->
+          Runtime.block t.queue;
+          loop ()
+      in
+      loop ())
+
+let exit t =
+  Runtime.frame ~cls ~meth:"Exit" ~obj:t.id (fun () ->
+      let me = Runtime.self () in
+      (match t.owner with
+      | Some o when o = me -> ()
+      | _ -> failwith "Monitor.exit: caller does not own the lock");
+      t.depth <- t.depth - 1;
+      if t.depth = 0 then begin
+        t.owner <- None;
+        ignore (Runtime.wake_one t.queue)
+      end)
+
+let with_lock t f =
+  enter t;
+  match f () with
+  | v ->
+    exit t;
+    v
+  | exception e ->
+    exit t;
+    raise e

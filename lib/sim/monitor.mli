@@ -1,0 +1,24 @@
+(** A C#-style monitor (reentrant mutual-exclusion lock).
+
+    Call sites are traced as [System.Threading.Monitor::Enter/Exit] with
+    the lock's object id, which is what lets SherLock infer
+    [Enter]-begin as an acquire and [Exit]-end as a release with no
+    knowledge of the implementation. *)
+
+type t
+
+val create : unit -> t
+(** Must be called inside a running simulation. *)
+
+val enter : t -> unit
+(** Blocks until the lock is free; reentrant. *)
+
+val exit : t -> unit
+(** Releases one level of ownership and wakes a waiter.  Raises [Failure]
+    if the caller does not own the lock. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [enter]/[exit] bracket, exception-safe. *)
+
+val cls : string
+(** ["System.Threading.Monitor"]. *)

@@ -1,0 +1,301 @@
+open Sherlock_trace
+module Rng = Sherlock_util.Rng
+
+exception Deadlock of string
+
+type instrument = {
+  trace : bool;
+  delay_before : Opid.t -> int;
+}
+
+let no_instrument = { trace = false; delay_before = (fun _ -> 0) }
+
+let tracing ?(delay_before = fun _ -> 0) () = { trace = true; delay_before }
+
+type thread = {
+  tid : int;
+  name : string;
+  daemon : bool;
+  mutable clock : int;
+  mutable alive : bool;
+  mutable blocked : bool;
+}
+
+module Waitq = struct
+  type t = { mutable entries : (thread * (unit -> unit)) list (* FIFO, append at tail *) }
+
+  let create () = { entries = [] }
+
+  let waiters t = List.length t.entries
+end
+
+type world = {
+  rng : Rng.t;
+  instrument : instrument;
+  noise : int;
+  mutable threads : thread list;
+  mutable ready : (thread * (unit -> unit)) list;
+  mutable events : Event.t list;
+  mutable live_nondaemon : int;
+  volatile_addrs : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable next_tid : int;
+  slots : (string, Obj.t) Hashtbl.t;
+  mutable max_clock : int;
+}
+
+type _ Effect.t +=
+  | Traced : Opid.t * int -> unit Effect.t
+  | Spawn : bool * string * (unit -> unit) -> int Effect.t
+  | Self : int Effect.t
+  | Now : int Effect.t
+  | Sleep : int -> unit Effect.t
+  | Block : Waitq.t -> unit Effect.t
+  | Wake : Waitq.t * bool -> int Effect.t
+  | Rand : int -> int Effect.t
+  | Fresh : int Effect.t
+  | Volatile : int -> unit Effect.t
+  | Slot_find : string * (unit -> Obj.t) -> Obj.t Effect.t
+
+let outside_run name =
+  failwith (name ^ ": must be called from inside Runtime.run")
+
+(* Thread-side API: each of these just performs an effect; the scheduler's
+   handler interprets it. *)
+let traced op ~target =
+  try Effect.perform (Traced (op, target)) with Effect.Unhandled _ -> outside_run "traced"
+
+let spawn ?(daemon = false) ~name body =
+  try Effect.perform (Spawn (daemon, name, body)) with Effect.Unhandled _ -> outside_run "spawn"
+
+let self () = try Effect.perform Self with Effect.Unhandled _ -> outside_run "self"
+
+let now () = try Effect.perform Now with Effect.Unhandled _ -> outside_run "now"
+
+let sleep n = try Effect.perform (Sleep n) with Effect.Unhandled _ -> outside_run "sleep"
+
+let yield () = sleep 1
+
+let rand_int n = try Effect.perform (Rand n) with Effect.Unhandled _ -> outside_run "rand_int"
+
+let cpu lo hi =
+  if hi < lo then invalid_arg "Runtime.cpu: hi < lo";
+  sleep (lo + rand_int (hi - lo + 1))
+
+let fresh_id () = try Effect.perform Fresh with Effect.Unhandled _ -> outside_run "fresh_id"
+
+let register_volatile addr =
+  try Effect.perform (Volatile addr) with Effect.Unhandled _ -> outside_run "register_volatile"
+
+let block q = try Effect.perform (Block q) with Effect.Unhandled _ -> outside_run "block"
+
+let wake_one q =
+  try Effect.perform (Wake (q, false)) with Effect.Unhandled _ -> outside_run "wake_one"
+
+let wake_all q =
+  try Effect.perform (Wake (q, true)) with Effect.Unhandled _ -> outside_run "wake_all"
+
+let frame ~cls ~meth ?(obj = 0) f =
+  traced (Opid.enter ~cls meth) ~target:obj;
+  let finish () = traced (Opid.exit ~cls meth) ~target:obj in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+module Slot = struct
+  type 'a t = string
+
+  let create name = "slot:" ^ name
+
+  (* The default closure runs handler-side and therefore must not perform
+     effects; primitives needing effectful initialization store a flag in
+     the slot value and finish initialization from thread context. *)
+  let find (key : 'a t) ~default =
+    let boxed =
+      try Effect.perform (Slot_find (key, fun () -> Obj.repr (default ())))
+      with Effect.Unhandled _ -> outside_run "Slot.find"
+    in
+    (Obj.obj boxed : 'a)
+end
+
+let bump_clock w t dt =
+  t.clock <- t.clock + dt;
+  if t.clock > w.max_clock then w.max_clock <- t.clock
+
+let push_ready w t resume = w.ready <- (t, resume) :: w.ready
+
+(* Pick the ready thread with the smallest clock; random tie-break keeps
+   equal-clock orderings varied across seeds. *)
+let pick w =
+  match w.ready with
+  | [] -> None
+  | ready ->
+    let min_clock = List.fold_left (fun acc (t, _) -> min acc t.clock) max_int ready in
+    let mins = List.filter (fun (t, _) -> t.clock = min_clock) ready in
+    let t, resume =
+      match mins with
+      | [ one ] -> one
+      | _ -> List.nth mins (Rng.int w.rng (List.length mins))
+    in
+    w.ready <- List.filter (fun (t', _) -> t'.tid <> t.tid) ready;
+    Some (t, resume)
+
+let op_cost w =
+  let base = 1 + Rng.int w.rng 3 in
+  if w.noise > 0 && Rng.int w.rng w.noise = 0 then base + Rng.int w.rng 150 else base
+
+let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
+ fun w t body ->
+  let open Effect.Deep in
+  let finish () =
+    t.alive <- false;
+    if not t.daemon then w.live_nondaemon <- w.live_nondaemon - 1
+  in
+  match_with body ()
+    {
+      retc = (fun () -> finish ());
+      exnc =
+        (fun e ->
+          finish ();
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Traced (op, target) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let delay = w.instrument.delay_before op in
+                if delay > 0 then bump_clock w t delay;
+                bump_clock w t (op_cost w);
+                if w.instrument.trace then
+                  w.events <-
+                    Event.make ~time:t.clock ~tid:t.tid ~op ~target ~delayed_by:delay ()
+                    :: w.events;
+                push_ready w t (fun () -> continue k ()))
+          | Sleep n ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                bump_clock w t (max 1 n);
+                push_ready w t (fun () -> continue k ()))
+          | Block q ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                t.blocked <- true;
+                q.entries <-
+                  q.entries
+                  @ [
+                      ( t,
+                        fun () ->
+                          t.blocked <- false;
+                          continue k () );
+                    ])
+          | Wake (q, all) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let wake (wt, resume) =
+                  if wt.clock < t.clock + 1 then wt.clock <- t.clock + 1;
+                  push_ready w wt resume
+                in
+                let n =
+                  match q.entries with
+                  | [] -> 0
+                  | first :: rest when not all ->
+                    q.entries <- rest;
+                    wake first;
+                    1
+                  | entries ->
+                    q.entries <- [];
+                    List.iter wake entries;
+                    List.length entries
+                in
+                bump_clock w t 1;
+                push_ready w t (fun () -> continue k n))
+          | Spawn (daemon, name, child_body) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let child =
+                  {
+                    tid = w.next_tid;
+                    name;
+                    daemon;
+                    clock = t.clock + 1;
+                    alive = true;
+                    blocked = false;
+                  }
+                in
+                w.next_tid <- w.next_tid + 1;
+                w.threads <- child :: w.threads;
+                if not daemon then w.live_nondaemon <- w.live_nondaemon + 1;
+                push_ready w child (fun () -> exec_thread w child child_body);
+                bump_clock w t 1;
+                push_ready w t (fun () -> continue k child.tid))
+          | Self -> Some (fun (k : (a, unit) continuation) -> continue k t.tid)
+          | Now -> Some (fun (k : (a, unit) continuation) -> continue k t.clock)
+          | Rand n -> Some (fun (k : (a, unit) continuation) -> continue k (Rng.int w.rng n))
+          | Fresh ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                w.next_id <- w.next_id + 1;
+                continue k w.next_id)
+          | Volatile addr ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                Hashtbl.replace w.volatile_addrs addr ();
+                continue k ())
+          | Slot_find (key, init) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let v =
+                  match Hashtbl.find_opt w.slots key with
+                  | Some v -> v
+                  | None ->
+                    let v = init () in
+                    Hashtbl.add w.slots key v;
+                    v
+                in
+                continue k v)
+          | _ -> None);
+    }
+
+let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40) body =
+  let w =
+    {
+      rng = Rng.create seed;
+      instrument;
+      noise;
+      threads = [];
+      ready = [];
+      events = [];
+      live_nondaemon = 1;
+      volatile_addrs = Hashtbl.create 16;
+      next_id = 0;
+      next_tid = 1;
+      slots = Hashtbl.create 16;
+      max_clock = 0;
+    }
+  in
+  let main =
+    { tid = 0; name = "main"; daemon = false; clock = 0; alive = true; blocked = false }
+  in
+  w.threads <- [ main ];
+  push_ready w main (fun () -> exec_thread w main body);
+  let rec loop () =
+    if w.live_nondaemon > 0 then
+      match pick w with
+      | Some (_, resume) ->
+        resume ();
+        loop ()
+      | None ->
+        let stuck =
+          List.filter (fun t -> t.alive && t.blocked && not t.daemon) w.threads
+        in
+        let names = String.concat ", " (List.map (fun t -> t.name) stuck) in
+        raise (Deadlock names)
+  in
+  loop ();
+  Log.create ~events:(List.rev w.events) ~duration:w.max_clock ~threads:w.next_tid
+    ~volatile_addrs:w.volatile_addrs

@@ -1,0 +1,126 @@
+(** Deterministic cooperative concurrency runtime with virtual time.
+
+    This is the reproduction's substitute for the .NET runtime plus
+    Mono.Cecil instrumentation: simulated programs are plain OCaml
+    functions that perform effects for every heap access, method frame,
+    spawn, sleep, and blocking operation.  A trampolined effect-handler
+    scheduler interleaves threads by smallest virtual clock (with seeded
+    random jitter, so different seeds explore different interleavings),
+    records a {!Sherlock_trace.Log.t}, and injects Perturber delays before
+    selected operations.
+
+    Time is measured in virtual microseconds.  Every traced operation is a
+    scheduling point; blocked threads make no progress until another
+    thread wakes them, at which point their clock jumps to the waker's —
+    exactly the behaviour the Acquisition-Time-Varies hypothesis and the
+    delay-propagation check rely on.
+
+    All functions below except {!run} must be called from inside a running
+    simulation (i.e. from the program passed to [run] or a thread it
+    spawned); calling them outside raises [Failure]. *)
+
+open Sherlock_trace
+
+exception Deadlock of string
+(** Raised by {!run} when no thread can make progress but a non-daemon
+    thread is still blocked.  The payload names the stuck threads. *)
+
+type instrument = {
+  trace : bool;  (** record events; off for overhead baselines *)
+  delay_before : Opid.t -> int;
+      (** virtual delay (us) to inject immediately before each dynamic
+          instance of the operation; return 0 for none.  This is the
+          Perturber's hook (paper §4.3: 100 ms before every instance of
+          every currently-inferred release). *)
+}
+
+val no_instrument : instrument
+(** No tracing, no delays. *)
+
+val tracing : ?delay_before:(Opid.t -> int) -> unit -> instrument
+(** Tracing on, with an optional delay policy. *)
+
+val run : ?seed:int -> ?instrument:instrument -> ?noise:int -> (unit -> unit) -> Log.t
+(** [run body] executes [body] as the main thread and schedules all
+    spawned threads to completion.  [seed] fixes the interleaving;
+    [noise] scales the random scheduling jitter (default 40: roughly one
+    op in 40 gets an extra 0..150 us gap). *)
+
+(** {1 Thread operations} *)
+
+val spawn : ?daemon:bool -> name:string -> (unit -> unit) -> int
+(** Create a thread; returns its tid.  Daemon threads do not keep the
+    simulation alive (used by the thread pool and the GC). *)
+
+val self : unit -> int
+
+val now : unit -> int
+(** Current thread's virtual clock. *)
+
+val sleep : int -> unit
+(** Advance this thread's clock by [n] us (models both blocking sleeps
+    and CPU work — the scheduler cannot tell the difference). *)
+
+val yield : unit -> unit
+(** A minimal-cost scheduling point. *)
+
+val cpu : int -> int -> unit
+(** [cpu lo hi] burns a uniform random amount of virtual time in
+    [\[lo, hi\]] — models variable-length computation. *)
+
+val rand_int : int -> int
+(** Deterministic per-run randomness (for workload shaping). *)
+
+val fresh_id : unit -> int
+(** Allocate a fresh address / object id, unique within the run and
+    never 0. *)
+
+(** {1 Tracing} *)
+
+val traced : Opid.t -> target:int -> unit
+(** Emit one event for the current thread (subject to the delay policy);
+    this is the primitive beneath {!Heap} and {!frame}. *)
+
+val frame : cls:string -> meth:string -> ?obj:int -> (unit -> 'a) -> 'a
+(** Run a method body between a traced [Begin] and [End] (the [End] is
+    emitted even on exceptions).  [obj] is the parent object id. *)
+
+val register_volatile : int -> unit
+(** Mark an address volatile in the run's log metadata (consumed only by
+    the manually-annotated race detector, never by SherLock). *)
+
+(** {1 Blocking} *)
+
+module Waitq : sig
+  type t
+  (** A queue of suspended threads, the building block of every
+      synchronization primitive. *)
+
+  val create : unit -> t
+
+  val waiters : t -> int
+end
+
+val block : Waitq.t -> unit
+(** Suspend the current thread on the queue. *)
+
+val wake_one : Waitq.t -> int
+(** Resume the longest-waiting thread; returns how many were woken (0 or
+    1).  The resumed thread's clock advances to the waker's. *)
+
+val wake_all : Waitq.t -> int
+
+(** {1 Per-run state} *)
+
+module Slot : sig
+  type 'a t
+  (** A typed, per-run storage cell: primitives use slots for world-scoped
+      singletons (the thread pool, the GC) so that state never leaks
+      between runs. *)
+
+  val create : string -> 'a t
+  (** Names must be globally unique per stored type. *)
+
+  val find : 'a t -> default:(unit -> 'a) -> 'a
+  (** The slot's value in the current run, initializing it on first use. *)
+end

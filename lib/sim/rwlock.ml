@@ -1,0 +1,54 @@
+let cls = "System.Threading.ReaderWriterLock"
+
+type t = {
+  id : int;
+  mutable readers : int;
+  mutable writer : int option;
+  queue : Runtime.Waitq.t;
+}
+
+let create () =
+  { id = Runtime.fresh_id (); readers = 0; writer = None; queue = Runtime.Waitq.create () }
+
+let rec wait_for t cond =
+  if not (cond ()) then begin
+    Runtime.block t.queue;
+    wait_for t cond
+  end
+
+let acquire_reader t =
+  Runtime.frame ~cls ~meth:"AcquireReaderLock" ~obj:t.id (fun () ->
+      wait_for t (fun () -> t.writer = None);
+      t.readers <- t.readers + 1)
+
+let release_reader t =
+  Runtime.frame ~cls ~meth:"ReleaseReaderLock" ~obj:t.id (fun () ->
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then ignore (Runtime.wake_all t.queue))
+
+let acquire_writer t =
+  Runtime.frame ~cls ~meth:"AcquireWriterLock" ~obj:t.id (fun () ->
+      let me = Runtime.self () in
+      wait_for t (fun () -> t.writer = None && t.readers = 0);
+      t.writer <- Some me)
+
+let release_writer t =
+  Runtime.frame ~cls ~meth:"ReleaseWriterLock" ~obj:t.id (fun () ->
+      t.writer <- None;
+      ignore (Runtime.wake_all t.queue))
+
+let upgrade_to_writer_lock t =
+  Runtime.frame ~cls ~meth:"UpgradeToWriterLock" ~obj:t.id (fun () ->
+      let me = Runtime.self () in
+      (* Release the reader half first — this is the API's release role. *)
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then ignore (Runtime.wake_all t.queue);
+      (* ... then acquire the writer half — its acquire role. *)
+      wait_for t (fun () -> t.writer = None && t.readers = 0);
+      t.writer <- Some me)
+
+let downgrade_from_writer_lock t =
+  Runtime.frame ~cls ~meth:"DowngradeFromWriterLock" ~obj:t.id (fun () ->
+      t.writer <- None;
+      t.readers <- t.readers + 1;
+      ignore (Runtime.wake_all t.queue))

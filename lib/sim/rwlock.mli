@@ -1,0 +1,27 @@
+(** A C#-style [ReaderWriterLock].
+
+    Besides the four plain acquire/release methods it offers
+    [upgrade_to_writer_lock], which the paper singles out (§5.5) as a
+    violation of SherLock's Single-Role assumption: within one API call it
+    *releases* the caller's reader lock and then *acquires* the writer
+    lock, so no single acquire-or-release label fits it. *)
+
+type t
+
+val create : unit -> t
+
+val acquire_reader : t -> unit
+val release_reader : t -> unit
+val acquire_writer : t -> unit
+val release_writer : t -> unit
+
+val upgrade_to_writer_lock : t -> unit
+(** Caller must hold a reader lock; atomically gives it up and blocks
+    until the writer lock is granted. *)
+
+val downgrade_from_writer_lock : t -> unit
+(** Caller must hold the writer lock; converts it into a reader lock and
+    wakes blocked readers. *)
+
+val cls : string
+(** ["System.Threading.ReaderWriterLock"]. *)

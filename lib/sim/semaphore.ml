@@ -1,0 +1,27 @@
+let cls = "System.Threading.SemaphoreSlim"
+
+type t = {
+  id : int;
+  mutable count : int;
+  queue : Runtime.Waitq.t;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative count";
+  { id = Runtime.fresh_id (); count = n; queue = Runtime.Waitq.create () }
+
+let id t = t.id
+
+let count t = t.count
+
+let wait t =
+  Runtime.frame ~cls ~meth:"Wait" ~obj:t.id (fun () ->
+      while t.count = 0 do
+        Runtime.block t.queue
+      done;
+      t.count <- t.count - 1)
+
+let release t =
+  Runtime.frame ~cls ~meth:"Release" ~obj:t.id (fun () ->
+      t.count <- t.count + 1;
+      ignore (Runtime.wake_one t.queue))

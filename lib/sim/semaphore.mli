@@ -1,0 +1,20 @@
+(** A counting semaphore ([System.Threading.SemaphoreSlim]). *)
+
+type t
+
+val create : int -> t
+(** Initial count; must be non-negative. *)
+
+val wait : t -> unit
+(** Traced [System.Threading.SemaphoreSlim::Wait]; blocks while the count
+    is zero. *)
+
+val release : t -> unit
+(** Traced [System.Threading.SemaphoreSlim::Release]. *)
+
+val count : t -> int
+
+val id : t -> int
+
+val cls : string
+(** ["System.Threading.SemaphoreSlim"]. *)

@@ -1,0 +1,29 @@
+type state =
+  | Uninitialized
+  | Running of int (* initializing thread *)
+  | Done
+
+type t = {
+  cls : string;
+  ctor : unit -> unit;
+  mutable state : state;
+  queue : Runtime.Waitq.t;
+}
+
+let declare ~cls ctor =
+  { cls; ctor; state = Uninitialized; queue = Runtime.Waitq.create () }
+
+let initialized t = t.state = Done
+
+let rec ensure t =
+  match t.state with
+  | Done -> ()
+  | Running tid when tid = Runtime.self () -> () (* reentrant, as in C# *)
+  | Running _ ->
+    Runtime.block t.queue;
+    ensure t
+  | Uninitialized ->
+    t.state <- Running (Runtime.self ());
+    Runtime.frame ~cls:t.cls ~meth:".cctor" (fun () -> t.ctor ());
+    t.state <- Done;
+    ignore (Runtime.wake_all t.queue)

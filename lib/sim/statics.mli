@@ -1,0 +1,20 @@
+(** C# static-constructor semantics.
+
+    The language guarantees that a class's static constructor completes
+    before any other access to the class; the end of the [.cctor] is thus
+    a release and the first access after it an acquire — a
+    language-enforced happens-before edge with no explicit primitive
+    (paper §5.3.3), inferred by SherLock without knowing the semantics. *)
+
+type t
+
+val declare : cls:string -> (unit -> unit) -> t
+(** Declare a class with a static constructor body, once per run (the
+    returned handle is bound to the current run). *)
+
+val ensure : t -> unit
+(** Run before any static member access: triggers the [.cctor] (traced as
+    [cls::.cctor]) on the first call and blocks concurrent callers until
+    it finishes.  Reentrant from the initializing thread. *)
+
+val initialized : t -> bool

@@ -1,0 +1,66 @@
+let cls = "System.Threading.Tasks.Task"
+
+let factory_cls = "System.Threading.Tasks.TaskFactory"
+
+type t = {
+  id : int;
+  body : unit -> unit;
+  delegate : (string * string) option;
+  mutable completed : bool;
+  mutable continuations : t list;
+  done_queue : Runtime.Waitq.t;
+}
+
+let create ?delegate body =
+  {
+    id = Runtime.fresh_id ();
+    body;
+    delegate;
+    completed = false;
+    continuations = [];
+    done_queue = Runtime.Waitq.create ();
+  }
+
+let id t = t.id
+
+let is_completed t = t.completed
+
+let run_delegate t =
+  match t.delegate with
+  | Some (cls, meth) -> Runtime.frame ~cls ~meth ~obj:t.id t.body
+  | None -> t.body ()
+
+let rec fork t =
+  ignore
+    (Runtime.spawn ~name:(Printf.sprintf "task-%d" t.id) (fun () ->
+         run_delegate t;
+         t.completed <- true;
+         ignore (Runtime.wake_all t.done_queue);
+         (* Completed continuations start now, on their own threads. *)
+         let conts = t.continuations in
+         t.continuations <- [];
+         List.iter fork conts))
+
+let start t = Runtime.frame ~cls ~meth:"Start" ~obj:t.id (fun () -> fork t)
+
+let wait t =
+  Runtime.frame ~cls ~meth:"Wait" ~obj:t.id (fun () ->
+      while not t.completed do
+        Runtime.block t.done_queue
+      done)
+
+let run ?delegate body =
+  let t = create ?delegate body in
+  Runtime.frame ~cls ~meth:"Run" ~obj:t.id (fun () -> fork t);
+  t
+
+let continue_with t ?delegate body =
+  let next = create ?delegate body in
+  Runtime.frame ~cls ~meth:"ContinueWith" ~obj:next.id (fun () ->
+      if t.completed then fork next else t.continuations <- next :: t.continuations);
+  next
+
+let start_new ?delegate body =
+  let t = create ?delegate body in
+  Runtime.frame ~cls:factory_cls ~meth:"StartNew" ~obj:t.id (fun () -> fork t);
+  t

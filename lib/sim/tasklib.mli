@@ -1,0 +1,43 @@
+(** C#-style tasks: [Task], [TaskFactory.StartNew], [Task.Run], and
+    [ContinueWith].
+
+    Every task runs its *delegate* on a fresh thread, and the delegate
+    body executes inside an application method frame named by the caller
+    ([~delegate:(cls, meth)]) with the task's object id — so the trace
+    shows, e.g., [Task::Start-End] (release) in the parent and
+    [App.Worker::<Run>b0-Begin] (acquire) in the child, exactly the
+    pattern SherLock infers in the paper's Tables 8/9. *)
+
+type t
+
+val create : ?delegate:string * string -> (unit -> unit) -> t
+(** A cold task; nothing runs until {!start}. *)
+
+val start : t -> unit
+(** Traced [System.Threading.Tasks.Task::Start]; forks the delegate. *)
+
+val wait : t -> unit
+(** Traced [System.Threading.Tasks.Task::Wait]; blocks until the delegate
+    completed. *)
+
+val run : ?delegate:string * string -> (unit -> unit) -> t
+(** Traced [System.Threading.Tasks.Task::Run]: create + start. *)
+
+val continue_with : t -> ?delegate:string * string -> (unit -> unit) -> t
+(** Traced [System.Threading.Tasks.Task::ContinueWith]: schedules the
+    second delegate to start after the first task completes (Figure 3.D). *)
+
+val start_new : ?delegate:string * string -> (unit -> unit) -> t
+(** Traced [System.Threading.Tasks.TaskFactory::StartNew] — one of the
+    "numerous ways of creating tasks" that the paper's manual annotation
+    baseline fails to cover (§5.4). *)
+
+val is_completed : t -> bool
+
+val id : t -> int
+
+val cls : string
+(** ["System.Threading.Tasks.Task"]. *)
+
+val factory_cls : string
+(** ["System.Threading.Tasks.TaskFactory"]. *)

@@ -1,0 +1,36 @@
+let cls = "System.Threading.Thread"
+
+type t = {
+  id : int;
+  body : unit -> unit;
+  delegate : (string * string) option;
+  mutable completed : bool;
+  done_queue : Runtime.Waitq.t;
+}
+
+let create ?delegate body =
+  {
+    id = Runtime.fresh_id ();
+    body;
+    delegate;
+    completed = false;
+    done_queue = Runtime.Waitq.create ();
+  }
+
+let id t = t.id
+
+let start t =
+  Runtime.frame ~cls ~meth:"Start" ~obj:t.id (fun () ->
+      ignore
+        (Runtime.spawn ~name:(Printf.sprintf "thread-%d" t.id) (fun () ->
+             (match t.delegate with
+             | Some (cls, meth) -> Runtime.frame ~cls ~meth ~obj:t.id t.body
+             | None -> t.body ());
+             t.completed <- true;
+             ignore (Runtime.wake_all t.done_queue))))
+
+let join t =
+  Runtime.frame ~cls ~meth:"Join" ~obj:t.id (fun () ->
+      while not t.completed do
+        Runtime.block t.done_queue
+      done)

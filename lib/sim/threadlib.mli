@@ -1,0 +1,21 @@
+(** C#-style dedicated threads ([System.Threading.Thread]).
+
+    [start] is the fork release and the delegate's [Begin] the matching
+    acquire; [join] is the join acquire with the delegate's [End] as
+    release — the classic fork-join pair FastTrack-style detectors track. *)
+
+type t
+
+val create : ?delegate:string * string -> (unit -> unit) -> t
+
+val start : t -> unit
+(** Traced [System.Threading.Thread::Start]. *)
+
+val join : t -> unit
+(** Traced [System.Threading.Thread::Join]; blocks until the delegate
+    finished. *)
+
+val id : t -> int
+
+val cls : string
+(** ["System.Threading.Thread"]. *)

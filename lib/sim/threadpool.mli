@@ -1,0 +1,17 @@
+(** The process-wide thread pool ([System.Threading.ThreadPool]).
+
+    A small set of daemon worker threads drains a FIFO work queue.
+    [queue_user_work_item] is fire-and-forget, as in C#: programs that
+    need completion signalling pair it with a {!Waithandle} — and a
+    manual race-detection annotation list that forgets the pool's
+    fork edge produces exactly the false races of the paper's Table 3. *)
+
+val queue_user_work_item : ?delegate:string * string -> (unit -> unit) -> unit
+(** Traced [System.Threading.ThreadPool::QueueUserWorkItem].  The delegate
+    frame carries a fresh work-item object id. *)
+
+val workers : int
+(** Pool size (3). *)
+
+val cls : string
+(** ["System.Threading.ThreadPool"]. *)

@@ -1,0 +1,24 @@
+open Sherlock_trace
+
+let cls = "System.Collections.Generic.Dictionary"
+
+type ('k, 'v) t = {
+  id : int;
+  table : ('k, 'v) Hashtbl.t;
+}
+
+let create () = { id = Runtime.fresh_id (); table = Hashtbl.create 16 }
+
+let id t = t.id
+
+let add t k v =
+  Runtime.traced (Opid.write ~cls "Add") ~target:t.id;
+  Hashtbl.replace t.table k v
+
+let try_get_value t k =
+  Runtime.traced (Opid.read ~cls "TryGetValue") ~target:t.id;
+  Hashtbl.find_opt t.table k
+
+let count t =
+  Runtime.traced (Opid.read ~cls "Count") ~target:t.id;
+  Hashtbl.length t.table

@@ -1,0 +1,23 @@
+(** A thread-unsafe dictionary ([System.Collections.Generic.Dictionary]) —
+    a second member of the paper's 14-class thread-unsafe API list
+    (§4.1).  Operations are traced as read/write accesses on the
+    dictionary's address, exactly like {!Unsafe_list}. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Traced as a write access
+    [Write-System.Collections.Generic.Dictionary::Add]. *)
+
+val try_get_value : ('k, 'v) t -> 'k -> 'v option
+(** Traced as a read access. *)
+
+val count : ('k, 'v) t -> int
+(** Traced as a read access. *)
+
+val id : ('k, 'v) t -> int
+
+val cls : string
+(** ["System.Collections.Generic.Dictionary"]. *)

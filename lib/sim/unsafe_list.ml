@@ -1,0 +1,26 @@
+open Sherlock_trace
+
+let cls = "System.Collections.Generic.List"
+
+type 'a t = {
+  id : int;
+  mutable items : 'a list;
+}
+
+let create () = { id = Runtime.fresh_id (); items = [] }
+
+let id t = t.id
+
+let add t x =
+  Runtime.traced (Opid.write ~cls "Add") ~target:t.id;
+  t.items <- x :: t.items
+
+let contains t x =
+  Runtime.traced (Opid.read ~cls "Contains") ~target:t.id;
+  List.mem x t.items
+
+let count t =
+  Runtime.traced (Opid.read ~cls "Count") ~target:t.id;
+  List.length t.items
+
+let to_list t = List.rev t.items

@@ -1,0 +1,29 @@
+(** A deliberately thread-unsafe collection
+    ([System.Collections.Generic.List]).
+
+    Its operations are traced as read/write *accesses* on the collection's
+    address — the paper's optional thread-unsafe-API list (§4.1): two
+    concurrent calls with at least one mutator form a conflicting pair
+    exactly like raw field accesses, and they are also the call pairs the
+    TSVD baseline targets. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> 'a -> unit
+(** Traced as a write access [Write-System.Collections.Generic.List::Add]. *)
+
+val contains : 'a t -> 'a -> bool
+(** Traced as a read access. *)
+
+val count : 'a t -> int
+(** Traced as a read access. *)
+
+val to_list : 'a t -> 'a list
+(** Untraced, for assertions. *)
+
+val id : 'a t -> int
+
+val cls : string
+(** ["System.Collections.Generic.List"]. *)

@@ -1,0 +1,52 @@
+let event_cls = "System.Threading.EventWaitHandle"
+
+let wait_cls = "System.Threading.WaitHandle"
+
+type t = {
+  id : int;
+  auto : bool;
+  mutable signaled : bool;
+  queue : Runtime.Waitq.t;
+}
+
+let make auto signaled =
+  { id = Runtime.fresh_id (); auto; signaled; queue = Runtime.Waitq.create () }
+
+let create_manual ?(signaled = false) () = make false signaled
+
+let create_auto ?(signaled = false) () = make true signaled
+
+let id t = t.id
+
+let set t =
+  Runtime.frame ~cls:event_cls ~meth:"Set" ~obj:t.id (fun () ->
+      t.signaled <- true;
+      if t.auto then ignore (Runtime.wake_one t.queue) else ignore (Runtime.wake_all t.queue))
+
+let reset t =
+  Runtime.frame ~cls:event_cls ~meth:"Reset" ~obj:t.id (fun () -> t.signaled <- false)
+
+(* Consume a signal: true if the handle was signaled (auto handles reset). *)
+let try_consume t =
+  if t.signaled then begin
+    if t.auto then t.signaled <- false;
+    true
+  end
+  else false
+
+let wait_one t =
+  Runtime.frame ~cls:wait_cls ~meth:"WaitOne" ~obj:t.id (fun () ->
+      while not (try_consume t) do
+        Runtime.block t.queue
+      done)
+
+let wait_all handles =
+  Runtime.frame ~cls:wait_cls ~meth:"WaitAll" ~obj:0 (fun () ->
+      (* Wait for each in turn; manual handles stay signaled so order is
+         immaterial, and auto handles are consumed exactly once. *)
+      List.iter
+        (fun t ->
+          while not (try_consume t) do
+            Runtime.block t.queue
+          done)
+        handles)

@@ -1,0 +1,33 @@
+(** C#-style event wait handles: [ManualResetEvent], [AutoResetEvent],
+    and the n-to-1 [WaitHandle::WaitAll] the paper highlights as an
+    inferred n-to-n synchronization (Table 8). *)
+
+type t
+
+val create_manual : ?signaled:bool -> unit -> t
+(** Manual-reset: once set, stays signaled until {!reset}. *)
+
+val create_auto : ?signaled:bool -> unit -> t
+(** Auto-reset: releases a single waiter per {!set}. *)
+
+val set : t -> unit
+(** Traced [System.Threading.EventWaitHandle::Set]. *)
+
+val reset : t -> unit
+(** Traced [System.Threading.EventWaitHandle::Reset]. *)
+
+val wait_one : t -> unit
+(** Traced [System.Threading.WaitHandle::WaitOne]; blocks until
+    signaled. *)
+
+val wait_all : t list -> unit
+(** Traced [System.Threading.WaitHandle::WaitAll]; blocks until every
+    handle is signaled (consuming a signal from each auto handle). *)
+
+val id : t -> int
+
+val event_cls : string
+(** ["System.Threading.EventWaitHandle"]. *)
+
+val wait_cls : string
+(** ["System.Threading.WaitHandle"]. *)

@@ -1,0 +1,70 @@
+type t = { samples : (string, float list ref) Hashtbl.t }
+
+let create () = { samples = Hashtbl.create 64 }
+
+let add t key d =
+  match Hashtbl.find_opt t.samples key with
+  | Some r -> r := d :: !r
+  | None -> Hashtbl.add t.samples key (ref [ d ])
+
+let record_log t log =
+  (* Per-thread stacks of open frames; an End pops the nearest matching
+     Begin, skipping mismatches defensively (a filtered-out frame can leave
+     an unmatched Begin behind).  Frames containing an injected Perturber
+     delay are excluded: the artificial 100 ms would swamp the method's
+     natural duration variation. *)
+  let delayed : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Log.iter
+    (fun (e : Event.t) ->
+      if e.delayed_by > 0 then
+        match Hashtbl.find_opt delayed e.tid with
+        | Some r -> r := e.time :: !r
+        | None -> Hashtbl.add delayed e.tid (ref [ e.time ]))
+    log;
+  let contains_delay tid t0 t1 =
+    match Hashtbl.find_opt delayed tid with
+    | None -> false
+    | Some r -> List.exists (fun t -> t > t0 && t <= t1) !r
+  in
+  let stacks : (int, (string * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  Log.iter
+    (fun (e : Event.t) ->
+      match e.op.kind with
+      | Opid.Begin ->
+        let s = stack e.tid in
+        s := (Opid.method_key e.op, e.time) :: !s
+      | Opid.End ->
+        let key = Opid.method_key e.op in
+        let s = stack e.tid in
+        let rec pop acc = function
+          | [] -> None
+          | (k, t0) :: rest when k = key -> Some (t0, List.rev_append acc rest)
+          | frame :: rest -> pop (frame :: acc) rest
+        in
+        (match pop [] !s with
+        | Some (t0, rest) ->
+          s := rest;
+          if not (contains_delay e.tid t0 e.time) then
+            add t key (float_of_int (e.time - t0))
+        | None -> ())
+      | Opid.Read | Opid.Write -> ())
+    log
+
+let samples t key =
+  match Hashtbl.find_opt t.samples key with Some r -> !r | None -> []
+
+let cv t key = Sherlock_util.Stats.coefficient_of_variation (samples t key)
+
+let methods t = Hashtbl.fold (fun k _ acc -> k :: acc) t.samples []
+
+let cv_percentile t key =
+  let all = List.map (fun k -> cv t k) (methods t) in
+  Sherlock_util.Stats.percentile_rank all (cv t key)

@@ -1,0 +1,29 @@
+(** Method-duration accounting for the Acquisition-Time-Mostly-Varies
+    hypothesis (paper §2, Equation 5).
+
+    Durations are recovered from the trace by pairing each method-exit
+    event with the nearest unmatched entry of the same method on the same
+    thread; the duration includes any time the method spent blocked, which
+    is exactly why contended acquires show high variation. *)
+
+type t
+
+val create : unit -> t
+
+val record_log : t -> Log.t -> unit
+(** Fold one run's trace into the accumulated per-method samples.
+    Observations accumulate across runs (paper §4.3). *)
+
+val samples : t -> string -> float list
+(** Duration samples (microseconds) for a method key
+    (see {!Opid.method_key}). *)
+
+val cv : t -> string -> float
+(** Coefficient of variation of the method's durations; 0 if unseen. *)
+
+val cv_percentile : t -> string -> float
+(** Percentile rank of this method's CV among all methods seen, in
+    [\[0,1\]] — the paper's [percentile(CV(duration(m)))]. *)
+
+val methods : t -> string list
+(** All method keys with at least one complete sample. *)

@@ -1,0 +1,14 @@
+type t = {
+  time : int;
+  tid : int;
+  op : Opid.t;
+  target : int;
+  delayed_by : int;
+}
+
+let make ~time ~tid ~op ?(target = 0) ?(delayed_by = 0) () =
+  { time; tid; op; target; delayed_by }
+
+let pp ppf e =
+  Format.fprintf ppf "@[%8dus t%-3d %a target=%d%s@]" e.time e.tid Opid.pp e.op e.target
+    (if e.delayed_by > 0 then Printf.sprintf " (delayed %dus)" e.delayed_by else "")

@@ -1,0 +1,18 @@
+(** One trace record, matching the paper's log-entry content (§4.1):
+    timestamp, thread id, operation type, and the field address or parent
+    object id.  We additionally record the virtual delay that the
+    Perturber injected immediately before the operation, which is what the
+    delay-propagation check consumes. *)
+
+type t = {
+  time : int;       (** virtual timestamp in microseconds, at op completion *)
+  tid : int;        (** simulated thread id *)
+  op : Opid.t;
+  target : int;     (** field address for accesses, parent object id for
+                        frames; 0 when the method has no parent object *)
+  delayed_by : int; (** virtual delay injected right before this op; 0 = none *)
+}
+
+val make : time:int -> tid:int -> op:Opid.t -> ?target:int -> ?delayed_by:int -> unit -> t
+
+val pp : Format.formatter -> t -> unit

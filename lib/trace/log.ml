@@ -1,0 +1,39 @@
+type t = {
+  events : Event.t array;
+  duration : int;
+  threads : int;
+  volatile_addrs : (int, unit) Hashtbl.t;
+}
+
+let create ~events ~duration ~threads ~volatile_addrs =
+  let arr = Array.of_list events in
+  (* The simulator emits events as threads execute, which is not globally
+     time-sorted (thread-local clocks drift); analyses want time order. *)
+  let stable = Array.mapi (fun i e -> (i, e)) arr in
+  Array.sort
+    (fun (i, (a : Event.t)) (j, b) ->
+      match Int.compare a.time b.time with 0 -> Int.compare i j | c -> c)
+    stable;
+  { events = Array.map snd stable; duration; threads; volatile_addrs }
+
+let empty =
+  { events = [||]; duration = 0; threads = 0; volatile_addrs = Hashtbl.create 1 }
+
+let length t = Array.length t.events
+
+let iter f t = Array.iter f t.events
+
+let events_of_thread t tid =
+  Array.to_list t.events |> List.filter (fun (e : Event.t) -> e.tid = tid)
+
+let between t ~lo ~hi =
+  Array.to_list t.events
+  |> List.filter (fun (e : Event.t) -> e.time >= lo && e.time <= hi)
+
+let thread_active_in t ~tid ~lo ~hi =
+  Array.exists (fun (e : Event.t) -> e.tid = tid && e.time >= lo && e.time <= hi) t.events
+
+let pp ppf t =
+  Format.fprintf ppf "log: %d events, %dus, %d threads@." (Array.length t.events)
+    t.duration t.threads;
+  Array.iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) t.events

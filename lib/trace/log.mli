@@ -1,0 +1,36 @@
+(** An execution trace: the ordered event stream of one simulated run plus
+    the metadata the analyses need (volatile-field registry for the
+    manually-annotated race detector, wall-clock span, thread count). *)
+
+type t = {
+  events : Event.t array;     (** sorted by [time], ties broken by emission order *)
+  duration : int;             (** virtual end time of the run, microseconds *)
+  threads : int;              (** number of threads that ran *)
+  volatile_addrs : (int, unit) Hashtbl.t;
+      (** addresses of fields declared volatile in the program under test.
+          SherLock never reads this; only the Manual_dr annotation-based
+          race detector does (paper §5.4). *)
+}
+
+val create : events:Event.t list -> duration:int -> threads:int ->
+  volatile_addrs:(int, unit) Hashtbl.t -> t
+(** Sorts the events by timestamp (stably). *)
+
+val empty : t
+
+val length : t -> int
+
+val iter : (Event.t -> unit) -> t -> unit
+
+val events_of_thread : t -> int -> Event.t list
+(** Events of one thread in time order. *)
+
+val between : t -> lo:int -> hi:int -> Event.t list
+(** Events with [lo <= time <= hi], in time order. *)
+
+val thread_active_in : t -> tid:int -> lo:int -> hi:int -> bool
+(** Whether thread [tid] completed any operation in the window —
+    the delay-propagation test of paper §3 (Figure 2 b/c). *)
+
+val pp : Format.formatter -> t -> unit
+(** Full dump, for debugging. *)

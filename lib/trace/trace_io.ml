@@ -1,0 +1,86 @@
+let magic = "sherlock-trace 1"
+
+let kind_char = function
+  | Opid.Read -> 'r'
+  | Opid.Write -> 'w'
+  | Opid.Begin -> 'b'
+  | Opid.End -> 'e'
+
+let kind_of_char = function
+  | 'r' -> Opid.Read
+  | 'w' -> Opid.Write
+  | 'b' -> Opid.Begin
+  | 'e' -> Opid.End
+  | c -> failwith (Printf.sprintf "Trace_io: bad kind %C" c)
+
+let check_name s =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' then
+        invalid_arg ("Trace_io: whitespace in operation name " ^ s))
+    s
+
+let to_string (log : Log.t) =
+  let buf = Buffer.create (256 + (Array.length log.events * 48)) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "duration %d\n" log.duration);
+  Buffer.add_string buf (Printf.sprintf "threads %d\n" log.threads);
+  Hashtbl.iter
+    (fun addr () -> Buffer.add_string buf (Printf.sprintf "volatile %d\n" addr))
+    log.volatile_addrs;
+  Array.iter
+    (fun (e : Event.t) ->
+      check_name e.op.cls;
+      check_name e.op.member;
+      Buffer.add_string buf
+        (Printf.sprintf "e %d %d %c %d %d %s %s\n" e.time e.tid (kind_char e.op.kind)
+           e.target e.delayed_by e.op.cls e.op.member))
+    log.events;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | first :: rest when first = magic ->
+    let duration = ref 0 in
+    let threads = ref 0 in
+    let volatile_addrs = Hashtbl.create 8 in
+    let events = ref [] in
+    let parse_line line =
+      match String.split_on_char ' ' line with
+        | [ "" ] | [] -> ()
+        | [ "duration"; d ] -> duration := int_of_string d
+        | [ "threads"; n ] -> threads := int_of_string n
+        | [ "volatile"; a ] -> Hashtbl.replace volatile_addrs (int_of_string a) ()
+        | [ "e"; time; tid; kind; target; delayed_by; cls; member ] ->
+          let op = { Opid.cls; member; kind = kind_of_char kind.[0] } in
+          events :=
+            Event.make ~time:(int_of_string time) ~tid:(int_of_string tid) ~op
+              ~target:(int_of_string target)
+              ~delayed_by:(int_of_string delayed_by)
+              ()
+            :: !events
+      | _ -> failwith ("Trace_io: malformed line: " ^ line)
+    in
+    List.iter
+      (fun line ->
+        try parse_line line
+        with Failure msg when msg = "int_of_string" ->
+          failwith ("Trace_io: malformed line: " ^ line))
+      rest;
+    Log.create ~events:(List.rev !events) ~duration:!duration ~threads:!threads
+      ~volatile_addrs
+  | _ -> failwith "Trace_io: bad magic"
+
+let save log path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string log))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,28 @@
+(** Trace serialization — the artifact's log-file workflow.
+
+    The paper's pipeline writes execution logs to disk during the
+    instrumented runs and solves from those files afterwards; this module
+    provides the same decoupling.  The format is a line-oriented text
+    file:
+
+    {v
+    sherlock-trace 1
+    duration <us>
+    threads <n>
+    volatile <addr>            (zero or more)
+    e <time> <tid> <kind> <target> <delayed_by> <cls> <member>
+    v}
+
+    where [kind] is one of [r w b e].  Class and member names must not
+    contain whitespace (C# qualified names never do). *)
+
+val save : Log.t -> string -> unit
+(** Write the log to a file.  Raises [Sys_error] on IO failure and
+    [Invalid_argument] if an operation name contains whitespace. *)
+
+val load : string -> Log.t
+(** Read a log back.  Raises [Failure] on malformed input. *)
+
+val to_string : Log.t -> string
+
+val of_string : string -> Log.t

@@ -1,0 +1,217 @@
+type side = int Opid.Map.t
+
+type t = {
+  pair : Opid.t * Opid.t;
+  field : string;
+  rel : side;
+  acq : side;
+}
+
+type race = {
+  race_pair : Opid.t * Opid.t;
+  race_field : string;
+}
+
+let default_near = 1_000_000
+
+let default_cap = 15
+
+let add_occurrence side op =
+  Opid.Map.update op (function None -> Some 1 | Some n -> Some (n + 1)) side
+
+(* Candidate ops of thread [tid] with lo <= time <= hi. *)
+let side_of_span events ~tid ~lo ~hi =
+  Array.fold_left
+    (fun acc (e : Event.t) ->
+      if e.tid = tid && e.time >= lo && e.time <= hi then add_occurrence acc e.op
+      else acc)
+    Opid.Map.empty events
+
+let all_kinds_are side kind =
+  Opid.Map.for_all (fun (op : Opid.t) _ -> op.kind = kind) side
+
+(* Method-frame spans per thread: (tid, begin_op, t_begin, t_end), with
+   [t_end = max_int] for frames still open at the end of the log (e.g. a
+   thread blocked forever inside an acquire). *)
+let frame_spans events =
+  let stacks : (int, (Opid.t * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let spans = ref [] in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.op.kind with
+      | Opid.Begin -> (stack e.tid) := (e.op, e.time) :: !(stack e.tid)
+      | Opid.End ->
+        let key = Opid.method_key e.op in
+        let s = stack e.tid in
+        let rec pop acc = function
+          | [] -> None
+          | ((op : Opid.t), t0) :: rest when Opid.method_key op = key ->
+            Some ((op, t0), List.rev_append acc rest)
+          | frame :: rest -> pop (frame :: acc) rest
+        in
+        (match pop [] !s with
+        | Some ((op, t0), rest) ->
+          s := rest;
+          spans := (e.tid, op, t0, e.time) :: !spans
+        | None -> ())
+      | Opid.Read | Opid.Write -> ())
+    events;
+  Hashtbl.iter
+    (fun tid s -> List.iter (fun (op, t0) -> spans := (tid, op, t0, max_int) :: !spans) !s)
+    stacks;
+  !spans
+
+(* Sorted times of each thread's "progress" events (writes and frame
+   boundaries — reads excluded, since a spin-waiting thread still reads). *)
+let progress_times events =
+  let per_tid : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Event.t) ->
+      if e.op.kind <> Opid.Read then
+        match Hashtbl.find_opt per_tid e.tid with
+        | Some r -> r := e.time :: !r
+        | None -> Hashtbl.add per_tid e.tid (ref [ e.time ]))
+    events;
+  let sorted = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun tid r ->
+      let arr = Array.of_list (List.rev !r) in
+      Array.sort compare arr;
+      Hashtbl.add sorted tid arr)
+    per_tid;
+  sorted
+
+(* Any progress event of [tid] strictly inside (lo, hi)? *)
+let progressed progress ~tid ~lo ~hi =
+  match Hashtbl.find_opt progress tid with
+  | None -> false
+  | Some times ->
+    let n = Array.length times in
+    (* First index with times.(i) > lo. *)
+    let rec search a b = if a >= b then a else
+      let mid = (a + b) / 2 in
+      if times.(mid) <= lo then search (mid + 1) b else search a mid
+    in
+    let i = search 0 n in
+    i < n && times.(i) < hi
+
+(* A blocking acquire (Monitor.Enter, Task.Wait, ...) is *invoked* before
+   the release it waits for, so its Begin event precedes the window.  The
+   invocation is still in progress during the window and is a legitimate
+   acquire candidate — but only if the thread has made no progress since
+   the invocation (it is plausibly blocked inside it): a frame that kept
+   executing cannot be waiting for a release that has not happened yet. *)
+let add_open_frames spans progress side ~tid ~lo =
+  List.fold_left
+    (fun acc (t, op, t0, t1) ->
+      if t = tid && t0 < lo && t1 >= lo && not (progressed progress ~tid ~lo:t0 ~hi:lo)
+      then add_occurrence acc op
+      else acc)
+    side spans
+
+(* First delayed event of [tid] inside [lo, hi], if any. *)
+let first_delay events ~tid ~lo ~hi =
+  Array.fold_left
+    (fun acc (e : Event.t) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if e.tid = tid && e.delayed_by > 0 && e.time >= lo && e.time <= hi then Some e
+        else None)
+    None events
+
+let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true) (log : Log.t) =
+  let events = log.events in
+  let spans = frame_spans events in
+  let progress = progress_times events in
+  (* Access events grouped by address, in time order (events are sorted). *)
+  let by_addr : (int, Event.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Event.t) ->
+      if Opid.is_access e.op then
+        match Hashtbl.find_opt by_addr e.target with
+        | Some r -> r := e :: !r
+        | None -> Hashtbl.add by_addr e.target (ref [ e ]))
+    events;
+  let windows = ref [] in
+  let races = ref [] in
+  let pair_counts : (Opid.t * Opid.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let consider (a : Event.t) (b : Event.t) =
+    let key = (a.op, b.op) in
+    let seen = Option.value ~default:0 (Hashtbl.find_opt pair_counts key) in
+    if seen < cap then begin
+      Hashtbl.replace pair_counts key (seen + 1);
+      let acq_side ~lo ~hi =
+        add_open_frames spans progress
+          (side_of_span events ~tid:b.tid ~lo ~hi)
+          ~tid:b.tid ~lo
+      in
+      let rel = ref (side_of_span events ~tid:a.tid ~lo:a.time ~hi:b.time) in
+      let acq = ref (acq_side ~lo:a.time ~hi:b.time) in
+      if refine then begin
+        match first_delay events ~tid:a.tid ~lo:a.time ~hi:b.time with
+        | Some r ->
+          let delay_start = r.time - r.delayed_by in
+          (* A spin-waiting thread is logically blocked yet still emits
+             read events, so only non-read activity counts as progress. *)
+          let made_progress =
+            Array.exists
+              (fun (e : Event.t) ->
+                e.tid = b.tid
+                && e.time >= delay_start
+                && e.time < r.time
+                && e.op.kind <> Opid.Read)
+              events
+          in
+          let stalled = not made_progress in
+          if stalled then
+            (* Delay propagated: the acquire happened while waiting on [r],
+               so it must lie between r and b (Figure 2 c). *)
+            acq := acq_side ~lo:r.time ~hi:b.time
+          else
+            (* Delay did not propagate: this *instance* of r is not the
+               release coordinating a and b (Figure 2 b).  Other dynamic
+               instances of the same operation inside the window (e.g.
+               later lock releases in a loop) remain candidates, so only
+               one occurrence is discounted. *)
+            rel :=
+              Opid.Map.update r.op
+                (function
+                  | None | Some 1 -> None
+                  | Some n -> Some (n - 1))
+                !rel
+        | None -> ()
+      end;
+      let rel = !rel and acq = !acq in
+      let field = Opid.field_key a.op in
+      let rel_impossible = Opid.Map.is_empty rel || all_kinds_are rel Opid.Read in
+      let acq_impossible = Opid.Map.is_empty acq || all_kinds_are acq Opid.Write in
+      if rel_impossible || acq_impossible then
+        races := { race_pair = (a.op, b.op); race_field = field } :: !races
+      else windows := { pair = (a.op, b.op); field; rel; acq } :: !windows
+    end
+  in
+  Hashtbl.iter
+    (fun _addr accesses ->
+      let accesses = Array.of_list (List.rev !accesses) in
+      let n = Array.length accesses in
+      for i = 0 to n - 1 do
+        let a = accesses.(i) in
+        let j = ref (i + 1) in
+        while !j < n && (accesses.(!j) : Event.t).time - a.time <= near do
+          let b = accesses.(!j) in
+          if a.tid <> b.tid && (a.op.kind = Opid.Write || b.op.kind = Opid.Write) then
+            consider a b;
+          incr j
+        done
+      done)
+    by_addr;
+  (List.rev !windows, List.rev !races)

@@ -1,0 +1,47 @@
+(** Acquire/release-window extraction (paper §4.1 and Figure 2).
+
+    For every pair of *conflicting accesses* — two operations on the same
+    address from different threads, at least one a write, at most [near]
+    apart in virtual time — the operations executed in between form the
+    release window (those from the first access's thread) and the acquire
+    window (those from the second's).  The conflicting endpoints
+    themselves are included in their windows, which is what lets a flag
+    write/read pair be inferred as its own release/acquire.  A blocking
+    acquire is *invoked* before the release it waits for, so the acquire
+    window additionally contains the [Begin] of every method frame of the
+    second thread that was already open when the window starts.
+
+    The extraction also performs the two feedback duties of §3/§4.3:
+    - window refinement from injected delays (Figure 2 b/c): if a delay
+      before a release candidate [r] failed to stall the other thread, the
+      release window shrinks to the ops before the delay; if it stalled
+      it, the acquire window shrinks to the ops after [r];
+    - observed-data-race detection: a window whose release side contains
+      only reads (or is empty), or whose acquire side contains only writes
+      (or is empty), cannot be protected and is reported as a race. *)
+
+type side = int Opid.Map.t
+(** Candidate operations on one side of a window, with their number of
+    dynamic occurrences inside this window. *)
+
+type t = {
+  pair : Opid.t * Opid.t;  (** static ids of the conflicting accesses, first-then-second *)
+  field : string;          (** field key of the conflicting variable *)
+  rel : side;
+  acq : side;
+}
+
+type race = {
+  race_pair : Opid.t * Opid.t;
+  race_field : string;
+}
+
+val default_near : int
+(** 1 second of virtual time (1_000_000 us), the paper's default. *)
+
+val default_cap : int
+(** 15 windows per static location pair, the paper's bound. *)
+
+val extract : ?near:int -> ?cap:int -> ?refine:bool -> Log.t -> t list * race list
+(** [extract log] returns the windows and the observed races of one run.
+    [refine] (default true) applies delay-based window refinement. *)

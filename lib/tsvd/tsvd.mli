@@ -1,0 +1,41 @@
+(** A simplified TSVD (Li et al., SOSP'19) happens-before inference
+    baseline, for the paper's §5.6 "Enhancing TSVD inference" experiment.
+
+    TSVD targets *thread-unsafe API calls* (here, the corpus's
+    [Unsafe_list] operations).  It finds conflicting call pairs — same
+    collection, different threads, at least one mutator, close in time —
+    and then injects a delay before the first call of a pair; if the
+    other thread stalls for the duration (the delay "propagates"), the
+    pair is inferred to be synchronized.
+
+    The comparison point is how many of the same conflicting pairs
+    SherLock's inferred synchronizations prove ordered: we run the
+    FastTrack detector under the inferred model and call a pair
+    synchronized when its collection shows no race. *)
+
+open Sherlock_trace
+open Sherlock_core
+
+type pair = {
+  first : Opid.t;
+  second : Opid.t;
+}
+
+type outcome = {
+  candidate_pairs : pair list;   (** distinct conflicting static pairs *)
+  tsvd_hb : pair list;           (** pairs TSVD's delay probing orders *)
+  sherlock_hb : pair list;       (** pairs ordered under inferred syncs *)
+}
+
+val unsafe_cls : string
+(** ["System.Collections.Generic.List"]. *)
+
+val unsafe_classes : string list
+(** The instrumented thread-unsafe collection classes (paper §4.1's
+    optional API list). *)
+
+val conflicting_pairs : ?near:int -> Log.t -> pair list
+(** Distinct conflicting unsafe-API static pairs in one trace. *)
+
+val analyze : ?config:Config.t -> Orchestrator.subject -> Verdict.t list -> outcome
+(** Run the full comparison on one application's test suite. *)

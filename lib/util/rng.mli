@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    SherLock's evaluation depends on reproducible schedules: the simulator,
+    the perturber, and the benchmark harness all draw randomness from an
+    explicit generator state rather than a global one, so a (seed, round)
+    pair always replays the same execution.  The implementation is
+    splitmix64, which is small, fast, and has no global state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a fresh generator from [seed].  Generators built
+    from equal seeds produce equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that continues the same stream. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t].  Used to give every simulated thread its own stream so
+    that adding a thread does not perturb the draws of the others. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive.  Requires
+    [lo <= hi]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list.  Raises [Invalid_argument] on
+    the empty list. *)

@@ -1,0 +1,63 @@
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad_to n cells =
+  let len = List.length cells in
+  if len >= n then cells else cells @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.header in
+  let rows = List.rev t.rows in
+  let all_cells =
+    t.header
+    :: List.filter_map (function Cells c -> Some (pad_to ncols c) | Separator -> None) rows
+  in
+  let widths = Array.make ncols 0 in
+  let record cells =
+    List.iteri (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter record all_cells;
+  let buf = Buffer.create 256 in
+  let render_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        if i < ncols - 1 then Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      (pad_to ncols cells);
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule = String.make (max total_width (String.length t.title)) '-' in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  render_cells t.header;
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells cells -> render_cells cells
+      | Separator ->
+        Buffer.add_string buf rule;
+        Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

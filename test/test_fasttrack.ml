@@ -1,0 +1,279 @@
+(* Tests for the FastTrack race detector: vector clocks, the two sync
+   models, and the detector on hand-built traces. *)
+
+open Sherlock_trace
+open Sherlock_fasttrack
+module Verdict = Sherlock_core.Verdict
+
+let check = Alcotest.check
+
+let ev ?(target = 1) time tid op = Event.make ~time ~tid ~op ~target ()
+
+let mklog ?(volatiles = []) events =
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun a -> Hashtbl.replace tbl a ()) volatiles;
+  Log.create ~events ~duration:1_000_000 ~threads:4 ~volatile_addrs:tbl
+
+let wf = Opid.write ~cls:"C" "f"
+
+let rf = Opid.read ~cls:"C" "f"
+
+let no_model = { Sync_model.name = "none"; classify = (fun _ -> Sync_model.No_sync) }
+
+(* --- Vc --- *)
+
+let test_vc_basics () =
+  let a = Vc.create 3 in
+  Vc.inc a 1;
+  check Alcotest.int "get" 1 (Vc.get a 1);
+  check Alcotest.int "other" 0 (Vc.get a 0);
+  let b = Vc.copy a in
+  Vc.inc b 1;
+  check Alcotest.bool "a <= b" true (Vc.leq a b);
+  check Alcotest.bool "b <= a fails" false (Vc.leq b a)
+
+let test_vc_join () =
+  let a = Vc.create 3 and b = Vc.create 3 in
+  Vc.inc a 0;
+  Vc.inc b 1;
+  Vc.join a b;
+  check Alcotest.int "kept own" 1 (Vc.get a 0);
+  check Alcotest.int "took other" 1 (Vc.get a 1)
+
+let test_vc_epoch () =
+  let c = Vc.create 3 in
+  Vc.inc c 2;
+  Vc.inc c 2;
+  check Alcotest.bool "epoch below" true (Vc.epoch_leq ~tid:2 ~clock:2 c);
+  check Alcotest.bool "epoch above" false (Vc.epoch_leq ~tid:2 ~clock:3 c)
+
+let prop_vc_join_upper_bound =
+  QCheck.Test.make ~name:"join is an upper bound" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.return 4) (int_range 0 10))
+              (list_of_size (QCheck.Gen.return 4) (int_range 0 10)))
+    (fun (xs, ys) ->
+      let a = Vc.create 4 and b = Vc.create 4 in
+      List.iteri (fun i v -> for _ = 1 to v do Vc.inc a i done) xs;
+      List.iteri (fun i v -> for _ = 1 to v do Vc.inc b i done) ys;
+      let j = Vc.copy a in
+      Vc.join j b;
+      Vc.leq a j && Vc.leq b j)
+
+let prop_vc_leq_reflexive =
+  QCheck.Test.make ~name:"leq reflexive" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.return 4) (int_range 0 10))
+    (fun xs ->
+      let a = Vc.create 4 in
+      List.iteri (fun i v -> for _ = 1 to v do Vc.inc a i done) xs;
+      Vc.leq a a)
+
+(* --- Detector without synchronization --- *)
+
+let test_detector_write_read_race () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let report = Detector.run no_model log in
+  check Alcotest.int "one race" 1 (List.length report.races);
+  check Alcotest.string "field" "C::f" (List.hd report.races).field
+
+let test_detector_write_write_race () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 wf ] in
+  let report = Detector.run no_model log in
+  check Alcotest.int "one race" 1 (List.length report.races)
+
+let test_detector_read_write_race () =
+  let log = mklog [ ev 10 0 rf; ev 50 1 wf ] in
+  let report = Detector.run no_model log in
+  check Alcotest.int "read-write race" 1 (List.length report.races)
+
+let test_detector_same_thread_no_race () =
+  let log = mklog [ ev 10 0 wf; ev 50 0 rf; ev 60 0 wf ] in
+  let report = Detector.run no_model log in
+  check Alcotest.int "no race" 0 (List.length report.races)
+
+let test_detector_read_read_no_race () =
+  let log = mklog [ ev 10 0 rf; ev 50 1 rf ] in
+  let report = Detector.run no_model log in
+  check Alcotest.int "no race" 0 (List.length report.races)
+
+let test_detector_dedup_by_field () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf; ev 60 1 rf; ev 70 1 wf ] in
+  let report = Detector.run no_model log in
+  check Alcotest.int "deduplicated" 1 (List.length report.races)
+
+let test_detector_first_race () =
+  let wg = Opid.write ~cls:"C" "g" in
+  let log = mklog [ ev 10 0 wf; ev 50 1 wf; ev ~target:2 60 0 wg; ev ~target:2 80 1 wg ] in
+  let report = Detector.run no_model log in
+  check Alcotest.int "two races" 2 (List.length report.races);
+  match Detector.first_race report with
+  | Some r -> check Alcotest.string "first is f" "C::f" r.field
+  | None -> Alcotest.fail "expected a race"
+
+(* --- Detector with inferred syncs --- *)
+
+let flag_verdicts =
+  [
+    { Verdict.op = wf; role = Verdict.Release; probability = 1.0 };
+    { Verdict.op = rf; role = Verdict.Acquire; probability = 1.0 };
+  ]
+
+let test_detector_flag_sync_orders () =
+  let wg = Opid.write ~cls:"C" "g" and rg = Opid.read ~cls:"C" "g" in
+  (* g is published before the flag write and read after the flag read. *)
+  let log =
+    mklog [ ev ~target:2 10 0 wg; ev 20 0 wf; ev 50 1 rf; ev ~target:2 60 1 rg ]
+  in
+  let report = Detector.run (Sync_model.inferred flag_verdicts) log in
+  check Alcotest.int "no race (flag orders g)" 0 (List.length report.races)
+
+let test_detector_sync_accesses_exempt () =
+  (* The flag accesses themselves are not race-checked. *)
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let report = Detector.run (Sync_model.inferred flag_verdicts) log in
+  check Alcotest.int "no race on the flag" 0 (List.length report.races);
+  check Alcotest.int "nothing checked" 0 report.checked_accesses
+
+let test_detector_method_sync () =
+  (* End-of-method release with object channel, Begin-of-method acquire. *)
+  let rel = Opid.exit ~cls:"C" "Send" and acq = Opid.enter ~cls:"C" "Recv" in
+  let verdicts =
+    [
+      { Verdict.op = rel; role = Verdict.Release; probability = 1.0 };
+      { Verdict.op = acq; role = Verdict.Acquire; probability = 1.0 };
+    ]
+  in
+  let wg = Opid.write ~cls:"C" "g" and rg = Opid.read ~cls:"C" "g" in
+  let log =
+    mklog
+      [
+        ev ~target:2 10 0 wg;
+        ev ~target:7 20 0 (Opid.enter ~cls:"C" "Send");
+        ev ~target:7 30 0 rel;
+        ev ~target:7 50 1 acq;
+        ev ~target:2 60 1 rg;
+        ev ~target:7 70 1 (Opid.exit ~cls:"C" "Recv");
+      ]
+  in
+  let report = Detector.run (Sync_model.inferred verdicts) log in
+  check Alcotest.int "method sync orders g" 0 (List.length report.races)
+
+let test_detector_blocking_acquire_lazy_join () =
+  (* The acquire Begin precedes the release in the trace; the join must
+     still take effect for accesses inside the open frame. *)
+  let rel = Opid.exit ~cls:"C" "Init" and acq = Opid.enter ~cls:"C" "Use" in
+  let verdicts =
+    [
+      { Verdict.op = rel; role = Verdict.Release; probability = 1.0 };
+      { Verdict.op = acq; role = Verdict.Acquire; probability = 1.0 };
+    ]
+  in
+  let wg = Opid.write ~cls:"C" "g" and rg = Opid.read ~cls:"C" "g" in
+  let log =
+    mklog
+      [
+        ev ~target:0 5 1 acq; (* invoked before the release, class channel *)
+        ev ~target:2 10 0 wg;
+        ev ~target:0 20 0 (Opid.enter ~cls:"C" "Init");
+        ev ~target:0 30 0 rel;
+        ev ~target:2 60 1 rg; (* inside the still-open Use frame *)
+        ev ~target:0 70 1 (Opid.exit ~cls:"C" "Use");
+      ]
+  in
+  let report = Detector.run (Sync_model.inferred verdicts) log in
+  check Alcotest.int "lazy join orders g" 0 (List.length report.races)
+
+(* --- Manual model --- *)
+
+let test_manual_volatile () =
+  (* The data write precedes the volatile flag write, release-style. *)
+  let log =
+    mklog ~volatiles:[ 1 ]
+      [ ev ~target:2 5 0 (Opid.write ~cls:"C" "g"); ev 10 0 wf; ev 50 1 rf;
+        ev ~target:2 60 1 (Opid.read ~cls:"C" "g") ]
+  in
+  let report = Detector.run (Sync_model.manual log) log in
+  check Alcotest.int "volatile flag orders g" 0 (List.length report.races)
+
+let test_manual_misses_task () =
+  (* A non-volatile flag published before a task-style handoff: the manual
+     list has no idea, so it reports a race. *)
+  let log =
+    mklog
+      [
+        ev ~target:2 10 0 (Opid.write ~cls:"C" "g");
+        ev ~target:9 20 0 (Opid.exit ~cls:"System.Threading.Tasks.TaskFactory" "StartNew");
+        ev ~target:2 60 1 (Opid.read ~cls:"C" "g");
+      ]
+  in
+  let report = Detector.run (Sync_model.manual log) log in
+  check Alcotest.int "false race" 1 (List.length report.races)
+
+let test_manual_monitor () =
+  let enter t tid = [
+    ev ~target:9 t tid (Opid.enter ~cls:"System.Threading.Monitor" "Enter");
+    ev ~target:9 (t + 2) tid (Opid.exit ~cls:"System.Threading.Monitor" "Enter") ]
+  and exit t tid = [
+    ev ~target:9 t tid (Opid.enter ~cls:"System.Threading.Monitor" "Exit");
+    ev ~target:9 (t + 2) tid (Opid.exit ~cls:"System.Threading.Monitor" "Exit") ]
+  in
+  let log =
+    mklog
+      (enter 10 0
+      @ [ ev ~target:2 15 0 (Opid.write ~cls:"C" "g") ]
+      @ exit 20 0 @ enter 50 1
+      @ [ ev ~target:2 55 1 (Opid.read ~cls:"C" "g") ]
+      @ exit 60 1)
+  in
+  let report = Detector.run (Sync_model.manual log) log in
+  check Alcotest.int "monitor orders g" 0 (List.length report.races)
+
+let test_channels_of_event () =
+  let access = ev ~target:5 1 0 rf in
+  check Alcotest.int "access: target only" 1
+    (List.length (Sync_model.channels_of_event access));
+  let meth = ev ~target:5 1 0 (Opid.enter ~cls:"C" "m") in
+  check Alcotest.int "method: target + class" 2
+    (List.length (Sync_model.channels_of_event meth));
+  let set = ev ~target:5 1 0 (Opid.exit ~cls:"System.Threading.EventWaitHandle" "Set") in
+  check Alcotest.int "event handle: + base class" 3
+    (List.length (Sync_model.channels_of_event set))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fasttrack"
+    [
+      ( "vc",
+        [
+          Alcotest.test_case "basics" `Quick test_vc_basics;
+          Alcotest.test_case "join" `Quick test_vc_join;
+          Alcotest.test_case "epoch" `Quick test_vc_epoch;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "write/read race" `Quick test_detector_write_read_race;
+          Alcotest.test_case "write/write race" `Quick test_detector_write_write_race;
+          Alcotest.test_case "read/write race" `Quick test_detector_read_write_race;
+          Alcotest.test_case "same thread ok" `Quick test_detector_same_thread_no_race;
+          Alcotest.test_case "read/read ok" `Quick test_detector_read_read_no_race;
+          Alcotest.test_case "dedup by field" `Quick test_detector_dedup_by_field;
+          Alcotest.test_case "first race" `Quick test_detector_first_race;
+        ] );
+      ( "inferred model",
+        [
+          Alcotest.test_case "flag orders" `Quick test_detector_flag_sync_orders;
+          Alcotest.test_case "sync accesses exempt" `Quick
+            test_detector_sync_accesses_exempt;
+          Alcotest.test_case "method sync" `Quick test_detector_method_sync;
+          Alcotest.test_case "blocking acquire lazy join" `Quick
+            test_detector_blocking_acquire_lazy_join;
+        ] );
+      ( "manual model",
+        [
+          Alcotest.test_case "volatile" `Quick test_manual_volatile;
+          Alcotest.test_case "misses tasks" `Quick test_manual_misses_task;
+          Alcotest.test_case "monitor" `Quick test_manual_monitor;
+          Alcotest.test_case "channels" `Quick test_channels_of_event;
+        ] );
+      ("properties", qcheck [ prop_vc_join_upper_bound; prop_vc_leq_reflexive ]);
+    ]

@@ -1,0 +1,322 @@
+(* Tests for the LP layer: linear-expression algebra, the two-phase
+   simplex, and the hinge/abs reductions used by SherLock's encoding. *)
+
+open Sherlock_lp
+
+let check = Alcotest.check
+
+let feq = Alcotest.float 1e-6
+
+(* --- Linexpr --- *)
+
+let eval_at assign e = Linexpr.eval (fun v -> List.assoc v assign) e
+
+let test_linexpr_basic () =
+  let e = Linexpr.(add (var 0) (var ~coeff:2.0 1)) in
+  check feq "eval" 8.0 (eval_at [ (0, 2.0); (1, 3.0) ] e);
+  check feq "const" 0.0 (Linexpr.constant e);
+  check feq "coeff" 2.0 (Linexpr.coeff e 1);
+  check feq "absent coeff" 0.0 (Linexpr.coeff e 5)
+
+let test_linexpr_merge () =
+  let e = Linexpr.(add (var 0) (var ~coeff:(-1.0) 0)) in
+  check Alcotest.int "cancelled terms dropped" 0 (List.length (Linexpr.terms e))
+
+let test_linexpr_scale_neg () =
+  let e = Linexpr.(scale 2.0 (sub (var 0) (const 3.0))) in
+  check feq "scaled" 4.0 (eval_at [ (0, 5.0) ] e);
+  check feq "neg" (-4.0) (eval_at [ (0, 5.0) ] (Linexpr.neg e))
+
+let test_linexpr_sum () =
+  let e = Linexpr.sum [ Linexpr.var 0; Linexpr.var 1; Linexpr.const 1.0 ] in
+  check feq "sum" 6.0 (eval_at [ (0, 2.0); (1, 3.0) ] e)
+
+let test_linexpr_zero_coeff () =
+  check Alcotest.int "zero coeff var is zero" 0
+    (List.length (Linexpr.terms (Linexpr.var ~coeff:0.0 3)))
+
+(* --- Simplex on known programs --- *)
+
+let solve_simple () =
+  (* min -x - y s.t. x + 2y <= 4; 3x + y <= 6 => x=1.6 y=1.2 obj=-2.8 *)
+  match
+    Simplex.solve ~num_vars:2
+      ~objective:[ (0, -1.0); (1, -1.0) ]
+      [
+        { Simplex.row = [ (0, 1.0); (1, 2.0) ]; relation = Simplex.Le; rhs = 4.0 };
+        { Simplex.row = [ (0, 3.0); (1, 1.0) ]; relation = Simplex.Le; rhs = 6.0 };
+      ]
+  with
+  | Simplex.Optimal { objective; solution } ->
+    check feq "objective" (-2.8) objective;
+    check feq "x" 1.6 solution.(0);
+    check feq "y" 1.2 solution.(1)
+  | _ -> Alcotest.fail "expected optimum"
+
+let solve_equality () =
+  (* min x s.t. x + y = 3, y <= 2 => x = 1 *)
+  match
+    Simplex.solve ~num_vars:2 ~objective:[ (0, 1.0) ]
+      [
+        { Simplex.row = [ (0, 1.0); (1, 1.0) ]; relation = Simplex.Eq; rhs = 3.0 };
+        { Simplex.row = [ (1, 1.0) ]; relation = Simplex.Le; rhs = 2.0 };
+      ]
+  with
+  | Simplex.Optimal { objective; _ } -> check feq "objective" 1.0 objective
+  | _ -> Alcotest.fail "expected optimum"
+
+let solve_infeasible () =
+  match
+    Simplex.solve ~num_vars:1 ~objective:[ (0, 1.0) ]
+      [
+        { Simplex.row = [ (0, 1.0) ]; relation = Simplex.Ge; rhs = 5.0 };
+        { Simplex.row = [ (0, 1.0) ]; relation = Simplex.Le; rhs = 1.0 };
+      ]
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let solve_unbounded () =
+  match Simplex.solve ~num_vars:1 ~objective:[ (0, -1.0) ] [] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let solve_negative_rhs () =
+  (* min x s.t. -x <= -2 (i.e. x >= 2) *)
+  match
+    Simplex.solve ~num_vars:1 ~objective:[ (0, 1.0) ]
+      [ { Simplex.row = [ (0, -1.0) ]; relation = Simplex.Le; rhs = -2.0 } ]
+  with
+  | Simplex.Optimal { objective; _ } -> check feq "objective" 2.0 objective
+  | _ -> Alcotest.fail "expected optimum"
+
+let solve_degenerate () =
+  (* Redundant constraints must not cycle (Bland's rule). *)
+  match
+    Simplex.solve ~num_vars:2
+      ~objective:[ (0, -1.0) ]
+      [
+        { Simplex.row = [ (0, 1.0) ]; relation = Simplex.Le; rhs = 1.0 };
+        { Simplex.row = [ (0, 1.0) ]; relation = Simplex.Le; rhs = 1.0 };
+        { Simplex.row = [ (0, 1.0); (1, 1.0) ]; relation = Simplex.Le; rhs = 1.0 };
+      ]
+  with
+  | Simplex.Optimal { objective; _ } -> check feq "objective" (-1.0) objective
+  | _ -> Alcotest.fail "expected optimum"
+
+(* --- Problem builder --- *)
+
+let test_problem_hinge () =
+  (* min h, h >= 1 - a, a <= 0.3 => h = 0.7 *)
+  let p = Problem.create () in
+  let a = Problem.add_var p ~ub:0.3 "a" in
+  let _ = Problem.hinge p ~weight:1.0 "h" Linexpr.(sub (const 1.0) (var a)) in
+  match Problem.solve p with
+  | Problem.Solved obj, v ->
+    check feq "objective" 0.7 obj;
+    check feq "a at ub" 0.3 (v a)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_hinge_slack () =
+  (* When the hinge argument is negative the hinge is 0. *)
+  let p = Problem.create () in
+  let a = Problem.add_var p ~ub:2.0 "a" in
+  Problem.add_ge p (Linexpr.var a) 2.0;
+  let _ = Problem.hinge p ~weight:1.0 "h" Linexpr.(sub (const 1.0) (var a)) in
+  match Problem.solve p with
+  | Problem.Solved obj, _ -> check feq "objective" 0.0 obj
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_abs () =
+  (* min |x - 2| + 0.1 x over x in [0, 5] => x = 2 *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~ub:5.0 "x" in
+  let _ = Problem.abs p ~weight:1.0 "t" Linexpr.(sub (var x) (const 2.0)) in
+  Problem.add_objective p (Linexpr.var ~coeff:0.1 x);
+  match Problem.solve p with
+  | Problem.Solved obj, v ->
+    check feq "x" 2.0 (v x);
+    check feq "objective" 0.2 obj
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_abs_negative_side () =
+  (* min |x - 2| with x forced above 3 => value 1. *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~ub:10.0 "x" in
+  Problem.add_ge p (Linexpr.var x) 3.0;
+  let t = Problem.abs p ~weight:1.0 "t" Linexpr.(sub (var x) (const 2.0)) in
+  match Problem.solve p with
+  | Problem.Solved _, v -> check feq "abs value" 1.0 (v t)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_names () =
+  let p = Problem.create () in
+  let x = Problem.add_var p "myvar" in
+  check Alcotest.string "name" "myvar" (Problem.name p x);
+  check Alcotest.int "count" 1 (Problem.num_vars p)
+
+let test_problem_eq () =
+  let p = Problem.create () in
+  let x = Problem.add_var p "x" in
+  let y = Problem.add_var p ~ub:2.0 "y" in
+  Problem.add_eq p Linexpr.(add (var x) (var y)) 3.0;
+  Problem.add_objective p (Linexpr.var x);
+  match Problem.solve p with
+  | Problem.Solved obj, v ->
+    check feq "objective" 1.0 obj;
+    check feq "y" 2.0 (v y)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_constant_folding () =
+  (* e <= rhs with a constant inside e. *)
+  let p = Problem.create () in
+  let x = Problem.add_var p "x" in
+  Problem.add_ge p Linexpr.(add (var x) (const 1.0)) 3.0;
+  Problem.add_objective p (Linexpr.var x);
+  match Problem.solve p with
+  | Problem.Solved obj, _ -> check feq "objective" 2.0 obj
+  | _ -> Alcotest.fail "expected solution"
+
+(* --- Properties --- *)
+
+(* Random feasible LPs: the returned solution satisfies every constraint. *)
+let prop_solution_feasible =
+  let gen =
+    QCheck.Gen.(
+      let* nvars = int_range 1 4 in
+      let* nconstrs = int_range 1 5 in
+      let* rows =
+        list_repeat nconstrs
+          (let* coeffs = list_repeat nvars (float_range (-3.0) 3.0) in
+           let* rhs = float_range 0.5 10.0 in
+           return (coeffs, rhs))
+      in
+      let* obj = list_repeat nvars (float_range 0.0 2.0) in
+      return (nvars, rows, obj))
+  in
+  QCheck.Test.make ~name:"simplex solution satisfies Le constraints" ~count:200
+    (QCheck.make gen)
+    (fun (nvars, rows, obj) ->
+      (* All constraints are <= with positive rhs, so x = 0 is feasible and
+         the minimization of a non-negative objective is bounded. *)
+      let constrs =
+        List.map
+          (fun (coeffs, rhs) ->
+            {
+              Simplex.row = List.mapi (fun i c -> (i, c)) coeffs;
+              relation = Simplex.Le;
+              rhs;
+            })
+          rows
+      in
+      let objective = List.mapi (fun i c -> (i, c)) obj in
+      match Simplex.solve ~num_vars:nvars ~objective constrs with
+      | Simplex.Optimal { solution; _ } ->
+        List.for_all
+          (fun (coeffs, rhs) ->
+            let lhs =
+              List.fold_left ( +. ) 0.0
+                (List.mapi (fun i c -> c *. solution.(i)) coeffs)
+            in
+            lhs <= rhs +. 1e-6)
+          rows
+        && Array.for_all (fun x -> x >= -1e-9) solution
+      | Simplex.Infeasible | Simplex.Unbounded -> false)
+
+(* A minimized non-negative objective over Le constraints with rhs >= 0 is
+   zero (x = 0 is optimal). *)
+let prop_zero_optimum =
+  QCheck.Test.make ~name:"nonneg objective over Le cone solves to 0" ~count:100
+    QCheck.(pair (int_range 1 4) (list_of_size (QCheck.Gen.int_range 1 4) (float_range 0.0 5.0)))
+    (fun (nvars, obj) ->
+      let objective = List.mapi (fun i c -> (i, c)) (List.filteri (fun i _ -> i < nvars) obj) in
+      match Simplex.solve ~num_vars:nvars ~objective [] with
+      | Simplex.Optimal { objective = v; _ } -> abs_float v < 1e-9
+      | _ -> false)
+
+(* hinge computes max(0, c - x) at the optimum for fixed x. *)
+let prop_hinge_exact =
+  QCheck.Test.make ~name:"hinge equals max(0, e) at optimum" ~count:200
+    QCheck.(pair (float_range 0.0 2.0) (float_range 0.0 2.0))
+    (fun (c, xval) ->
+      let p = Problem.create () in
+      let x = Problem.add_var p ~ub:5.0 "x" in
+      Problem.add_eq p (Linexpr.var x) xval;
+      let h = Problem.hinge p ~weight:1.0 "h" Linexpr.(sub (const c) (var x)) in
+      match Problem.solve p with
+      | Problem.Solved _, v -> abs_float (v h -. Float.max 0.0 (c -. xval)) < 1e-6
+      | _ -> false)
+
+(* abs computes |e| at the optimum for fixed inputs. *)
+let prop_abs_exact =
+  QCheck.Test.make ~name:"abs equals |e| at optimum" ~count:200
+    QCheck.(pair (float_range 0.0 4.0) (float_range 0.0 4.0))
+    (fun (a, b) ->
+      let p = Problem.create () in
+      let x = Problem.add_var p ~ub:10.0 "x" in
+      let y = Problem.add_var p ~ub:10.0 "y" in
+      Problem.add_eq p (Linexpr.var x) a;
+      Problem.add_eq p (Linexpr.var y) b;
+      let t = Problem.abs p ~weight:1.0 "t" Linexpr.(sub (var x) (var y)) in
+      match Problem.solve p with
+      | Problem.Solved _, v -> abs_float (v t -. abs_float (a -. b)) < 1e-6
+      | _ -> false)
+
+let prop_linexpr_add_commutes =
+  let gen_expr =
+    QCheck.Gen.(
+      let* terms = list_size (int_range 0 5) (pair (int_range 0 4) (float_range (-5.) 5.)) in
+      let* c = float_range (-5.) 5. in
+      return (terms, c))
+  in
+  let to_expr (terms, c) =
+    Linexpr.add (Linexpr.const c)
+      (Linexpr.sum (List.map (fun (v, k) -> Linexpr.var ~coeff:k v) terms))
+  in
+  QCheck.Test.make ~name:"linexpr addition commutes" ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_expr gen_expr))
+    (fun (e1, e2) ->
+      let a = Linexpr.add (to_expr e1) (to_expr e2) in
+      let b = Linexpr.add (to_expr e2) (to_expr e1) in
+      let assign v = float_of_int (v + 1) in
+      abs_float (Linexpr.eval assign a -. Linexpr.eval assign b) < 1e-9)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "linexpr",
+        [
+          Alcotest.test_case "basic" `Quick test_linexpr_basic;
+          Alcotest.test_case "merge cancels" `Quick test_linexpr_merge;
+          Alcotest.test_case "scale/neg" `Quick test_linexpr_scale_neg;
+          Alcotest.test_case "sum" `Quick test_linexpr_sum;
+          Alcotest.test_case "zero coeff" `Quick test_linexpr_zero_coeff;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "simple optimum" `Quick solve_simple;
+          Alcotest.test_case "equality" `Quick solve_equality;
+          Alcotest.test_case "infeasible" `Quick solve_infeasible;
+          Alcotest.test_case "unbounded" `Quick solve_unbounded;
+          Alcotest.test_case "negative rhs normalization" `Quick solve_negative_rhs;
+          Alcotest.test_case "degenerate no-cycle" `Quick solve_degenerate;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "hinge active" `Quick test_problem_hinge;
+          Alcotest.test_case "hinge slack" `Quick test_problem_hinge_slack;
+          Alcotest.test_case "abs" `Quick test_problem_abs;
+          Alcotest.test_case "abs negative side" `Quick test_problem_abs_negative_side;
+          Alcotest.test_case "names" `Quick test_problem_names;
+          Alcotest.test_case "equality" `Quick test_problem_eq;
+          Alcotest.test_case "constant folding" `Quick test_problem_constant_folding;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_solution_feasible; prop_zero_optimum; prop_hinge_exact;
+            prop_abs_exact; prop_linexpr_add_commutes;
+          ] );
+    ]

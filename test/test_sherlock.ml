@@ -1,0 +1,404 @@
+(* Tests for the inference core: the LP encoder on synthetic observations,
+   the perturber, the multi-round orchestrator, and report scoring. *)
+
+open Sherlock_trace
+open Sherlock_core
+open Sherlock_sim
+
+let check = Alcotest.check
+
+let ev ?(target = 1) ?(delayed_by = 0) time tid op =
+  Event.make ~time ~tid ~op ~target ~delayed_by ()
+
+let mklog events =
+  Log.create ~events ~duration:1_000_000 ~threads:4
+    ~volatile_addrs:(Hashtbl.create 1)
+
+let obs_of_logs ?(config = Config.default) logs =
+  let obs = Observations.create () in
+  List.iter
+    (fun log ->
+      Observations.add_log obs ~near:config.near ~cap:config.window_cap
+        ~refine:config.use_refinement log)
+    logs;
+  obs
+
+let wf = Opid.write ~cls:"C" "f"
+
+let rf = Opid.read ~cls:"C" "f"
+
+(* --- Observations --- *)
+
+let test_observations_merge () =
+  let log () = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let obs = obs_of_logs [ log (); log (); log () ] in
+  check Alcotest.int "runs" 3 (Observations.runs obs);
+  match Observations.windows obs with
+  | [ w ] -> check Alcotest.int "merged weight" 3 w.weight
+  | ws -> Alcotest.failf "expected one merged window, got %d" (List.length ws)
+
+let test_observations_race_accumulates () =
+  let racy = mklog [ ev 10 0 wf; ev 50 1 wf ] in
+  let obs = obs_of_logs [ racy ] in
+  check Alcotest.bool "racy pair recorded" true
+    (Observations.is_racy_pair obs (wf, wf));
+  check Alcotest.int "one race" 1 (List.length (Observations.racy_pairs obs))
+
+let test_observations_avg_occurrence () =
+  let log = mklog [ ev 10 0 wf; ev 20 1 rf; ev 30 1 rf ] in
+  let obs = obs_of_logs [ log ] in
+  (* Window 1 (ends @20): rf x1; window 2 (ends @30): rf x2. *)
+  check (Alcotest.float 1e-9) "avg" 1.5 (Observations.avg_occurrence obs rf)
+
+let test_observations_candidate_count () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let obs = obs_of_logs [ log ] in
+  check Alcotest.int "candidates" 2 (Observations.candidate_count obs)
+
+(* --- Encoder --- *)
+
+let solve_logs ?(config = Config.default) logs =
+  fst (Encoder.solve config (obs_of_logs ~config logs))
+
+let test_encoder_flag_pair () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let verdicts = solve_logs [ log ] in
+  check Alcotest.bool "write release" true (Verdict.mem wf Verdict.Release verdicts);
+  check Alcotest.bool "read acquire" true (Verdict.mem rf Verdict.Acquire verdicts)
+
+let test_encoder_no_protected_infers_nothing () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let verdicts =
+    solve_logs ~config:{ Config.default with use_protected = false } [ log ]
+  in
+  check Alcotest.int "nothing inferred" 0 (List.length verdicts)
+
+let test_encoder_role_property () =
+  (* With the property on, a read can never be a release. *)
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let verdicts = solve_logs [ log ] in
+  check Alcotest.bool "no read release" false (Verdict.mem rf Verdict.Release verdicts);
+  check Alcotest.bool "no write acquire" false (Verdict.mem wf Verdict.Acquire verdicts)
+
+let test_encoder_race_removal () =
+  (* A pair observed racing contributes no protected windows. *)
+  let racy1 = mklog [ ev 10 0 wf; ev 50 1 wf ] in
+  let with_reads = mklog [ ev 10 0 wf; ev 30 1 (Opid.write ~cls:"C" "g") ; ev 50 1 wf ] in
+  ignore with_reads;
+  let verdicts = solve_logs [ racy1 ] in
+  check Alcotest.int "nothing inferred from races" 0 (List.length verdicts)
+
+let test_encoder_blind_write_forces_begin () =
+  (* A journal written blindly by both sides right after the blocking
+     call: the resulting write/write window's acquire side contains only
+     the open frame's Begin, which is therefore forced to 1 — the forcing
+     pattern the corpus applications rely on. *)
+  let b = Opid.enter ~cls:"C" "Wait" and e = Opid.exit ~cls:"C" "Wait" in
+  let wj = Opid.write ~cls:"C" "journal" in
+  let mk t0 =
+    mklog
+      [
+        ev ~target:3 (t0 + 5) 0 wj;
+        ev t0 1 b;
+        ev ~target:3 (t0 + 40) 1 wj;
+        ev (t0 + 60) 1 e;
+      ]
+  in
+  let verdicts = solve_logs [ mk 100; mk 1000; mk 5000 ] in
+  check Alcotest.bool "blocking begin inferred" true
+    (Verdict.mem b Verdict.Acquire verdicts)
+
+let test_encoder_single_role_blocks_double () =
+  (* A library API cannot be both Begin-acquire and End-release.  Both
+     roles are forced by windows with no alternative candidate: a
+     read-then-write pair leaves only the End on the release side, and a
+     write/write pair leaves only the Begin on the acquire side. *)
+  let cls = "System.Threading.Fancy" in
+  let b = Opid.enter ~cls "Upgrade" and e = Opid.exit ~cls "Upgrade" in
+  let rj = Opid.read ~cls:"C" "j" and wj = Opid.write ~cls:"C" "j" in
+  let rk = Opid.read ~cls:"C" "k" and wk = Opid.write ~cls:"C" "k" in
+  let log1 =
+    mklog [ ev ~target:3 10 0 rj; ev 20 0 e; ev ~target:3 55 1 rj; ev ~target:3 60 1 wj ]
+  in
+  let log2 =
+    mklog [ ev ~target:4 10 0 wk; ev 50 1 b; ev ~target:4 90 1 wk; ev ~target:4 95 1 rk ]
+  in
+  ignore rk;
+  let config = Config.default in
+  let verdicts = solve_logs ~config [ log1; log2 ] in
+  let both =
+    Verdict.mem b Verdict.Acquire verdicts && Verdict.mem e Verdict.Release verdicts
+  in
+  check Alcotest.bool "not both roles" false both;
+  let verdicts_off =
+    solve_logs ~config:{ config with use_single_role = false } [ log1; log2 ]
+  in
+  let both_off =
+    Verdict.mem b Verdict.Acquire verdicts_off
+    && Verdict.mem e Verdict.Release verdicts_off
+  in
+  check Alcotest.bool "both roles without constraint" true both_off
+
+let test_encoder_single_role_soft () =
+  (* Same forced double-role scenario as above: the soft variant lets
+     both roles survive, paying the penalty instead. *)
+  let cls = "System.Threading.Fancy" in
+  let b = Opid.enter ~cls "Upgrade" and e = Opid.exit ~cls "Upgrade" in
+  let rj = Opid.read ~cls:"C" "j" and wj = Opid.write ~cls:"C" "j" in
+  let wk = Opid.write ~cls:"C" "k" and rk = Opid.read ~cls:"C" "k" in
+  let log1 =
+    mklog [ ev ~target:3 10 0 rj; ev 20 0 e; ev ~target:3 55 1 rj; ev ~target:3 60 1 wj ]
+  in
+  let log2 =
+    mklog [ ev ~target:4 10 0 wk; ev 50 1 b; ev ~target:4 90 1 wk; ev ~target:4 95 1 rk ]
+  in
+  let verdicts =
+    solve_logs ~config:{ Config.default with single_role_soft = true } [ log1; log2 ]
+  in
+  check Alcotest.bool "both roles under soft constraint" true
+    (Verdict.mem b Verdict.Acquire verdicts && Verdict.mem e Verdict.Release verdicts)
+
+let test_encoder_stats () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let _, stats = Encoder.solve Config.default (obs_of_logs [ log ]) in
+  check Alcotest.bool "windows counted" true (stats.num_windows >= 1);
+  check Alcotest.bool "vars counted" true (stats.num_vars >= 2);
+  check Alcotest.bool "objective finite" true (Float.is_finite stats.objective)
+
+(* --- Perturber --- *)
+
+let test_perturber_plan () =
+  let verdicts =
+    [
+      { Verdict.op = wf; role = Verdict.Release; probability = 1.0 };
+      { Verdict.op = rf; role = Verdict.Acquire; probability = 1.0 };
+      { Verdict.op = Opid.exit ~cls:"C" "m"; role = Verdict.Release; probability = 1.0 };
+    ]
+  in
+  let plan = Perturber.of_verdicts ~delay_us:100_000 verdicts in
+  check Alcotest.int "two delayed ops" 2 (Perturber.size plan);
+  check Alcotest.int "write delayed directly" 100_000 (Perturber.delay_before plan wf);
+  check Alcotest.int "acquire not delayed" 0 (Perturber.delay_before plan rf);
+  (* An End-release delays the method's entry (the whole call). *)
+  check Alcotest.int "end delays begin" 100_000
+    (Perturber.delay_before plan (Opid.enter ~cls:"C" "m"));
+  check Alcotest.int "end itself not delayed" 0
+    (Perturber.delay_before plan (Opid.exit ~cls:"C" "m"))
+
+let test_perturber_empty () =
+  check Alcotest.int "empty" 0 (Perturber.size Perturber.empty);
+  check Alcotest.int "no delay" 0 (Perturber.delay_before Perturber.empty wf)
+
+(* --- Orchestrator on live programs --- *)
+
+let flag_subject () =
+  let test () =
+    let flag = Heap.cell ~cls:"O.Flag" ~field:"ready" false in
+    let data = Heap.cell ~cls:"O.Flag" ~field:"data" 0 in
+    let t =
+      Threadlib.create ~delegate:("O.Flag", "Setter") (fun () ->
+          Runtime.cpu 100 300;
+          Heap.write data 5;
+          Heap.write flag true)
+    in
+    Threadlib.start t;
+    Heap.spin_until flag (fun b -> b);
+    assert (Heap.read data = 5);
+    Threadlib.join t
+  in
+  { Orchestrator.subject_name = "flag"; tests = [ ("flag", test) ] }
+
+let test_orchestrator_rounds () =
+  let config = { Config.default with rounds = 3 } in
+  let result = Orchestrator.infer ~config (flag_subject ()) in
+  check Alcotest.int "three rounds" 3 (List.length result.rounds);
+  check Alcotest.int "first round no delays" 0
+    (List.hd result.rounds).delayed_ops;
+  check Alcotest.bool "flag write inferred" true
+    (Verdict.mem (Opid.write ~cls:"O.Flag" "ready") Verdict.Release result.final);
+  check Alcotest.bool "flag read inferred" true
+    (Verdict.mem (Opid.read ~cls:"O.Flag" "ready") Verdict.Acquire result.final)
+
+let test_orchestrator_deterministic () =
+  let r1 = Orchestrator.infer (flag_subject ()) in
+  let r2 = Orchestrator.infer (flag_subject ()) in
+  check Alcotest.int "same verdict count" (List.length r1.final)
+    (List.length r2.final);
+  List.iter2
+    (fun (a : Verdict.t) (b : Verdict.t) ->
+      check Alcotest.bool "same verdicts" true (Verdict.compare a b = 0))
+    r1.final r2.final
+
+let test_orchestrator_accumulate_off () =
+  let config = { Config.default with accumulate = false } in
+  let result = Orchestrator.infer ~config (flag_subject ()) in
+  check Alcotest.int "observations from last round only" 1
+    (Observations.runs result.observations)
+
+let test_orchestrator_run_test_logs () =
+  let logs = Orchestrator.run_test_logs (flag_subject ()) in
+  check Alcotest.int "one log per test" 1 (List.length logs);
+  check Alcotest.bool "traced" true (Log.length (List.hd logs) > 0)
+
+let test_probabilistic_delays () =
+  (* p = 0 means the plan never fires; the runs behave like round 1. *)
+  let config = { Config.default with delay_probability = 0.0; rounds = 3 } in
+  let result = Orchestrator.infer ~config (flag_subject ()) in
+  check Alcotest.bool "still infers the flag" true
+    (Verdict.mem (Opid.write ~cls:"O.Flag" "ready") Verdict.Release result.final)
+
+let test_orchestrator_test_seed () =
+  check Alcotest.bool "distinct seeds" true
+    (Orchestrator.test_seed ~base:1 ~round:1 ~test_index:0
+    <> Orchestrator.test_seed ~base:1 ~round:2 ~test_index:0)
+
+(* --- Report / ground truth --- *)
+
+let truth =
+  let open Ground_truth in
+  {
+    syncs = [ entry wf Verdict.Release "w"; entry rf Verdict.Acquire "r" ];
+    racy_fields = [ "C::racy" ];
+    error_scope = [ "C.Hidden" ];
+    field_guard = [ ("C::guarded", Dispose) ];
+  }
+
+let v op role = { Verdict.op; role; probability = 1.0 }
+
+let test_report_classify () =
+  let verdicts =
+    [
+      v wf Verdict.Release;
+      v (Opid.read ~cls:"C" "racy") Verdict.Acquire;
+      v (Opid.write ~cls:"C.Hidden" "x") Verdict.Release;
+      v (Opid.read ~cls:"C" "other") Verdict.Acquire;
+    ]
+  in
+  let r = Report.classify truth verdicts in
+  check Alcotest.int "correct" 1 (Report.num_correct r);
+  check Alcotest.int "racy" 1 (Report.count r Report.Data_racy);
+  check Alcotest.int "instr" 1 (Report.count r Report.Instr_error);
+  check Alcotest.int "notsync" 1 (Report.count r Report.Not_sync);
+  check Alcotest.int "missed" 1 (List.length r.missed);
+  check (Alcotest.float 1e-9) "precision" 0.25 (Report.precision r)
+
+let test_report_role_mismatch_not_correct () =
+  let r = Report.classify truth [ v wf Verdict.Acquire ] in
+  check Alcotest.int "wrong role not correct" 0 (Report.num_correct r)
+
+let test_fp_causes () =
+  let cause op =
+    Ground_truth.cause_name (Report.false_positive_cause truth (v op Verdict.Release))
+  in
+  check Alcotest.string "instr" "Instr. Errors" (cause (Opid.write ~cls:"C.Hidden" "x"));
+  check Alcotest.string "double role" "Double Roles"
+    (cause (Opid.exit ~cls:"X" "UpgradeToWriterLock"));
+  check Alcotest.string "dispose" "Dispose" (cause (Opid.enter ~cls:"X" "Finalize"));
+  check Alcotest.string "static" "Static Ctr." (cause (Opid.exit ~cls:"X" ".cctor"));
+  check Alcotest.string "other" "Others" (cause (Opid.write ~cls:"X" "y"))
+
+let test_guard_cause () =
+  check Alcotest.string "guarded field" "Dispose"
+    (Ground_truth.cause_name (Ground_truth.guard_cause truth "C::guarded"));
+  check Alcotest.string "unknown field" "Others"
+    (Ground_truth.cause_name (Ground_truth.guard_cause truth "C::zzz"))
+
+(* --- Config / verdict --- *)
+
+let test_config_defaults () =
+  let c = Config.default in
+  check (Alcotest.float 1e-9) "lambda" 0.2 c.lambda;
+  check Alcotest.int "near 1s" 1_000_000 c.near;
+  check Alcotest.int "cap" 15 c.window_cap;
+  check Alcotest.int "delay 100ms" 100_000 c.delay_us;
+  check Alcotest.int "rounds" 3 c.rounds
+
+let test_verdict_helpers () =
+  let vs = [ v wf Verdict.Release; v rf Verdict.Acquire ] in
+  check Alcotest.int "releases" 1 (List.length (Verdict.releases vs));
+  check Alcotest.int "acquires" 1 (List.length (Verdict.acquires vs));
+  check Alcotest.bool "mem" true (Verdict.mem wf Verdict.Release vs);
+  check Alcotest.bool "not mem" false (Verdict.mem wf Verdict.Acquire vs)
+
+(* --- Properties --- *)
+
+let prop_verdicts_respect_threshold =
+  QCheck.Test.make ~name:"verdict probabilities reach the threshold" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let log =
+        mklog [ ev 10 0 wf; ev (50 + (seed mod 40)) 1 rf ]
+      in
+      let verdicts = solve_logs [ log ] in
+      List.for_all (fun (v : Verdict.t) -> v.probability >= Config.default.threshold)
+        verdicts)
+
+let prop_roles_respect_property =
+  QCheck.Test.make ~name:"role property always respected" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun salt ->
+      let wg = Opid.write ~cls:"C" (Printf.sprintf "g%d" (salt mod 3)) in
+      let rg = Opid.read ~cls:"C" (Printf.sprintf "g%d" (salt mod 3)) in
+      let log = mklog [ ev ~target:2 10 0 wg; ev ~target:2 60 1 rg ] in
+      let verdicts = solve_logs [ log ] in
+      List.for_all
+        (fun (v : Verdict.t) ->
+          match (v.op.kind, v.role) with
+          | (Opid.Read | Opid.Begin), Verdict.Acquire -> true
+          | (Opid.Write | Opid.End), Verdict.Release -> true
+          | _ -> false)
+        verdicts)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sherlock"
+    [
+      ( "observations",
+        [
+          Alcotest.test_case "merge identical windows" `Quick test_observations_merge;
+          Alcotest.test_case "races accumulate" `Quick test_observations_race_accumulates;
+          Alcotest.test_case "avg occurrence" `Quick test_observations_avg_occurrence;
+          Alcotest.test_case "candidate count" `Quick test_observations_candidate_count;
+        ] );
+      ( "encoder",
+        [
+          Alcotest.test_case "flag pair" `Quick test_encoder_flag_pair;
+          Alcotest.test_case "no protected => nothing" `Quick
+            test_encoder_no_protected_infers_nothing;
+          Alcotest.test_case "role property" `Quick test_encoder_role_property;
+          Alcotest.test_case "race removal" `Quick test_encoder_race_removal;
+          Alcotest.test_case "blind write forces begin" `Quick
+            test_encoder_blind_write_forces_begin;
+          Alcotest.test_case "single role" `Quick test_encoder_single_role_blocks_double;
+          Alcotest.test_case "single role soft" `Quick test_encoder_single_role_soft;
+          Alcotest.test_case "stats" `Quick test_encoder_stats;
+        ] );
+      ( "perturber",
+        [
+          Alcotest.test_case "plan" `Quick test_perturber_plan;
+          Alcotest.test_case "empty" `Quick test_perturber_empty;
+        ] );
+      ( "orchestrator",
+        [
+          Alcotest.test_case "rounds" `Quick test_orchestrator_rounds;
+          Alcotest.test_case "deterministic" `Quick test_orchestrator_deterministic;
+          Alcotest.test_case "accumulate off" `Quick test_orchestrator_accumulate_off;
+          Alcotest.test_case "run_test_logs" `Quick test_orchestrator_run_test_logs;
+          Alcotest.test_case "test seeds" `Quick test_orchestrator_test_seed;
+          Alcotest.test_case "probabilistic delays" `Quick test_probabilistic_delays;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "classify" `Quick test_report_classify;
+          Alcotest.test_case "role mismatch" `Quick test_report_role_mismatch_not_correct;
+          Alcotest.test_case "fp causes" `Quick test_fp_causes;
+          Alcotest.test_case "guard causes" `Quick test_guard_cause;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "verdict helpers" `Quick test_verdict_helpers;
+        ] );
+      ("properties", qcheck [ prop_verdicts_respect_threshold; prop_roles_respect_property ]);
+    ]

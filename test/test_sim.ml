@@ -1,0 +1,654 @@
+(* Tests for the concurrency simulator: scheduler determinism, virtual
+   time, blocking primitives, and the instrumentation hooks. *)
+
+open Sherlock_sim
+open Sherlock_trace
+
+let check = Alcotest.check
+
+let run ?(seed = 1) ?delay_before body =
+  Runtime.run ~seed ~instrument:(Runtime.tracing ?delay_before ()) body
+
+let events log = Array.to_list (log : Log.t).events
+
+(* --- Runtime basics --- *)
+
+let test_determinism () =
+  let program () =
+    let c = Heap.cell ~cls:"T.C" ~field:"x" 0 in
+    let t =
+      Threadlib.create ~delegate:("T.C", "W") (fun () ->
+          Runtime.cpu 10 50;
+          Heap.write c 1)
+    in
+    Threadlib.start t;
+    ignore (Heap.read c);
+    Threadlib.join t
+  in
+  let l1 = run ~seed:5 program and l2 = run ~seed:5 program in
+  check Alcotest.int "same length" (Log.length l1) (Log.length l2);
+  List.iter2
+    (fun (a : Event.t) (b : Event.t) ->
+      check Alcotest.int "same time" a.time b.time;
+      check Alcotest.int "same tid" a.tid b.tid;
+      check Alcotest.bool "same op" true (Opid.equal a.op b.op))
+    (events l1) (events l2)
+
+let test_seed_changes_schedule () =
+  let program () =
+    let c = Heap.cell ~cls:"T.C" ~field:"x" 0 in
+    let ts =
+      List.init 3 (fun i ->
+          Threadlib.create ~delegate:("T.C", Printf.sprintf "W%d" i) (fun () ->
+              Runtime.cpu 5 80;
+              Heap.write c 1))
+    in
+    List.iter Threadlib.start ts;
+    List.iter Threadlib.join ts
+  in
+  let l1 = run ~seed:1 program and l2 = run ~seed:2 program in
+  let times l = List.map (fun (e : Event.t) -> e.time) (events l) in
+  check Alcotest.bool "different schedules" true (times l1 <> times l2)
+
+let test_per_thread_monotone_time () =
+  let program () =
+    let c = Heap.cell ~cls:"T.C" ~field:"x" 0 in
+    for _ = 1 to 20 do
+      Heap.write c 1
+    done
+  in
+  let log = run program in
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Event.t) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt last e.tid) in
+      check Alcotest.bool "monotone" true (e.time > prev);
+      Hashtbl.replace last e.tid e.time)
+    (events log)
+
+let test_deadlock_detection () =
+  Alcotest.check_raises "deadlock" (Runtime.Deadlock "main") (fun () ->
+      ignore
+        (Runtime.run (fun () ->
+             let q = Runtime.Waitq.create () in
+             Runtime.block q)))
+
+let test_daemons_do_not_block_exit () =
+  let log =
+    Runtime.run ~instrument:(Runtime.tracing ()) (fun () ->
+        ignore
+          (Runtime.spawn ~daemon:true ~name:"d" (fun () ->
+               while true do
+                 Runtime.sleep 1000
+               done));
+        Runtime.sleep 50)
+  in
+  check Alcotest.bool "terminates" true (log.duration >= 50)
+
+let test_sleep_advances_clock () =
+  let log =
+    run (fun () ->
+        Runtime.sleep 5000;
+        Runtime.traced (Opid.read ~cls:"T.C" "x") ~target:1)
+  in
+  let e = List.hd (events log) in
+  check Alcotest.bool "clock past sleep" true (e.time > 5000)
+
+let test_fresh_ids_unique () =
+  ignore
+    (Runtime.run (fun () ->
+         let ids = List.init 100 (fun _ -> Runtime.fresh_id ()) in
+         assert (List.length (List.sort_uniq compare ids) = 100);
+         assert (List.for_all (fun i -> i > 0) ids)))
+
+let test_outside_run_fails () =
+  Alcotest.check_raises "outside" (Failure "now: must be called from inside Runtime.run")
+    (fun () -> ignore (Runtime.now ()))
+
+let test_frame_emits_balanced_events () =
+  let log =
+    run (fun () ->
+        Runtime.frame ~cls:"T.C" ~meth:"m" (fun () ->
+            Runtime.frame ~cls:"T.C" ~meth:"inner" (fun () -> Runtime.cpu 5 10)))
+  in
+  let begins =
+    List.length (List.filter (fun (e : Event.t) -> e.op.kind = Opid.Begin) (events log))
+  in
+  let ends =
+    List.length (List.filter (fun (e : Event.t) -> e.op.kind = Opid.End) (events log))
+  in
+  check Alcotest.int "begins" 2 begins;
+  check Alcotest.int "ends" 2 ends
+
+let test_frame_end_on_exception () =
+  let log =
+    run (fun () ->
+        try Runtime.frame ~cls:"T.C" ~meth:"boom" (fun () -> raise Exit)
+        with Exit -> ())
+  in
+  let ends =
+    List.filter (fun (e : Event.t) -> e.op.kind = Opid.End) (events log)
+  in
+  check Alcotest.int "end emitted" 1 (List.length ends)
+
+let test_delay_injection () =
+  let op = Opid.write ~cls:"T.C" "x" in
+  let delay_before o = if Opid.equal o op then 10_000 else 0 in
+  let log =
+    run ~delay_before (fun () ->
+        let c = Heap.cell ~cls:"T.C" ~field:"x" 0 in
+        Heap.write c 1)
+  in
+  let e = List.find (fun (e : Event.t) -> Opid.equal e.op op) (events log) in
+  check Alcotest.int "delayed_by recorded" 10_000 e.delayed_by;
+  check Alcotest.bool "clock advanced" true (e.time > 10_000)
+
+let test_untraced_run_is_silent () =
+  let log =
+    Runtime.run (fun () ->
+        let c = Heap.cell ~cls:"T.C" ~field:"x" 0 in
+        Heap.write c 1;
+        ignore (Heap.read c))
+  in
+  check Alcotest.int "no events" 0 (Log.length log)
+
+let test_volatile_registration () =
+  let log =
+    run (fun () -> ignore (Heap.cell ~cls:"T.C" ~field:"v" ~volatile:true 0))
+  in
+  check Alcotest.int "registered" 1 (Hashtbl.length log.volatile_addrs)
+
+(* --- Heap --- *)
+
+let test_heap_read_write () =
+  ignore
+    (Runtime.run (fun () ->
+         let c = Heap.cell ~cls:"T.C" ~field:"x" 7 in
+         assert (Heap.read c = 7);
+         Heap.write c 9;
+         assert (Heap.peek c = 9);
+         Heap.poke c 11;
+         assert (Heap.read c = 11);
+         assert (Heap.addr c > 0);
+         assert (Heap.cls c = "T.C" && Heap.field c = "x")))
+
+let test_spin_until () =
+  ignore
+    (Runtime.run (fun () ->
+         let flag = Heap.cell ~cls:"T.C" ~field:"f" false in
+         let t =
+           Threadlib.create ~delegate:("T.C", "Setter") (fun () ->
+               Runtime.cpu 200 400;
+               Heap.write flag true)
+         in
+         Threadlib.start t;
+         Heap.spin_until flag (fun b -> b);
+         assert (Heap.peek flag);
+         Threadlib.join t))
+
+(* --- Monitor --- *)
+
+let test_monitor_mutual_exclusion () =
+  ignore
+    (Runtime.run (fun () ->
+         let m = Monitor.create () in
+         let inside = ref 0 in
+         let max_inside = ref 0 in
+         let worker () =
+           for _ = 1 to 5 do
+             Monitor.with_lock m (fun () ->
+                 incr inside;
+                 if !inside > !max_inside then max_inside := !inside;
+                 Runtime.cpu 5 30;
+                 decr inside);
+             Runtime.cpu 1 10
+           done
+         in
+         let ts =
+           List.init 3 (fun i ->
+               Threadlib.create ~delegate:("T.C", Printf.sprintf "W%d" i) worker)
+         in
+         List.iter Threadlib.start ts;
+         List.iter Threadlib.join ts;
+         assert (!max_inside = 1)))
+
+let test_monitor_reentrant () =
+  ignore
+    (Runtime.run (fun () ->
+         let m = Monitor.create () in
+         Monitor.enter m;
+         Monitor.enter m;
+         Monitor.exit m;
+         Monitor.exit m))
+
+let test_monitor_exit_unowned () =
+  Alcotest.check_raises "unowned exit"
+    (Failure "Monitor.exit: caller does not own the lock") (fun () ->
+      ignore
+        (Runtime.run (fun () ->
+             let m = Monitor.create () in
+             Monitor.exit m)))
+
+(* --- Rwlock --- *)
+
+let test_rwlock_readers_concurrent () =
+  ignore
+    (Runtime.run (fun () ->
+         let rw = Rwlock.create () in
+         let readers = ref 0 in
+         let saw_two = ref false in
+         let reader () =
+           Rwlock.acquire_reader rw;
+           incr readers;
+           if !readers >= 2 then saw_two := true;
+           Runtime.sleep 500;
+           decr readers;
+           Rwlock.release_reader rw
+         in
+         let ts =
+           List.init 2 (fun i ->
+               Threadlib.create ~delegate:("T.C", Printf.sprintf "R%d" i) reader)
+         in
+         List.iter Threadlib.start ts;
+         List.iter Threadlib.join ts;
+         assert !saw_two))
+
+let test_rwlock_writer_exclusive () =
+  ignore
+    (Runtime.run (fun () ->
+         let rw = Rwlock.create () in
+         let writing = ref false in
+         let violation = ref false in
+         let writer () =
+           Rwlock.acquire_writer rw;
+           if !writing then violation := true;
+           writing := true;
+           Runtime.sleep 100;
+           writing := false;
+           Rwlock.release_writer rw
+         in
+         let reader () =
+           Rwlock.acquire_reader rw;
+           if !writing then violation := true;
+           Rwlock.release_reader rw
+         in
+         let w = Threadlib.create ~delegate:("T.C", "W") writer in
+         let r = Threadlib.create ~delegate:("T.C", "R") reader in
+         Threadlib.start w;
+         Threadlib.start r;
+         Threadlib.join w;
+         Threadlib.join r;
+         assert (not !violation)))
+
+let test_rwlock_upgrade () =
+  ignore
+    (Runtime.run (fun () ->
+         let rw = Rwlock.create () in
+         Rwlock.acquire_reader rw;
+         Rwlock.upgrade_to_writer_lock rw;
+         Rwlock.downgrade_from_writer_lock rw;
+         Rwlock.release_reader rw))
+
+(* --- Tasks, threads, pool --- *)
+
+let test_task_wait () =
+  ignore
+    (Runtime.run (fun () ->
+         let r = ref 0 in
+         let t = Tasklib.create (fun () -> r := 42) in
+         assert (not (Tasklib.is_completed t));
+         Tasklib.start t;
+         Tasklib.wait t;
+         assert (Tasklib.is_completed t);
+         assert (!r = 42)))
+
+let test_task_continue_with () =
+  ignore
+    (Runtime.run (fun () ->
+         let order = ref [] in
+         let a = Tasklib.create (fun () -> order := 1 :: !order) in
+         let b = Tasklib.continue_with a (fun () -> order := 2 :: !order) in
+         Tasklib.start a;
+         Tasklib.wait b;
+         assert (!order = [ 2; 1 ])))
+
+let test_task_continue_after_completion () =
+  ignore
+    (Runtime.run (fun () ->
+         let a = Tasklib.run (fun () -> ()) in
+         Tasklib.wait a;
+         let hit = ref false in
+         let b = Tasklib.continue_with a (fun () -> hit := true) in
+         Tasklib.wait b;
+         assert !hit))
+
+let test_threadpool_runs_items () =
+  ignore
+    (Runtime.run (fun () ->
+         let done_handle = Waithandle.create_manual () in
+         let count = ref 0 in
+         for _ = 1 to 5 do
+           Threadpool.queue_user_work_item (fun () ->
+               incr count;
+               if !count = 5 then Waithandle.set done_handle)
+         done;
+         Waithandle.wait_one done_handle;
+         assert (!count = 5)))
+
+(* --- Wait handles, semaphore, dataflow --- *)
+
+let test_manual_event_stays_signaled () =
+  ignore
+    (Runtime.run (fun () ->
+         let h = Waithandle.create_manual () in
+         Waithandle.set h;
+         Waithandle.wait_one h;
+         Waithandle.wait_one h (* still signaled *)))
+
+let test_auto_event_consumes () =
+  ignore
+    (Runtime.run (fun () ->
+         let h = Waithandle.create_auto () in
+         let woken = ref 0 in
+         let waiter i =
+           Threadlib.create ~delegate:("T.C", Printf.sprintf "W%d" i) (fun () ->
+               Waithandle.wait_one h;
+               incr woken)
+         in
+         let t1 = waiter 1 and t2 = waiter 2 in
+         Threadlib.start t1;
+         Threadlib.start t2;
+         Runtime.sleep 1000;
+         Waithandle.set h;
+         Runtime.sleep 1000;
+         assert (!woken = 1);
+         Waithandle.set h;
+         Threadlib.join t1;
+         Threadlib.join t2;
+         assert (!woken = 2)))
+
+let test_wait_all () =
+  ignore
+    (Runtime.run (fun () ->
+         let hs = List.init 3 (fun _ -> Waithandle.create_manual ()) in
+         let setter h delay =
+           Threadlib.create ~delegate:("T.C", "S") (fun () ->
+               Runtime.sleep delay;
+               Waithandle.set h)
+         in
+         let ts = List.mapi (fun i h -> setter h ((i + 1) * 100)) hs in
+         List.iter Threadlib.start ts;
+         Waithandle.wait_all hs;
+         List.iter Threadlib.join ts))
+
+let test_semaphore_counting () =
+  ignore
+    (Runtime.run (fun () ->
+         let s = Semaphore.create 2 in
+         Semaphore.wait s;
+         Semaphore.wait s;
+         assert (Semaphore.count s = 0);
+         Semaphore.release s;
+         assert (Semaphore.count s = 1);
+         Semaphore.wait s))
+
+let test_semaphore_blocks_at_zero () =
+  ignore
+    (Runtime.run (fun () ->
+         let s = Semaphore.create 0 in
+         let t =
+           Threadlib.create ~delegate:("T.C", "R") (fun () ->
+               Runtime.sleep 500;
+               Semaphore.release s)
+         in
+         Threadlib.start t;
+         Semaphore.wait s;
+         Threadlib.join t))
+
+let test_dataflow_fifo () =
+  ignore
+    (Runtime.run (fun () ->
+         let b = Dataflow.create () in
+         Dataflow.post b 1;
+         Dataflow.post b 2;
+         Dataflow.post b 3;
+         assert (Dataflow.length b = 3);
+         assert (Dataflow.receive b = 1);
+         assert (Dataflow.receive b = 2);
+         assert (Dataflow.try_receive b = Some 3);
+         assert (Dataflow.try_receive b = None)))
+
+let test_dataflow_blocks () =
+  ignore
+    (Runtime.run (fun () ->
+         let b = Dataflow.create () in
+         let t =
+           Threadlib.create ~delegate:("T.C", "P") (fun () ->
+               Runtime.sleep 300;
+               Dataflow.post b 9)
+         in
+         Threadlib.start t;
+         assert (Dataflow.receive b = 9);
+         Threadlib.join t))
+
+(* --- Conc_dict, statics, finalizer, unsafe list --- *)
+
+let test_conc_dict_once () =
+  ignore
+    (Runtime.run (fun () ->
+         let d = Conc_dict.create () in
+         let computed = ref 0 in
+         let worker () =
+           ignore
+             (Conc_dict.get_or_add d "k" ~delegate:("T.C", "factory") (fun () ->
+                  incr computed;
+                  Runtime.cpu 50 150;
+                  99))
+         in
+         let ts =
+           List.init 3 (fun i ->
+               Threadlib.create ~delegate:("T.C", Printf.sprintf "Q%d" i) worker)
+         in
+         List.iter Threadlib.start ts;
+         List.iter Threadlib.join ts;
+         assert (!computed = 1);
+         assert (Conc_dict.find_opt d "k" = Some 99)))
+
+let test_statics_once () =
+  ignore
+    (Runtime.run (fun () ->
+         let runs = ref 0 in
+         let s =
+           Statics.declare ~cls:"T.S" (fun () ->
+               incr runs;
+               Runtime.cpu 100 200)
+         in
+         assert (not (Statics.initialized s));
+         let ts =
+           List.init 3 (fun i ->
+               Threadlib.create ~delegate:("T.S", Printf.sprintf "U%d" i) (fun () ->
+                   Statics.ensure s))
+         in
+         List.iter Threadlib.start ts;
+         List.iter Threadlib.join ts;
+         assert (!runs = 1);
+         assert (Statics.initialized s)))
+
+let test_finalizer_runs_after_collect () =
+  ignore
+    (Runtime.run (fun () ->
+         let finalized = ref false in
+         let obj = Runtime.fresh_id () in
+         Finalizer.register ~cls:"T.F" ~obj (fun () -> finalized := true);
+         Finalizer.collect obj;
+         let deadline = snd Finalizer.gc_latency * 3 in
+         let rec wait () =
+           if not !finalized then
+             if Runtime.now () > deadline then assert false
+             else begin
+               Runtime.sleep 5000;
+               wait ()
+             end
+         in
+         wait ()))
+
+let test_finalizer_not_before_collect () =
+  ignore
+    (Runtime.run (fun () ->
+         let finalized = ref false in
+         let obj = Runtime.fresh_id () in
+         Finalizer.register ~cls:"T.F" ~obj (fun () -> finalized := true);
+         Runtime.sleep (snd Finalizer.gc_latency * 2);
+         assert (not !finalized)))
+
+let test_barrier_phases () =
+  ignore
+    (Runtime.run (fun () ->
+         let b = Barrier.create 3 in
+         let after = ref 0 in
+         let before_ok = ref true in
+         let worker i =
+           Threadlib.create ~delegate:("T.B", Printf.sprintf "W%d" i) (fun () ->
+               Runtime.cpu 10 (50 * (i + 1));
+               if !after > 0 then before_ok := false;
+               Barrier.signal_and_wait b;
+               incr after)
+         in
+         let ts = List.init 3 worker in
+         List.iter Threadlib.start ts;
+         List.iter Threadlib.join ts;
+         assert !before_ok;
+         assert (!after = 3);
+         assert (Barrier.phase b = 1)))
+
+let test_barrier_multi_phase () =
+  ignore
+    (Runtime.run (fun () ->
+         let b = Barrier.create 2 in
+         let worker i =
+           Threadlib.create ~delegate:("T.B", Printf.sprintf "W%d" i) (fun () ->
+               for _ = 1 to 3 do
+                 Runtime.cpu 5 40;
+                 Barrier.signal_and_wait b
+               done)
+         in
+         let ts = List.init 2 worker in
+         List.iter Threadlib.start ts;
+         List.iter Threadlib.join ts;
+         assert (Barrier.phase b = 3)))
+
+let test_barrier_invalid () =
+  Alcotest.check_raises "zero participants"
+    (Invalid_argument "Barrier.create: participants must be positive") (fun () ->
+      ignore (Runtime.run (fun () -> ignore (Barrier.create 0))))
+
+let test_unsafe_dict_ops () =
+  let log =
+    run (fun () ->
+        let d = Unsafe_dict.create () in
+        Unsafe_dict.add d "k" 1;
+        assert (Unsafe_dict.try_get_value d "k" = Some 1);
+        assert (Unsafe_dict.try_get_value d "x" = None);
+        assert (Unsafe_dict.count d = 1))
+  in
+  let accesses =
+    List.filter (fun (e : Event.t) -> e.op.cls = Unsafe_dict.cls) (events log)
+  in
+  check Alcotest.int "traced as accesses" 4 (List.length accesses)
+
+let test_property_accessors () =
+  let log =
+    run (fun () ->
+        let c = Heap.cell ~cls:"T.C" ~field:"Name" 0 in
+        Heap.setter c 5;
+        check Alcotest.int "getter value" 5 (Heap.getter c))
+  in
+  let ops = List.map (fun (e : Event.t) -> Opid.to_string e.op) (events log) in
+  check Alcotest.bool "setter traced" true (List.mem "Write-T.C::set_Name" ops);
+  check Alcotest.bool "getter traced" true (List.mem "Read-T.C::get_Name" ops)
+
+let test_unsafe_list_ops () =
+  let log =
+    run (fun () ->
+        let l = Unsafe_list.create () in
+        Unsafe_list.add l 1;
+        Unsafe_list.add l 2;
+        assert (Unsafe_list.contains l 1);
+        assert (Unsafe_list.count l = 2);
+        assert (Unsafe_list.to_list l = [ 1; 2 ]))
+  in
+  let accesses =
+    List.filter (fun (e : Event.t) -> e.op.cls = Unsafe_list.cls) (events log)
+  in
+  check Alcotest.int "traced as accesses" 4 (List.length accesses)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_schedule;
+          Alcotest.test_case "monotone per-thread time" `Quick test_per_thread_monotone_time;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "daemons don't block exit" `Quick test_daemons_do_not_block_exit;
+          Alcotest.test_case "sleep advances clock" `Quick test_sleep_advances_clock;
+          Alcotest.test_case "fresh ids unique" `Quick test_fresh_ids_unique;
+          Alcotest.test_case "outside run fails" `Quick test_outside_run_fails;
+          Alcotest.test_case "frame events balanced" `Quick test_frame_emits_balanced_events;
+          Alcotest.test_case "frame end on exception" `Quick test_frame_end_on_exception;
+          Alcotest.test_case "delay injection" `Quick test_delay_injection;
+          Alcotest.test_case "untraced run silent" `Quick test_untraced_run_is_silent;
+          Alcotest.test_case "volatile registration" `Quick test_volatile_registration;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "read/write/peek/poke" `Quick test_heap_read_write;
+          Alcotest.test_case "spin_until" `Quick test_spin_until;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_monitor_mutual_exclusion;
+          Alcotest.test_case "reentrant" `Quick test_monitor_reentrant;
+          Alcotest.test_case "exit unowned" `Quick test_monitor_exit_unowned;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "concurrent readers" `Quick test_rwlock_readers_concurrent;
+          Alcotest.test_case "exclusive writer" `Quick test_rwlock_writer_exclusive;
+          Alcotest.test_case "upgrade/downgrade" `Quick test_rwlock_upgrade;
+        ] );
+      ( "tasks",
+        [
+          Alcotest.test_case "task wait" `Quick test_task_wait;
+          Alcotest.test_case "continue_with" `Quick test_task_continue_with;
+          Alcotest.test_case "continue after completion" `Quick
+            test_task_continue_after_completion;
+          Alcotest.test_case "threadpool" `Quick test_threadpool_runs_items;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "manual event" `Quick test_manual_event_stays_signaled;
+          Alcotest.test_case "auto event" `Quick test_auto_event_consumes;
+          Alcotest.test_case "wait_all" `Quick test_wait_all;
+          Alcotest.test_case "semaphore counting" `Quick test_semaphore_counting;
+          Alcotest.test_case "semaphore blocks" `Quick test_semaphore_blocks_at_zero;
+          Alcotest.test_case "dataflow fifo" `Quick test_dataflow_fifo;
+          Alcotest.test_case "dataflow blocks" `Quick test_dataflow_blocks;
+        ] );
+      ( "substrates",
+        [
+          Alcotest.test_case "barrier phases" `Quick test_barrier_phases;
+          Alcotest.test_case "barrier multi-phase" `Quick test_barrier_multi_phase;
+          Alcotest.test_case "barrier invalid" `Quick test_barrier_invalid;
+          Alcotest.test_case "conc_dict computes once" `Quick test_conc_dict_once;
+          Alcotest.test_case "statics run once" `Quick test_statics_once;
+          Alcotest.test_case "finalizer after collect" `Quick
+            test_finalizer_runs_after_collect;
+          Alcotest.test_case "finalizer not before collect" `Quick
+            test_finalizer_not_before_collect;
+          Alcotest.test_case "unsafe list" `Quick test_unsafe_list_ops;
+          Alcotest.test_case "unsafe dict" `Quick test_unsafe_dict_ops;
+          Alcotest.test_case "property accessors" `Quick test_property_accessors;
+        ] );
+    ]

@@ -1,0 +1,452 @@
+(* Tests for the trace layer: operation ids, logs, duration pairing, and
+   acquire/release window extraction. *)
+
+open Sherlock_trace
+
+let check = Alcotest.check
+
+let ev ?(target = 1) ?(delayed_by = 0) time tid op =
+  Event.make ~time ~tid ~op ~target ~delayed_by ()
+
+let mklog ?(threads = 4) events =
+  Log.create ~events ~duration:1_000_000 ~threads ~volatile_addrs:(Hashtbl.create 1)
+
+(* --- Opid --- *)
+
+let test_opid_identity () =
+  let a = Opid.read ~cls:"C" "f" and b = Opid.read ~cls:"C" "f" in
+  check Alcotest.bool "equal" true (Opid.equal a b);
+  check Alcotest.int "compare" 0 (Opid.compare a b);
+  check Alcotest.bool "hash equal" true (Opid.hash a = Opid.hash b);
+  check Alcotest.bool "kind distinguishes" false
+    (Opid.equal a (Opid.write ~cls:"C" "f"))
+
+let test_opid_kinds () =
+  check Alcotest.bool "read is access" true (Opid.is_access (Opid.read ~cls:"C" "f"));
+  check Alcotest.bool "begin is frame" true (Opid.is_frame (Opid.enter ~cls:"C" "m"));
+  check Alcotest.bool "frame not access" false
+    (Opid.is_access (Opid.exit ~cls:"C" "m"))
+
+let test_opid_system () =
+  check Alcotest.bool "monitor is system" true
+    (Opid.is_system (Opid.enter ~cls:"System.Threading.Monitor" "Enter"));
+  check Alcotest.bool "microsoft is system" true
+    (Opid.is_system (Opid.enter ~cls:"Microsoft.VisualStudio.TestTools" "X"));
+  check Alcotest.bool "app is not" false (Opid.is_system (Opid.enter ~cls:"App.C" "m"));
+  check Alcotest.bool "System.Linq.Dynamic is app code" false
+    (Opid.is_system (Opid.enter ~cls:"System.Linq.Dynamic.ClassFactory" "m"))
+
+let test_opid_strings () =
+  check Alcotest.string "read" "Read-C::f" (Opid.to_string (Opid.read ~cls:"C" "f"));
+  check Alcotest.string "write" "Write-C::f" (Opid.to_string (Opid.write ~cls:"C" "f"));
+  check Alcotest.string "begin" "C::m-Begin" (Opid.to_string (Opid.enter ~cls:"C" "m"));
+  check Alcotest.string "end" "C::m-End" (Opid.to_string (Opid.exit ~cls:"C" "m"));
+  check Alcotest.string "method key" "C::m" (Opid.method_key (Opid.enter ~cls:"C" "m"))
+
+let test_opid_counterpart () =
+  check Alcotest.bool "read<->write" true
+    (Opid.equal (Opid.counterpart (Opid.read ~cls:"C" "f")) (Opid.write ~cls:"C" "f"));
+  check Alcotest.bool "begin<->end" true
+    (Opid.equal (Opid.counterpart (Opid.enter ~cls:"C" "m")) (Opid.exit ~cls:"C" "m"))
+
+(* --- Log --- *)
+
+let test_log_sorting () =
+  let o = Opid.read ~cls:"C" "f" in
+  let log = mklog [ ev 30 0 o; ev 10 1 o; ev 20 0 o ] in
+  let times = Array.to_list (Array.map (fun (e : Event.t) -> e.time) log.events) in
+  check Alcotest.(list int) "sorted" [ 10; 20; 30 ] times
+
+let test_log_queries () =
+  let o = Opid.read ~cls:"C" "f" in
+  let log = mklog [ ev 10 0 o; ev 20 1 o; ev 30 0 o ] in
+  check Alcotest.int "thread events" 2 (List.length (Log.events_of_thread log 0));
+  check Alcotest.int "between" 2 (List.length (Log.between log ~lo:10 ~hi:20));
+  check Alcotest.bool "active" true (Log.thread_active_in log ~tid:1 ~lo:15 ~hi:25);
+  check Alcotest.bool "inactive" false (Log.thread_active_in log ~tid:1 ~lo:21 ~hi:29)
+
+(* --- Durations --- *)
+
+let test_durations_pairing () =
+  let b = Opid.enter ~cls:"C" "m" and e = Opid.exit ~cls:"C" "m" in
+  let log = mklog [ ev 10 0 b; ev 25 0 e; ev 30 0 b; ev 70 0 e ] in
+  let d = Durations.create () in
+  Durations.record_log d log;
+  check Alcotest.(list (float 1e-9)) "durations" [ 40.0; 15.0 ] (Durations.samples d "C::m")
+
+let test_durations_nested () =
+  let b = Opid.enter ~cls:"C" "m" and e = Opid.exit ~cls:"C" "m" in
+  let bi = Opid.enter ~cls:"C" "inner" and ei = Opid.exit ~cls:"C" "inner" in
+  let log = mklog [ ev 10 0 b; ev 20 0 bi; ev 30 0 ei; ev 50 0 e ] in
+  let d = Durations.create () in
+  Durations.record_log d log;
+  check Alcotest.(list (float 1e-9)) "outer" [ 40.0 ] (Durations.samples d "C::m");
+  check Alcotest.(list (float 1e-9)) "inner" [ 10.0 ] (Durations.samples d "C::inner")
+
+let test_durations_skip_delayed_frames () =
+  let b = Opid.enter ~cls:"C" "m" and e = Opid.exit ~cls:"C" "m" in
+  let w = Opid.write ~cls:"C" "f" in
+  let log =
+    mklog [ ev 10 0 b; ev ~delayed_by:100_000 100_020 0 w; ev 100_040 0 e;
+            ev 200_000 0 b; ev 200_015 0 e ]
+  in
+  let d = Durations.create () in
+  Durations.record_log d log;
+  check Alcotest.(list (float 1e-9)) "only undelayed frame" [ 15.0 ]
+    (Durations.samples d "C::m")
+
+let test_durations_cv_percentile () =
+  let d = Durations.create () in
+  let mk cls meth times =
+    let b = Opid.enter ~cls meth and e = Opid.exit ~cls meth in
+    mklog (List.concat_map (fun (t0, t1) -> [ ev t0 0 b; ev t1 0 e ]) times)
+  in
+  Durations.record_log d (mk "C" "flat" [ (0, 10); (100, 110); (200, 210) ]);
+  Durations.record_log d (mk "C" "vary" [ (0, 10); (300, 500); (1000, 1002) ]);
+  check Alcotest.bool "vary has higher cv" true (Durations.cv d "C::vary" > Durations.cv d "C::flat");
+  check Alcotest.bool "vary top percentile" true
+    (Durations.cv_percentile d "C::vary" > Durations.cv_percentile d "C::flat")
+
+(* --- Windows --- *)
+
+let wf = Opid.write ~cls:"C" "f"
+
+let rf = Opid.read ~cls:"C" "f"
+
+let test_window_basic () =
+  (* T0 writes, T1 reads soon after: one window with both endpoints. *)
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let windows, races = Windows.extract log in
+  check Alcotest.int "one window" 1 (List.length windows);
+  check Alcotest.int "no race" 0 (List.length races);
+  let w = List.hd windows in
+  check Alcotest.bool "rel contains write" true (Opid.Map.mem wf w.rel);
+  check Alcotest.bool "acq contains read" true (Opid.Map.mem rf w.acq)
+
+let test_window_near_filter () =
+  let log = mklog [ ev 10 0 wf; ev 5_000_000 1 rf ] in
+  let windows, races = Windows.extract ~near:1_000_000 log in
+  check Alcotest.int "too far apart" 0 (List.length windows);
+  check Alcotest.int "no race either" 0 (List.length races)
+
+let test_window_same_thread_excluded () =
+  let log = mklog [ ev 10 0 wf; ev 20 0 rf ] in
+  let windows, races = Windows.extract log in
+  check Alcotest.int "same thread no window" 0 (List.length windows + List.length races)
+
+let test_window_read_read_excluded () =
+  let log = mklog [ ev 10 0 rf; ev 20 1 rf ] in
+  let windows, races = Windows.extract log in
+  check Alcotest.int "no conflict" 0 (List.length windows + List.length races)
+
+let test_window_cap () =
+  let events =
+    List.concat_map (fun i -> [ ev ((i * 100) + 10) 0 wf; ev ((i * 100) + 50) 1 rf ]) (List.init 40 Fun.id)
+  in
+  let log = mklog events in
+  let windows, _ = Windows.extract ~cap:15 log in
+  let for_pair =
+    List.filter (fun (w : Windows.t) -> fst w.pair = wf && snd w.pair = rf) windows
+  in
+  check Alcotest.bool "capped at 15" true (List.length for_pair <= 15)
+
+let test_window_race_all_writes () =
+  (* Acquire side of a write/write pair with nothing else: a race. *)
+  let log = mklog [ ev 10 0 wf; ev 50 1 wf ] in
+  let windows, races = Windows.extract log in
+  check Alcotest.int "no window" 0 (List.length windows);
+  check Alcotest.int "race" 1 (List.length races)
+
+let test_window_race_all_reads () =
+  (* Release side of a read-then-write pair with only reads: a race. *)
+  let log = mklog [ ev 10 0 rf; ev 50 1 wf ] in
+  let _, races = Windows.extract log in
+  check Alcotest.int "race" 1 (List.length races)
+
+let test_window_method_prevents_race () =
+  let e = Opid.exit ~cls:"C" "m" in
+  let log = mklog [ ev 10 0 wf; ev 20 0 e; ev 50 1 wf; ev 5 1 (Opid.enter ~cls:"C" "n") ] in
+  let windows, races = Windows.extract log in
+  (* The acquire side picks up the open C::n frame of thread 1, so the
+     write/write pair is explicable. *)
+  check Alcotest.int "no race" 0 (List.length races);
+  check Alcotest.int "window" 1 (List.length windows)
+
+let test_window_open_frame_acquire () =
+  (* Thread 1 invoked a method before the release and is still inside it:
+     its Begin must be an acquire candidate. *)
+  let bm = Opid.enter ~cls:"C" "Wait" and em = Opid.exit ~cls:"C" "Wait" in
+  let log = mklog [ ev 5 1 bm; ev 10 0 wf; ev 60 1 em; ev 80 1 rf ] in
+  let windows, _ = Windows.extract log in
+  let w = List.hd windows in
+  check Alcotest.bool "spanning begin included" true (Opid.Map.mem bm w.acq)
+
+let test_window_progressed_frame_excluded () =
+  (* Thread 1's frame made progress (a write) before the window: its
+     Begin is not plausibly blocked and must not be a candidate. *)
+  let bm = Opid.enter ~cls:"C" "Busy" in
+  let wg = Opid.write ~cls:"C" "g" in
+  let log = mklog [ ev 5 1 bm; ev ~target:2 8 1 wg; ev 10 0 wf; ev 80 1 rf ] in
+  let windows, _ = Windows.extract log in
+  let w = List.hd windows in
+  check Alcotest.bool "progressed begin excluded" false (Opid.Map.mem bm w.acq)
+
+let test_window_occurrence_counts () =
+  let log = mklog [ ev 10 0 wf; ev 20 1 rf; ev 30 1 rf; ev 40 1 rf ] in
+  let windows, _ = Windows.extract log in
+  (* Last read closes the biggest window: reads occur 3 times there. *)
+  let max_count =
+    List.fold_left
+      (fun acc (w : Windows.t) ->
+        max acc (Option.value ~default:0 (Opid.Map.find_opt rf w.acq)))
+      0 windows
+  in
+  check Alcotest.int "occurrences counted" 3 max_count
+
+let test_refinement_propagated () =
+  (* Delayed release candidate, other thread silent during the delay:
+     acquire window shrinks to [r, b]. *)
+  let wg = Opid.write ~cls:"C" "g" in
+  let log =
+    mklog
+      [
+        ev 10 0 wf;
+        ev ~target:2 20 1 (Opid.read ~cls:"C" "g");
+        ev ~target:2 ~delayed_by:100_000 100_120 0 wg;
+        ev 100_200 1 rf;
+      ]
+  in
+  let windows, _ = Windows.extract ~refine:true log in
+  let w =
+    List.find (fun (w : Windows.t) -> Opid.equal (fst w.pair) wf) windows
+  in
+  (* The early read of g (before the delay) is refined away. *)
+  check Alcotest.bool "early acq candidate dropped" false
+    (Opid.Map.mem (Opid.read ~cls:"C" "g") w.acq);
+  check Alcotest.bool "endpoint kept" true (Opid.Map.mem rf w.acq)
+
+let test_refinement_not_propagated () =
+  (* The other thread kept making progress during the delay: that instance
+     of the delayed op is discounted from the release side. *)
+  let wg = Opid.write ~cls:"C" "g" in
+  let wh = Opid.write ~cls:"C" "h" in
+  let log =
+    mklog
+      [
+        ev 10 0 wf;
+        ev ~target:3 50_000 1 wh;
+        (* progress during the delay *)
+        ev ~target:2 ~delayed_by:100_000 100_120 0 wg;
+        ev 100_200 1 rf;
+      ]
+  in
+  let windows, _ = Windows.extract ~refine:true log in
+  let w =
+    List.find (fun (w : Windows.t) -> Opid.equal (fst w.pair) wf) windows
+  in
+  check Alcotest.bool "refuted release instance removed" false (Opid.Map.mem wg w.rel);
+  check Alcotest.bool "original write kept" true (Opid.Map.mem wf w.rel)
+
+let test_refinement_off () =
+  let wg = Opid.write ~cls:"C" "g" in
+  let log =
+    mklog
+      [
+        ev 10 0 wf;
+        ev ~target:3 50_000 1 (Opid.write ~cls:"C" "h");
+        ev ~target:2 ~delayed_by:100_000 100_120 0 wg;
+        ev 100_200 1 rf;
+      ]
+  in
+  let windows, _ = Windows.extract ~refine:false log in
+  let w =
+    List.find (fun (w : Windows.t) -> Opid.equal (fst w.pair) wf) windows
+  in
+  check Alcotest.bool "kept without refinement" true (Opid.Map.mem wg w.rel)
+
+let gen_ops_for_io =
+  QCheck.Gen.(
+    list_size (int_range 0 30)
+      (let* time = int_range 1 10_000 in
+       let* tid = int_range 0 2 in
+       let* kind = int_range 0 3 in
+       let* field = int_range 0 2 in
+       let cls = "P.C" in
+       let name = Printf.sprintf "f%d" field in
+       let op =
+         match kind with
+         | 0 -> Opid.read ~cls name
+         | 1 -> Opid.write ~cls name
+         | 2 -> Opid.enter ~cls name
+         | _ -> Opid.exit ~cls name
+       in
+       return (Event.make ~time ~tid ~op ~target:(field + 1) ())))
+
+(* --- Trace_io --- *)
+
+let test_trace_io_roundtrip () =
+  let o1 = Opid.read ~cls:"C" "f" and o2 = Opid.enter ~cls:"N.S" "m" in
+  let volatile_addrs = Hashtbl.create 2 in
+  Hashtbl.replace volatile_addrs 7 ();
+  let log =
+    Log.create
+      ~events:[ ev ~target:7 10 0 o1; ev ~target:3 ~delayed_by:100 20 1 o2 ]
+      ~duration:999 ~threads:3 ~volatile_addrs
+  in
+  let log' = Trace_io.of_string (Trace_io.to_string log) in
+  check Alcotest.int "duration" log.duration log'.duration;
+  check Alcotest.int "threads" log.threads log'.threads;
+  check Alcotest.int "volatiles" 1 (Hashtbl.length log'.volatile_addrs);
+  check Alcotest.int "events" (Log.length log) (Log.length log');
+  Array.iter2
+    (fun (a : Event.t) (b : Event.t) ->
+      check Alcotest.bool "op" true (Opid.equal a.op b.op);
+      check Alcotest.int "time" a.time b.time;
+      check Alcotest.int "tid" a.tid b.tid;
+      check Alcotest.int "target" a.target b.target;
+      check Alcotest.int "delay" a.delayed_by b.delayed_by)
+    log.events log'.events
+
+let test_trace_io_file () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let path = Filename.temp_file "sherlock" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save log path;
+      let log' = Trace_io.load path in
+      check Alcotest.int "events" 2 (Log.length log'))
+
+let test_trace_io_bad_magic () =
+  Alcotest.check_raises "bad magic" (Failure "Trace_io: bad magic") (fun () ->
+      ignore (Trace_io.of_string "nonsense\n"))
+
+let test_trace_io_rejects_spaces () =
+  let log = mklog [ ev 10 0 (Opid.read ~cls:"Bad Name" "f") ] in
+  Alcotest.check_raises "whitespace name"
+    (Invalid_argument "Trace_io: whitespace in operation name Bad Name") (fun () ->
+      ignore (Trace_io.to_string log))
+
+let prop_trace_io_roundtrip =
+  QCheck.Test.make ~name:"trace_io roundtrip on random logs" ~count:100
+    (QCheck.make gen_ops_for_io)
+    (fun events ->
+      let log = mklog events in
+      let log' = Trace_io.of_string (Trace_io.to_string log) in
+      Log.length log = Log.length log'
+      && Array.for_all2
+           (fun (a : Event.t) (b : Event.t) ->
+             Opid.equal a.op b.op && a.time = b.time && a.tid = b.tid
+             && a.target = b.target)
+           log.events log'.events)
+
+(* --- Properties --- *)
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (let* time = int_range 1 10_000 in
+       let* tid = int_range 0 2 in
+       let* kind = int_range 0 3 in
+       let* field = int_range 0 2 in
+       let cls = "P.C" in
+       let name = Printf.sprintf "f%d" field in
+       let op =
+         match kind with
+         | 0 -> Opid.read ~cls name
+         | 1 -> Opid.write ~cls name
+         | 2 -> Opid.enter ~cls name
+         | _ -> Opid.exit ~cls name
+       in
+       return (Event.make ~time ~tid ~op ~target:(field + 1) ())))
+
+let prop_windows_no_crash =
+  QCheck.Test.make ~name:"window extraction total on random logs" ~count:200
+    (QCheck.make gen_ops)
+    (fun events ->
+      let log = mklog events in
+      let windows, races = Windows.extract log in
+      List.length windows >= 0 && List.length races >= 0)
+
+let prop_window_sides_nonempty =
+  QCheck.Test.make ~name:"windows have a possible release and acquire" ~count:200
+    (QCheck.make gen_ops)
+    (fun events ->
+      let log = mklog events in
+      let windows, _ = Windows.extract log in
+      List.for_all
+        (fun (w : Windows.t) ->
+          (not (Opid.Map.is_empty w.rel))
+          && (not (Opid.Map.is_empty w.acq))
+          && Opid.Map.exists (fun (o : Opid.t) _ -> o.kind <> Opid.Read) w.rel
+          && Opid.Map.exists (fun (o : Opid.t) _ -> o.kind <> Opid.Write) w.acq)
+        windows)
+
+let prop_log_sorted =
+  QCheck.Test.make ~name:"logs are time sorted" ~count:200 (QCheck.make gen_ops)
+    (fun events ->
+      let log = mklog events in
+      let ok = ref true in
+      Array.iteri
+        (fun i (e : Event.t) ->
+          if i > 0 && log.events.(i - 1).time > e.time then ok := false)
+        log.events;
+      !ok)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "opid",
+        [
+          Alcotest.test_case "identity" `Quick test_opid_identity;
+          Alcotest.test_case "kinds" `Quick test_opid_kinds;
+          Alcotest.test_case "system classification" `Quick test_opid_system;
+          Alcotest.test_case "rendering" `Quick test_opid_strings;
+          Alcotest.test_case "counterpart" `Quick test_opid_counterpart;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "sorting" `Quick test_log_sorting;
+          Alcotest.test_case "queries" `Quick test_log_queries;
+        ] );
+      ( "durations",
+        [
+          Alcotest.test_case "pairing" `Quick test_durations_pairing;
+          Alcotest.test_case "nested" `Quick test_durations_nested;
+          Alcotest.test_case "delayed frames skipped" `Quick
+            test_durations_skip_delayed_frames;
+          Alcotest.test_case "cv percentile" `Quick test_durations_cv_percentile;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "basic" `Quick test_window_basic;
+          Alcotest.test_case "near filter" `Quick test_window_near_filter;
+          Alcotest.test_case "same thread" `Quick test_window_same_thread_excluded;
+          Alcotest.test_case "read/read" `Quick test_window_read_read_excluded;
+          Alcotest.test_case "cap" `Quick test_window_cap;
+          Alcotest.test_case "race: all writes" `Quick test_window_race_all_writes;
+          Alcotest.test_case "race: all reads" `Quick test_window_race_all_reads;
+          Alcotest.test_case "method prevents race" `Quick test_window_method_prevents_race;
+          Alcotest.test_case "open frame acquires" `Quick test_window_open_frame_acquire;
+          Alcotest.test_case "progressed frame excluded" `Quick
+            test_window_progressed_frame_excluded;
+          Alcotest.test_case "occurrence counts" `Quick test_window_occurrence_counts;
+          Alcotest.test_case "refinement: propagated" `Quick test_refinement_propagated;
+          Alcotest.test_case "refinement: not propagated" `Quick
+            test_refinement_not_propagated;
+          Alcotest.test_case "refinement off" `Quick test_refinement_off;
+        ] );
+      ( "trace_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_io_roundtrip;
+          Alcotest.test_case "file save/load" `Quick test_trace_io_file;
+          Alcotest.test_case "bad magic" `Quick test_trace_io_bad_magic;
+          Alcotest.test_case "rejects spaces" `Quick test_trace_io_rejects_spaces;
+        ] );
+      ( "properties",
+        qcheck
+          [ prop_windows_no_crash; prop_window_sides_nonempty; prop_log_sorted;
+            prop_trace_io_roundtrip ] );
+    ]

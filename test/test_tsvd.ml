@@ -1,0 +1,95 @@
+(* Tests for the TSVD baseline: pair discovery on hand traces and the full
+   comparison on the corpus apps that use thread-unsafe collections. *)
+
+open Sherlock_trace
+open Sherlock_core
+open Sherlock_corpus
+module Tsvd = Sherlock_tsvd.Tsvd
+
+let check = Alcotest.check
+
+let ev ?(target = 1) time tid op = Event.make ~time ~tid ~op ~target ()
+
+let mklog events =
+  Log.create ~events ~duration:1_000_000 ~threads:4
+    ~volatile_addrs:(Hashtbl.create 1)
+
+let add = Opid.write ~cls:Tsvd.unsafe_cls "Add"
+
+let contains = Opid.read ~cls:Tsvd.unsafe_cls "Contains"
+
+let test_pairs_found () =
+  let log = mklog [ ev 10 0 add; ev 50 1 contains ] in
+  check Alcotest.int "one pair" 1 (List.length (Tsvd.conflicting_pairs log))
+
+let test_pairs_require_mutation () =
+  let log = mklog [ ev 10 0 contains; ev 50 1 contains ] in
+  check Alcotest.int "reader pair ignored" 0 (List.length (Tsvd.conflicting_pairs log))
+
+let test_pairs_same_thread_ignored () =
+  let log = mklog [ ev 10 0 add; ev 50 0 contains ] in
+  check Alcotest.int "same thread" 0 (List.length (Tsvd.conflicting_pairs log))
+
+let test_pairs_different_collections_ignored () =
+  let log = mklog [ ev ~target:1 10 0 add; ev ~target:2 50 1 contains ] in
+  check Alcotest.int "different targets" 0 (List.length (Tsvd.conflicting_pairs log))
+
+let test_pairs_far_apart_ignored () =
+  let log = mklog [ ev 10 0 add; ev 3_000_000 1 contains ] in
+  check Alcotest.int "beyond near" 0 (List.length (Tsvd.conflicting_pairs ~near:1_000_000 log))
+
+let test_pairs_ignore_plain_fields () =
+  let log = mklog [ ev 10 0 (Opid.write ~cls:"C" "f"); ev 50 1 (Opid.read ~cls:"C" "f") ] in
+  check Alcotest.int "plain fields out of scope" 0
+    (List.length (Tsvd.conflicting_pairs log))
+
+let test_pairs_dedup () =
+  (* Two dynamic instances of (Add, Contains) collapse to one static pair;
+     the interleaved (Contains, Add) direction is a second distinct pair. *)
+  let log =
+    mklog [ ev 10 0 add; ev 50 1 contains; ev 110 0 add; ev 150 1 contains ]
+  in
+  check Alcotest.int "static dedup" 2 (List.length (Tsvd.conflicting_pairs log))
+
+let test_analyze_corpus () =
+  let totals = ref (0, 0, 0) in
+  List.iter
+    (fun (app : App.t) ->
+      if app.uses_unsafe_apis then begin
+        let subject = App.subject app in
+        let result = Orchestrator.infer subject in
+        let o = Tsvd.analyze subject result.final in
+        let c, t, s = !totals in
+        totals :=
+          ( c + List.length o.candidate_pairs,
+            t + List.length o.tsvd_hb,
+            s + List.length o.sherlock_hb );
+        check Alcotest.bool (app.id ^ " tsvd subset of candidates") true
+          (List.for_all (fun p -> List.mem p o.candidate_pairs) o.tsvd_hb);
+        check Alcotest.bool (app.id ^ " sherlock subset of candidates") true
+          (List.for_all (fun p -> List.mem p o.candidate_pairs) o.sherlock_hb)
+      end)
+    (Registry.all ());
+  let candidates, tsvd, sherlock = !totals in
+  check Alcotest.bool "found candidates" true (candidates >= 2);
+  (* The paper's §5.6 shape: SherLock confirms at least as many
+     synchronized pairs as TSVD's delay probing. *)
+  check Alcotest.bool "sherlock >= tsvd" true (sherlock >= tsvd);
+  check Alcotest.bool "tsvd finds some" true (tsvd >= 1)
+
+let () =
+  Alcotest.run "tsvd"
+    [
+      ( "pairs",
+        [
+          Alcotest.test_case "found" `Quick test_pairs_found;
+          Alcotest.test_case "needs mutation" `Quick test_pairs_require_mutation;
+          Alcotest.test_case "same thread" `Quick test_pairs_same_thread_ignored;
+          Alcotest.test_case "different collections" `Quick
+            test_pairs_different_collections_ignored;
+          Alcotest.test_case "far apart" `Quick test_pairs_far_apart_ignored;
+          Alcotest.test_case "plain fields ignored" `Quick test_pairs_ignore_plain_fields;
+          Alcotest.test_case "dedup" `Quick test_pairs_dedup;
+        ] );
+      ("corpus", [ Alcotest.test_case "analyze" `Slow test_analyze_corpus ]);
+    ]
