@@ -452,6 +452,143 @@ let ablation_extras () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Stress workload for the perf target: several worker threads hammering
+   a small set of lock-protected fields, plus unprotected flag traffic —
+   enough conflicting-access pairs to expose any O(pairs x events)
+   rescanning in window extraction.  Its trace (~17k events) is an order
+   of magnitude larger than any corpus test's. *)
+let stress ~workers ~iters () =
+  let open Sherlock_sim in
+  let cls = "Stress.Data" in
+  let fields =
+    Array.init 8 (fun i -> Heap.cell ~cls ~field:(Printf.sprintf "f%d" i) 0)
+  in
+  let flag = Heap.cell ~cls ~field:"flag" 0 in
+  let lock = Monitor.create () in
+  let threads =
+    List.init workers (fun w ->
+        Threadlib.create ~delegate:(cls, Printf.sprintf "Worker%d" w) (fun () ->
+            for i = 1 to iters do
+              let f = (i + w) mod Array.length fields in
+              Monitor.with_lock lock (fun () ->
+                  let v = Heap.read fields.(f) in
+                  Heap.write fields.(f) (v + 1));
+              if i mod 7 = 0 then Heap.write flag i else ignore (Heap.read flag)
+            done))
+  in
+  List.iter Threadlib.start threads;
+  List.iter Threadlib.join threads
+
+(* [Windows.extract] throughput at the seed commit (pre-index full-scan
+   implementation), measured on this machine class with the identical
+   workloads and averaging reps.  The perf target reports speedups
+   against these. *)
+let seed_stress_events_per_sec = 65_539.0
+
+let seed_largest_events_per_sec = 371_502.0
+
+let perf () =
+  let module Log = Sherlock_trace.Log in
+  let time_extract ~reps log =
+    ignore (Sherlock_trace.Windows.extract log) (* warmup *);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sherlock_trace.Windows.extract log)
+    done;
+    (Unix.gettimeofday () -. t0) /. float reps
+  in
+  let logs =
+    List.concat_map
+      (fun (a : App.t) ->
+        List.map (fun l -> (a.id, l)) (Orchestrator.run_test_logs (App.subject a)))
+      apps
+  in
+  let largest_id, largest =
+    List.fold_left
+      (fun (bi, bl) (i, l) ->
+        if Log.length l > Log.length bl then (i, l) else (bi, bl))
+      (List.hd logs) (List.tl logs)
+  in
+  let stress_log =
+    Sherlock_sim.Runtime.run ~seed:7
+      ~instrument:(Sherlock_sim.Runtime.tracing ())
+      (stress ~workers:6 ~iters:400)
+  in
+  let largest_s = time_extract ~reps:50 largest in
+  let stress_s = time_extract ~reps:10 stress_log in
+  let throughput n s = float n /. s in
+  (* End-to-end Table 2 pipeline: fresh 3-round inference plus scoring for
+     every app (no [infer_cache], so the number is order-independent). *)
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (a : App.t) ->
+      let r = Orchestrator.infer (App.subject a) in
+      ignore (Report.classify a.truth r.final))
+    apps;
+  let table2_s = Unix.gettimeofday () -. t0 in
+  let time_infer parallelism =
+    let config = { Config.default with parallelism } in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (a : App.t) -> ignore (Orchestrator.infer ~config (App.subject a)))
+      apps;
+    Unix.gettimeofday () -. t0
+  in
+  let sequential_s = time_infer 1 in
+  (* At least two domains so the parallel path is really measured even on
+     single-core CI containers, where recommended_domain_count is 1. *)
+  let domains = max 2 (Domain.recommended_domain_count ()) in
+  let parallel_s = time_infer domains in
+  let stress_n = Log.length stress_log and largest_n = Log.length largest in
+  let stress_tp = throughput stress_n stress_s in
+  let largest_tp = throughput largest_n largest_s in
+  let t =
+    Table.create ~title:"Perf: extraction throughput and end-to-end wall-clock"
+      ~header:[ "measure"; "value" ]
+  in
+  Table.add_row t
+    [
+      Printf.sprintf "extract %s (%d events)" largest_id largest_n;
+      Printf.sprintf "%.0f events/sec (%.1fx seed)" largest_tp
+        (largest_tp /. seed_largest_events_per_sec);
+    ];
+  Table.add_row t
+    [
+      Printf.sprintf "extract stress (%d events)" stress_n;
+      Printf.sprintf "%.0f events/sec (%.1fx seed)" stress_tp
+        (stress_tp /. seed_stress_events_per_sec);
+    ];
+  Table.add_row t [ "table2 end-to-end"; Printf.sprintf "%.3f s" table2_s ];
+  Table.add_row t
+    [ "corpus infer, sequential"; Printf.sprintf "%.3f s" sequential_s ];
+  Table.add_row t
+    [
+      Printf.sprintf "corpus infer, %d domains" domains;
+      Printf.sprintf "%.3f s" parallel_s;
+    ];
+  Table.print t;
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    {|{
+  "stress": {"events": %d, "extract_s": %.6f, "events_per_sec": %.0f,
+             "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f},
+  "largest_corpus_log": {"id": "%s", "events": %d, "extract_s": %.6f,
+                         "events_per_sec": %.0f, "seed_events_per_sec": %.0f,
+                         "speedup_vs_seed": %.2f},
+  "table2_s": %.3f,
+  "orchestrator": {"sequential_s": %.3f, "parallel_s": %.3f, "domains": %d}
+}
+|}
+    stress_n stress_s stress_tp seed_stress_events_per_sec
+    (stress_tp /. seed_stress_events_per_sec)
+    largest_id largest_n largest_s largest_tp seed_largest_events_per_sec
+    (largest_tp /. seed_largest_events_per_sec)
+    table2_s sequential_s parallel_s domains;
+  close_out oc;
+  Printf.printf "wrote BENCH_trace.json\n"
+
+(* ------------------------------------------------------------------ *)
+
 let bechamel_suite () =
   let open Bechamel in
   let open Toolkit in
@@ -509,6 +646,7 @@ let artifacts =
     ("tsvd", tsvd_enhance);
     ("ablation_extras", ablation_extras);
     ("overhead", overhead);
+    ("perf", perf);
     ("microbench", bechamel_suite);
   ]
 

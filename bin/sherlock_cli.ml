@@ -35,9 +35,21 @@ let seed_arg =
   let doc = "Base seed for the simulated schedules." in
   Arg.(value & opt int Config.default.seed & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let parallelism_arg =
+  let doc =
+    "Domains running each round's unit tests concurrently (1 = sequential). \
+     Verdicts are identical either way."
+  in
+  Arg.(
+    value
+    & opt int Config.default.parallelism
+    & info [ "j"; "parallelism" ] ~docv:"N" ~doc)
+
 let config_term =
-  let make rounds lambda near seed = { Config.default with rounds; lambda; near; seed } in
-  Term.(const make $ rounds_arg $ lambda_arg $ near_arg $ seed_arg)
+  let make rounds lambda near seed parallelism =
+    { Config.default with rounds; lambda; near; seed; parallelism }
+  in
+  Term.(const make $ rounds_arg $ lambda_arg $ near_arg $ seed_arg $ parallelism_arg)
 
 let list_cmd =
   let run () =
@@ -83,13 +95,15 @@ let run_cmd =
           Printf.printf "wrote %s
 " path)
         logs);
-    if verbose then
+    if verbose then begin
       List.iter
         (fun (r : Orchestrator.round_result) ->
           Printf.printf "round %d: %d windows, %d variables, %d delayed ops, %d verdicts\n"
             r.round r.stats.num_windows r.stats.num_vars r.delayed_ops
             (List.length r.verdicts))
         result.rounds;
+      Report.print_round_metrics Format.std_formatter result.rounds
+    end;
     Report.print_sites Format.std_formatter ~app:app.name result.final app.truth;
     let report = Report.classify app.truth result.final in
     Printf.printf

@@ -53,7 +53,10 @@ let run (model : Sync_model.t) (log : Log.t) =
       Hashtbl.add channels key c;
       c
   in
-  let vars : (int, var_state) Hashtbl.t = Hashtbl.create 64 in
+  (* Exact size from the access index: one slot per traced address. *)
+  let vars : (int, var_state) Hashtbl.t =
+    Hashtbl.create (max 16 (Log.distinct_addrs log))
+  in
   let var addr =
     match Hashtbl.find_opt vars addr with
     | Some v -> v

@@ -4,6 +4,7 @@ type t = {
   window_cap : int;
   delay_us : int;
   rounds : int;
+  parallelism : int;
   threshold : float;
   rare_coeff : float;
   seed : int;
@@ -28,6 +29,7 @@ let default =
     window_cap = 15;
     delay_us = 100_000;
     rounds = 3;
+    parallelism = Domain.recommended_domain_count ();
     threshold = 0.9;
     rare_coeff = 0.1;
     seed = 42;
@@ -47,5 +49,6 @@ let default =
 
 let pp ppf t =
   Format.fprintf ppf
-    "lambda=%g near=%dus cap=%d delay=%dus rounds=%d threshold=%g seed=%d" t.lambda
-    t.near t.window_cap t.delay_us t.rounds t.threshold t.seed
+    "lambda=%g near=%dus cap=%d delay=%dus rounds=%d threshold=%g seed=%d par=%d"
+    t.lambda t.near t.window_cap t.delay_us t.rounds t.threshold t.seed
+    t.parallelism

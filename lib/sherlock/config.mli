@@ -11,6 +11,10 @@ type t = {
   window_cap : int;     (** max windows per static location pair; 15 *)
   delay_us : int;       (** injected delay; 100 ms *)
   rounds : int;         (** runs per test input; 3 *)
+  parallelism : int;
+      (** domains running a round's independent unit tests concurrently;
+          [1] forces the sequential path.  The simulator is deterministic
+          per (round, test) seed, so verdicts are identical either way. *)
   threshold : float;    (** probability at which a variable counts as 1; 0.9 *)
   rare_coeff : float;   (** coefficient of the rare term (Equation 4); 0.1 *)
   seed : int;           (** base seed for all simulated schedules *)
@@ -36,6 +40,7 @@ type t = {
 
 val default : t
 (** The paper's defaults: lambda 0.2, near 1 s, cap 15, delay 100 ms,
-    3 rounds, everything enabled. *)
+    3 rounds, everything enabled; [parallelism] is
+    [Domain.recommended_domain_count ()]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -5,6 +5,8 @@ type solve_stats = {
   num_vars : int;
   num_windows : int;
   objective : float;
+  solve_s : float;
+  trace : Metrics.t;
 }
 
 type role = Verdict.role =
@@ -61,6 +63,7 @@ let encode_protected config vars (w : Observations.merged_window) idx =
   term Acquire w.acq "acq"
 
 let solve (config : Config.t) obs =
+  let t_start = Unix.gettimeofday () in
   let problem = Problem.create () in
   let vars = { problem; table = Hashtbl.create 64 } in
   let windows =
@@ -216,5 +219,14 @@ let solve (config : Config.t) obs =
       vars.table []
     |> List.sort Verdict.compare
   in
+  let solve_s = Unix.gettimeofday () -. t_start in
+  let acc = Observations.metrics obs in
+  acc.solve_s <- acc.solve_s +. solve_s;
   ( verdicts,
-    { num_vars = Problem.num_vars problem; num_windows = List.length windows; objective } )
+    {
+      num_vars = Problem.num_vars problem;
+      num_windows = List.length windows;
+      objective;
+      solve_s;
+      trace = Metrics.copy acc;
+    } )

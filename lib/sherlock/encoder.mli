@@ -25,6 +25,10 @@ type solve_stats = {
   num_vars : int;
   num_windows : int;
   objective : float;
+  solve_s : float;  (** wall-clock of this LP build + solve *)
+  trace : Sherlock_trace.Metrics.t;
+      (** snapshot of the cumulative trace metrics (runs, extraction,
+          solving) at the time of this solve *)
 }
 
 val solve : Config.t -> Observations.t -> Verdict.t list * solve_stats

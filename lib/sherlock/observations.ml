@@ -20,10 +20,24 @@ type t = {
   mutable races : (Opid.t * Opid.t) list;
   durs : Durations.t;
   mutable nruns : int;
+  metrics : Metrics.t;
+}
+
+type extraction = {
+  x_windows : Windows.t list;
+  x_races : Windows.race list;
+  x_samples : (string * float) list;
+  x_metrics : Metrics.t;
 }
 
 let create () =
-  { merged = Hashtbl.create 64; races = []; durs = Durations.create (); nruns = 0 }
+  {
+    merged = Hashtbl.create 64;
+    races = [];
+    durs = Durations.create ();
+    nruns = 0;
+    metrics = Metrics.create ();
+  }
 
 let add_window t (w : Windows.t) =
   let key = Key.of_window w in
@@ -33,16 +47,32 @@ let add_window t (w : Windows.t) =
     Hashtbl.add t.merged key
       (ref { pair = w.pair; field = w.field; rel = w.rel; acq = w.acq; weight = 1 })
 
-let add_log t ~near ~cap ~refine log =
+(* Pure log -> observation delta, safe to evaluate in a worker domain.
+   NOTE: window caps are per static pair *within one extraction*; the
+   cross-run cap state lives in [Windows.extract]'s own counters seeded
+   fresh per call, so extraction commutes with other logs and folding the
+   deltas in test order reproduces the sequential path exactly. *)
+let extract_log ~near ~cap ~refine log =
+  let x_metrics = Metrics.create () in
+  let x_windows, x_races =
+    Windows.extract ~near ~cap ~refine ~metrics:x_metrics log
+  in
+  let x_samples = Durations.samples_of_log log in
+  { x_windows; x_races; x_samples; x_metrics }
+
+let add_extraction t x =
   t.nruns <- t.nruns + 1;
-  Durations.record_log t.durs log;
-  let windows, races = Windows.extract ~near ~cap ~refine log in
-  List.iter (add_window t) windows;
+  Durations.add_samples t.durs x.x_samples;
+  List.iter (add_window t) x.x_windows;
   List.iter
     (fun (r : Windows.race) ->
       if not (List.exists (fun p -> p = r.race_pair) t.races) then
         t.races <- r.race_pair :: t.races)
-    races
+    x.x_races;
+  Metrics.merge ~into:t.metrics x.x_metrics
+
+let add_log t ~near ~cap ~refine log =
+  add_extraction t (extract_log ~near ~cap ~refine log)
 
 let windows t = Hashtbl.fold (fun _ r acc -> !r :: acc) t.merged []
 
@@ -54,6 +84,8 @@ let is_racy_pair t pair =
 let durations t = t.durs
 
 let runs t = t.nruns
+
+let metrics t = t.metrics
 
 let avg_occurrence t op =
   let total, count =

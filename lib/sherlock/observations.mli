@@ -19,10 +19,24 @@ type merged_window = {
 
 type t
 
+type extraction
+(** Everything derived from one run's trace: its windows, races,
+    method-duration samples, and extraction metrics.  Extraction is pure
+    in the log, so it can run in a worker domain; folding the results in
+    with {!add_extraction} in test order is equivalent to calling
+    {!add_log} sequentially. *)
+
 val create : unit -> t
 
+val extract_log : near:int -> cap:int -> refine:bool -> Log.t -> extraction
+(** Pure per-log analysis — the domain-parallel half of {!add_log}. *)
+
+val add_extraction : t -> extraction -> unit
+(** Sequential merge — the stateful half of {!add_log}. *)
+
 val add_log : t -> near:int -> cap:int -> refine:bool -> Log.t -> unit
-(** Extract windows and races from one run's trace and fold them in. *)
+(** Extract windows and races from one run's trace and fold them in.
+    Equivalent to [add_extraction t (extract_log ~near ~cap ~refine log)]. *)
 
 val windows : t -> merged_window list
 
@@ -34,6 +48,10 @@ val is_racy_pair : t -> Opid.t * Opid.t -> bool
 val durations : t -> Durations.t
 
 val runs : t -> int
+
+val metrics : t -> Metrics.t
+(** Accumulated trace/extraction counters over every log folded in.
+    Mutable: callers wanting a snapshot should {!Metrics.copy} it. *)
 
 val avg_occurrence : t -> Opid.t -> float
 (** Average number of dynamic instances of the op per window in which it

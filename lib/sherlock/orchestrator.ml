@@ -38,18 +38,64 @@ let run_one (config : Config.t) ~round ~test_index plan body =
   in
   Runtime.run ~seed ~instrument:(Runtime.tracing ~delay_before ()) body
 
+(* Order-preserving map over [arr] with up to [domains] worker domains
+   pulling indices from a shared counter.  Each [f] call is independent
+   (a fresh simulator world per test, no global mutable state), so the
+   only cross-domain traffic is the [Atomic] work counter and the results
+   array, each slot written by exactly one worker before the join. *)
+let parallel_map ~domains f arr =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f i arr.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  Array.map (function Some r -> r | None -> assert false) results
+
+(* Run one test and extract its observations — the per-domain unit of
+   work.  Returns the extraction plus the run's wall-clock. *)
+let run_and_extract (config : Config.t) ~round ~plan test_index (_name, body) =
+  let t0 = Unix.gettimeofday () in
+  let log = run_one config ~round ~test_index plan body in
+  let run_s = Unix.gettimeofday () -. t0 in
+  let x =
+    Observations.extract_log ~near:config.near ~cap:config.window_cap
+      ~refine:config.use_refinement log
+  in
+  (x, run_s)
+
 let infer ?(config = Config.default) subject =
   let obs = ref (Observations.create ()) in
   let plan = ref Perturber.empty in
   let rounds = ref [] in
+  let tests = Array.of_list subject.tests in
+  let domains = max 1 config.parallelism in
   for round = 1 to config.rounds do
     if not config.accumulate then obs := Observations.create ();
-    List.iteri
-      (fun test_index (_name, body) ->
-        let log = run_one config ~round ~test_index !plan body in
-        Observations.add_log !obs ~near:config.near ~cap:config.window_cap
-          ~refine:config.use_refinement log)
-      subject.tests;
+    let extractions =
+      if domains = 1 || Array.length tests <= 1 then
+        Array.mapi (run_and_extract config ~round ~plan:!plan) tests
+      else parallel_map ~domains (run_and_extract config ~round ~plan:!plan) tests
+    in
+    (* Merge sequentially in test order: the observation state — and hence
+       the LP and its verdicts — is bitwise-identical to the sequential
+       path regardless of which domain ran which test. *)
+    Array.iter
+      (fun (x, run_s) ->
+        Observations.add_extraction !obs x;
+        let m = Observations.metrics !obs in
+        m.run_s <- m.run_s +. run_s)
+      extractions;
     let verdicts, stats = Encoder.solve config !obs in
     rounds :=
       { round; verdicts; stats; delayed_ops = Perturber.size !plan } :: !rounds;

@@ -29,7 +29,11 @@ type result = {
 }
 
 val infer : ?config:Config.t -> subject -> result
-(** Run [config.rounds] rounds over all tests. *)
+(** Run [config.rounds] rounds over all tests.  When
+    [config.parallelism > 1] each round's tests execute concurrently on
+    that many domains (each test is a self-contained simulator world);
+    their observations are merged sequentially in test order, so the
+    verdicts are identical to [parallelism = 1]. *)
 
 val run_test_logs : ?config:Config.t -> subject -> Log.t list
 (** One uninstrumented-delay (round-1 style) traced run per test, with the

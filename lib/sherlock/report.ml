@@ -64,6 +64,36 @@ let false_positive_cause (gt : Ground_truth.t) (v : Verdict.t) =
   else if v.op.member = ".cctor" then Ground_truth.Static_ctor
   else Ground_truth.Other_cause
 
+(* Snapshot values, not deltas: each round's [stats.trace] is the
+   cumulative metrics at that round's solve, which stays meaningful when
+   [accumulate] is off and the observation state resets per round. *)
+let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
+  let table =
+    Sherlock_util.Table.create ~title:"Per-round trace metrics (cumulative)"
+      ~header:
+        [
+          "Round"; "Events"; "Pairs"; "Capped"; "Windows"; "Races"; "Run s";
+          "Extract s"; "Solve s";
+        ]
+  in
+  List.iter
+    (fun (r : Orchestrator.round_result) ->
+      let m = r.stats.trace in
+      Sherlock_util.Table.add_row table
+        [
+          string_of_int r.round;
+          string_of_int m.events;
+          string_of_int m.pairs_considered;
+          string_of_int m.pairs_capped;
+          string_of_int m.windows;
+          string_of_int m.races;
+          Printf.sprintf "%.3f" m.run_s;
+          Printf.sprintf "%.3f" m.extract_s;
+          Printf.sprintf "%.3f" m.solve_s;
+        ])
+    rounds;
+  Format.fprintf ppf "%s@." (Sherlock_util.Table.render table)
+
 let print_sites ppf ~app verdicts gt =
   let describe (v : Verdict.t) =
     match Ground_truth.find gt v.op v.role with

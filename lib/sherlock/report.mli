@@ -33,6 +33,11 @@ val false_positive_cause : Ground_truth.t -> Verdict.t -> Ground_truth.cause
     Double_role; Finalize/Dispose -> Dispose; .cctor -> Static_ctor),
     else Others. *)
 
+val print_round_metrics : Format.formatter -> Orchestrator.round_result list -> unit
+(** Render one row per round from the cumulative trace-metrics snapshot
+    taken at that round's solve (events, pairs, windows, races, wall
+    clocks). *)
+
 val print_sites : Format.formatter -> app:string -> Verdict.t list -> Ground_truth.t -> unit
 (** Render the artifact's result format: "Releasing sites: ... Acquire
     sites: ...", with Tables 8/9-style descriptions where known. *)

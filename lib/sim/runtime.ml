@@ -35,7 +35,7 @@ type world = {
   noise : int;
   mutable threads : thread list;
   mutable ready : (thread * (unit -> unit)) list;
-  mutable events : Event.t list;
+  events : Log.Builder.t;
   mutable live_nondaemon : int;
   volatile_addrs : (int, unit) Hashtbl.t;
   mutable next_id : int;
@@ -172,9 +172,9 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
                 if delay > 0 then bump_clock w t delay;
                 bump_clock w t (op_cost w);
                 if w.instrument.trace then
-                  w.events <-
-                    Event.make ~time:t.clock ~tid:t.tid ~op ~target ~delayed_by:delay ()
-                    :: w.events;
+                  Log.Builder.add w.events
+                    (Event.make ~time:t.clock ~tid:t.tid ~op ~target
+                       ~delayed_by:delay ());
                 push_ready w t (fun () -> continue k ()))
           | Sleep n ->
             Some
@@ -269,7 +269,7 @@ let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40) body =
       noise;
       threads = [];
       ready = [];
-      events = [];
+      events = Log.Builder.create ();
       live_nondaemon = 1;
       volatile_addrs = Hashtbl.create 16;
       next_id = 0;
@@ -297,5 +297,5 @@ let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40) body =
         raise (Deadlock names)
   in
   loop ();
-  Log.create ~events:(List.rev w.events) ~duration:w.max_clock ~threads:w.next_tid
+  Log.Builder.finish w.events ~duration:w.max_clock ~threads:w.next_tid
     ~volatile_addrs:w.volatile_addrs

@@ -7,24 +7,15 @@ let add t key d =
   | Some r -> r := d :: !r
   | None -> Hashtbl.add t.samples key (ref [ d ])
 
-let record_log t log =
+let samples_of_log log =
   (* Per-thread stacks of open frames; an End pops the nearest matching
      Begin, skipping mismatches defensively (a filtered-out frame can leave
      an unmatched Begin behind).  Frames containing an injected Perturber
      delay are excluded: the artificial 100 ms would swamp the method's
-     natural duration variation. *)
-  let delayed : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
-  Log.iter
-    (fun (e : Event.t) ->
-      if e.delayed_by > 0 then
-        match Hashtbl.find_opt delayed e.tid with
-        | Some r -> r := e.time :: !r
-        | None -> Hashtbl.add delayed e.tid (ref [ e.time ]))
-    log;
+     natural duration variation.  The delay test is a binary search over
+     the log's delayed-event index. *)
   let contains_delay tid t0 t1 =
-    match Hashtbl.find_opt delayed tid with
-    | None -> false
-    | Some r -> List.exists (fun t -> t > t0 && t <= t1) !r
+    t1 > t0 && Log.has_delayed_in log ~tid ~lo:(t0 + 1) ~hi:t1
   in
   let stacks : (int, (string * int) list ref) Hashtbl.t = Hashtbl.create 16 in
   let stack tid =
@@ -35,6 +26,7 @@ let record_log t log =
       Hashtbl.add stacks tid s;
       s
   in
+  let out = ref [] in
   Log.iter
     (fun (e : Event.t) ->
       match e.op.kind with
@@ -53,10 +45,15 @@ let record_log t log =
         | Some (t0, rest) ->
           s := rest;
           if not (contains_delay e.tid t0 e.time) then
-            add t key (float_of_int (e.time - t0))
+            out := (key, float_of_int (e.time - t0)) :: !out
         | None -> ())
       | Opid.Read | Opid.Write -> ())
-    log
+    log;
+  List.rev !out
+
+let add_samples t pairs = List.iter (fun (key, d) -> add t key d) pairs
+
+let record_log t log = add_samples t (samples_of_log log)
 
 let samples t key =
   match Hashtbl.find_opt t.samples key with Some r -> !r | None -> []

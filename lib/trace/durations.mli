@@ -12,7 +12,15 @@ val create : unit -> t
 
 val record_log : t -> Log.t -> unit
 (** Fold one run's trace into the accumulated per-method samples.
-    Observations accumulate across runs (paper §4.3). *)
+    Observations accumulate across runs (paper §4.3).  Equivalent to
+    [add_samples t (samples_of_log log)]. *)
+
+val samples_of_log : Log.t -> (string * float) list
+(** The per-method duration samples of one trace, in completion order.
+    Pure with respect to the accumulator, so sample recovery can run on a
+    worker domain while the merge into [t] stays sequential. *)
+
+val add_samples : t -> (string * float) list -> unit
 
 val samples : t -> string -> float list
 (** Duration samples (microseconds) for a method key

@@ -1,0 +1,177 @@
+(* Query indices over one log's time-sorted event array, built once at
+   construction.  Positions always refer to offsets into that array, so
+   every per-thread / per-address view inherits the global (time, emission)
+   order without storing events twice. *)
+
+type per_thread = {
+  positions : int array;
+  times : int array;
+  progress : int array;
+  delayed_positions : int array;
+  delayed_times : int array;
+}
+
+type t = {
+  threads : (int, per_thread) Hashtbl.t;
+  addrs_in_order : int array;
+  accesses : (int, Event.t array) Hashtbl.t;
+}
+
+(* First index with [a.(i) >= v] ([Array.length a] if none). *)
+let lower_bound (a : int array) v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+(* First index with [a.(i) > v]. *)
+let upper_bound (a : int array) v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+let empty_thread =
+  {
+    positions = [||];
+    times = [||];
+    progress = [| 0 |];
+    delayed_positions = [||];
+    delayed_times = [||];
+  }
+
+let build (events : Event.t array) =
+  let n = Array.length events in
+  (* Counting pass: sizes per thread / address, address first-seen order. *)
+  let tcount : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let dcount : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let acount : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let addr_order = ref [] in
+  let bump tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r ->
+      incr r;
+      false
+    | None ->
+      Hashtbl.add tbl key (ref 1);
+      true
+  in
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    ignore (bump tcount e.tid);
+    if e.delayed_by > 0 then ignore (bump dcount e.tid);
+    if Opid.is_access e.op then
+      if bump acount e.target then addr_order := e.target :: !addr_order
+  done;
+  let threads = Hashtbl.create (Hashtbl.length tcount) in
+  Hashtbl.iter
+    (fun tid c ->
+      let nd =
+        match Hashtbl.find_opt dcount tid with Some r -> !r | None -> 0
+      in
+      Hashtbl.add threads tid
+        {
+          positions = Array.make !c 0;
+          times = Array.make !c 0;
+          progress = Array.make (!c + 1) 0;
+          delayed_positions = Array.make nd 0;
+          delayed_times = Array.make nd 0;
+        })
+    tcount;
+  let accesses = Hashtbl.create (Hashtbl.length acount) in
+  let dummy = Event.make ~time:0 ~tid:0 ~op:(Opid.read ~cls:"" "") () in
+  Hashtbl.iter
+    (fun addr c -> Hashtbl.add accesses addr (Array.make !c dummy))
+    acount;
+  (* Filling pass, with per-key cursors. *)
+  let tcur : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let dcur : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let acur : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let cursor tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl key r;
+      r
+  in
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    let pt = Hashtbl.find threads e.tid in
+    let c = cursor tcur e.tid in
+    pt.positions.(!c) <- i;
+    pt.times.(!c) <- e.time;
+    pt.progress.(!c + 1) <-
+      (pt.progress.(!c) + if e.op.kind = Opid.Read then 0 else 1);
+    incr c;
+    if e.delayed_by > 0 then begin
+      let c = cursor dcur e.tid in
+      pt.delayed_positions.(!c) <- i;
+      pt.delayed_times.(!c) <- e.time;
+      incr c
+    end;
+    if Opid.is_access e.op then begin
+      let arr = Hashtbl.find accesses e.target in
+      let c = cursor acur e.target in
+      arr.(!c) <- e;
+      incr c
+    end
+  done;
+  {
+    threads;
+    addrs_in_order = Array.of_list (List.rev !addr_order);
+    accesses;
+  }
+
+let thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some pt -> pt
+  | None -> empty_thread
+
+(* Events of [tid] with [lo <= time <= hi], folded in time order. *)
+let fold_thread_in t (events : Event.t array) ~tid ~lo ~hi ~init ~f =
+  let pt = thread t tid in
+  let i = lower_bound pt.times lo in
+  let j = upper_bound pt.times hi in
+  let acc = ref init in
+  for k = i to j - 1 do
+    acc := f !acc events.(pt.positions.(k))
+  done;
+  !acc
+
+(* Number of non-Read ("progress") events of [tid] with [lo <= time <= hi]. *)
+let progress_count t ~tid ~lo ~hi =
+  let pt = thread t tid in
+  let i = lower_bound pt.times lo in
+  let j = upper_bound pt.times hi in
+  if j <= i then 0 else pt.progress.(j) - pt.progress.(i)
+
+(* First (in time, ties by emission order) delayed event of [tid] with
+   [lo <= time <= hi]. *)
+let first_delayed_in t (events : Event.t array) ~tid ~lo ~hi =
+  let pt = thread t tid in
+  let i = lower_bound pt.delayed_times lo in
+  if i < Array.length pt.delayed_times && pt.delayed_times.(i) <= hi then
+    Some events.(pt.delayed_positions.(i))
+  else None
+
+let has_delayed_in t ~tid ~lo ~hi =
+  let pt = thread t tid in
+  let i = lower_bound pt.delayed_times lo in
+  i < Array.length pt.delayed_times && pt.delayed_times.(i) <= hi
+
+let thread_event_count t tid = Array.length (thread t tid).positions
+
+let distinct_addrs t = Array.length t.addrs_in_order
+
+let accesses_of_addr t addr =
+  match Hashtbl.find_opt t.accesses addr with Some a -> a | None -> [||]
+
+let iter_addr_accesses t f =
+  Array.iter (fun addr -> f addr (Hashtbl.find t.accesses addr)) t.addrs_in_order

@@ -3,35 +3,110 @@ type t = {
   duration : int;
   threads : int;
   volatile_addrs : (int, unit) Hashtbl.t;
+  index : Index.t;
 }
 
-let create ~events ~duration ~threads ~volatile_addrs =
-  let arr = Array.of_list events in
-  (* The simulator emits events as threads execute, which is not globally
-     time-sorted (thread-local clocks drift); analyses want time order. *)
+(* The simulator emits events as threads execute, which is not globally
+   time-sorted (thread-local clocks drift); analyses want time order.
+   [arr] is taken by ownership and sorted in place. *)
+let of_unsorted_array arr ~duration ~threads ~volatile_addrs =
   let stable = Array.mapi (fun i e -> (i, e)) arr in
   Array.sort
     (fun (i, (a : Event.t)) (j, b) ->
       match Int.compare a.time b.time with 0 -> Int.compare i j | c -> c)
     stable;
-  { events = Array.map snd stable; duration; threads; volatile_addrs }
+  let events = Array.map snd stable in
+  { events; duration; threads; volatile_addrs; index = Index.build events }
 
-let empty =
-  { events = [||]; duration = 0; threads = 0; volatile_addrs = Hashtbl.create 1 }
+let create ~events ~duration ~threads ~volatile_addrs =
+  of_unsorted_array (Array.of_list events) ~duration ~threads ~volatile_addrs
+
+(* A fresh value every call: the volatile-address table is mutable, so a
+   shared [empty] would leak one caller's mutations into another's log. *)
+let empty () =
+  {
+    events = [||];
+    duration = 0;
+    threads = 0;
+    volatile_addrs = Hashtbl.create 1;
+    index = Index.build [||];
+  }
+
+module Builder = struct
+  type t = {
+    mutable buf : Event.t array;
+    mutable len : int;
+  }
+
+  let dummy = Event.make ~time:0 ~tid:0 ~op:(Opid.read ~cls:"" "") ()
+
+  let create () = { buf = Array.make 256 dummy; len = 0 }
+
+  let length b = b.len
+
+  let add b e =
+    if b.len = Array.length b.buf then begin
+      let bigger = Array.make (2 * b.len) dummy in
+      Array.blit b.buf 0 bigger 0 b.len;
+      b.buf <- bigger
+    end;
+    b.buf.(b.len) <- e;
+    b.len <- b.len + 1
+
+  let finish b ~duration ~threads ~volatile_addrs =
+    of_unsorted_array (Array.sub b.buf 0 b.len) ~duration ~threads
+      ~volatile_addrs
+end
 
 let length t = Array.length t.events
 
 let iter f t = Array.iter f t.events
 
+let index t = t.index
+
 let events_of_thread t tid =
-  Array.to_list t.events |> List.filter (fun (e : Event.t) -> e.tid = tid)
+  let pt = Index.thread t.index tid in
+  List.map (fun i -> t.events.(i)) (Array.to_list pt.positions)
+
+(* First position with [time >= lo] in the global (time-sorted) array. *)
+let first_at_or_after t lo =
+  let n = Array.length t.events in
+  let rec go a b =
+    if a >= b then a
+    else
+      let mid = (a + b) / 2 in
+      if t.events.(mid).time < lo then go (mid + 1) b else go a mid
+  in
+  go 0 n
 
 let between t ~lo ~hi =
-  Array.to_list t.events
-  |> List.filter (fun (e : Event.t) -> e.time >= lo && e.time <= hi)
+  let n = Array.length t.events in
+  let rec collect k =
+    if k < n && t.events.(k).time <= hi then t.events.(k) :: collect (k + 1)
+    else []
+  in
+  collect (first_at_or_after t lo)
 
 let thread_active_in t ~tid ~lo ~hi =
-  Array.exists (fun (e : Event.t) -> e.tid = tid && e.time >= lo && e.time <= hi) t.events
+  let pt = Index.thread t.index tid in
+  let i = Index.lower_bound pt.times lo in
+  i < Array.length pt.times && pt.times.(i) <= hi
+
+let fold_thread_in t ~tid ~lo ~hi ~init ~f =
+  Index.fold_thread_in t.index t.events ~tid ~lo ~hi ~init ~f
+
+let progress_count t ~tid ~lo ~hi = Index.progress_count t.index ~tid ~lo ~hi
+
+let first_delayed_in t ~tid ~lo ~hi =
+  Index.first_delayed_in t.index t.events ~tid ~lo ~hi
+
+let has_delayed_in t ~tid ~lo ~hi = Index.has_delayed_in t.index ~tid ~lo ~hi
+
+let distinct_addrs t = Index.distinct_addrs t.index
+
+let accesses_of_addr t addr = Index.accesses_of_addr t.index addr
+
+let iter_addr_accesses t f = Index.iter_addr_accesses t.index f
 
 let pp ppf t =
   Format.fprintf ppf "log: %d events, %dus, %d threads@." (Array.length t.events)

@@ -1,6 +1,12 @@
 (** An execution trace: the ordered event stream of one simulated run plus
     the metadata the analyses need (volatile-field registry for the
-    manually-annotated race detector, wall-clock span, thread count). *)
+    manually-annotated race detector, wall-clock span, thread count).
+
+    The store is indexed at construction time (see {!Index}): per-thread
+    offsets with progress prefix counts, per-address access arrays, and
+    per-thread delayed-event offsets.  All span/progress/delay queries the
+    analyses issue resolve by binary search over these indices instead of
+    rescanning the event array. *)
 
 type t = {
   events : Event.t array;     (** sorted by [time], ties broken by emission order *)
@@ -10,17 +16,41 @@ type t = {
       (** addresses of fields declared volatile in the program under test.
           SherLock never reads this; only the Manual_dr annotation-based
           race detector does (paper §5.4). *)
+  index : Index.t;            (** query indices, built by [create]/[Builder.finish] *)
 }
 
 val create : events:Event.t list -> duration:int -> threads:int ->
   volatile_addrs:(int, unit) Hashtbl.t -> t
-(** Sorts the events by timestamp (stably). *)
+(** Sorts the events by timestamp (stably) and builds the indices. *)
 
-val empty : t
+val empty : unit -> t
+(** A fresh empty log.  This is a function: the embedded volatile-address
+    table is mutable, so a single shared value would let one caller's
+    mutation leak into every other "empty" log. *)
+
+(** Incremental construction for the simulator's emit path: events are
+    appended into a growable buffer as threads execute, and [finish]
+    sorts once and builds the indexed store — no intermediate list. *)
+module Builder : sig
+  type log := t
+
+  type t
+
+  val create : unit -> t
+
+  val add : t -> Event.t -> unit
+
+  val length : t -> int
+
+  val finish : t -> duration:int -> threads:int ->
+    volatile_addrs:(int, unit) Hashtbl.t -> log
+end
 
 val length : t -> int
 
 val iter : (Event.t -> unit) -> t -> unit
+
+val index : t -> Index.t
 
 val events_of_thread : t -> int -> Event.t list
 (** Events of one thread in time order. *)
@@ -31,6 +61,30 @@ val between : t -> lo:int -> hi:int -> Event.t list
 val thread_active_in : t -> tid:int -> lo:int -> hi:int -> bool
 (** Whether thread [tid] completed any operation in the window —
     the delay-propagation test of paper §3 (Figure 2 b/c). *)
+
+val fold_thread_in :
+  t -> tid:int -> lo:int -> hi:int -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+(** Fold over the events of [tid] with [lo <= time <= hi] in time order. *)
+
+val progress_count : t -> tid:int -> lo:int -> hi:int -> int
+(** Number of non-[Read] events of [tid] with [lo <= time <= hi]; reads
+    are excluded because a spin-waiting thread still reads (paper §3). *)
+
+val first_delayed_in : t -> tid:int -> lo:int -> hi:int -> Event.t option
+(** First-in-time event of [tid] carrying an injected delay with
+    [lo <= time <= hi]. *)
+
+val has_delayed_in : t -> tid:int -> lo:int -> hi:int -> bool
+
+val distinct_addrs : t -> int
+(** Number of distinct traced addresses (size hint for per-address state,
+    e.g. the race detector's variable table). *)
+
+val accesses_of_addr : t -> int -> Event.t array
+(** The access events on one address, in time order. *)
+
+val iter_addr_accesses : t -> (int -> Event.t array -> unit) -> unit
+(** Iterate per-address access arrays in address first-seen order. *)
 
 val pp : Format.formatter -> t -> unit
 (** Full dump, for debugging. *)

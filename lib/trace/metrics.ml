@@ -1,0 +1,40 @@
+type t = {
+  mutable events : int;
+  mutable pairs_considered : int;
+  mutable pairs_capped : int;
+  mutable windows : int;
+  mutable races : int;
+  mutable run_s : float;
+  mutable extract_s : float;
+  mutable solve_s : float;
+}
+
+let create () =
+  {
+    events = 0;
+    pairs_considered = 0;
+    pairs_capped = 0;
+    windows = 0;
+    races = 0;
+    run_s = 0.0;
+    extract_s = 0.0;
+    solve_s = 0.0;
+  }
+
+let copy t = { t with events = t.events }
+
+let merge ~into t =
+  into.events <- into.events + t.events;
+  into.pairs_considered <- into.pairs_considered + t.pairs_considered;
+  into.pairs_capped <- into.pairs_capped + t.pairs_capped;
+  into.windows <- into.windows + t.windows;
+  into.races <- into.races + t.races;
+  into.run_s <- into.run_s +. t.run_s;
+  into.extract_s <- into.extract_s +. t.extract_s;
+  into.solve_s <- into.solve_s +. t.solve_s
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d events, %d pairs (%d capped), %d windows, %d races, run %.3fs, extract %.3fs, solve %.3fs"
+    t.events t.pairs_considered t.pairs_capped t.windows t.races t.run_s
+    t.extract_s t.solve_s

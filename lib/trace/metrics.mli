@@ -1,0 +1,30 @@
+(** Lightweight pipeline counters and wall-clock accounting, threaded from
+    window extraction through the solver into reports and the CLI.
+
+    A single mutable record is accumulated in place: extraction bumps the
+    event/pair/window/race counters and [extract_s]; the orchestrator adds
+    the simulated runs' host time to [run_s]; the encoder adds LP time to
+    [solve_s]. *)
+
+type t = {
+  mutable events : int;            (** events traced across the merged runs *)
+  mutable pairs_considered : int;  (** conflicting-access pairs examined *)
+  mutable pairs_capped : int;
+      (** static location pairs that hit the per-pair window cap *)
+  mutable windows : int;           (** windows emitted *)
+  mutable races : int;             (** observed data races emitted *)
+  mutable run_s : float;           (** host seconds executing simulated tests *)
+  mutable extract_s : float;       (** host seconds in window extraction *)
+  mutable solve_s : float;         (** host seconds in the LP solver *)
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val copy : t -> t
+(** An independent snapshot. *)
+
+val merge : into:t -> t -> unit
+(** Add every counter of the second argument into [into]. *)
+
+val pp : Format.formatter -> t -> unit

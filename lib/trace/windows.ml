@@ -19,38 +19,38 @@ let default_cap = 15
 let add_occurrence side op =
   Opid.Map.update op (function None -> Some 1 | Some n -> Some (n + 1)) side
 
-(* Candidate ops of thread [tid] with lo <= time <= hi. *)
-let side_of_span events ~tid ~lo ~hi =
-  Array.fold_left
-    (fun acc (e : Event.t) ->
-      if e.tid = tid && e.time >= lo && e.time <= hi then add_occurrence acc e.op
-      else acc)
-    Opid.Map.empty events
+(* Candidate ops of thread [tid] with lo <= time <= hi, resolved over the
+   per-thread index. *)
+let side_of_span log ~tid ~lo ~hi =
+  Log.fold_thread_in log ~tid ~lo ~hi ~init:Opid.Map.empty
+    ~f:(fun acc (e : Event.t) -> add_occurrence acc e.op)
 
 let all_kinds_are side kind =
   Opid.Map.for_all (fun (op : Opid.t) _ -> op.kind = kind) side
 
-(* Method-frame spans per thread: (tid, begin_op, t_begin, t_end), with
-   [t_end = max_int] for frames still open at the end of the log (e.g. a
-   thread blocked forever inside an acquire). *)
-let frame_spans events =
+(* Method-frame spans per thread: arrays of (begin_op, t_begin, t_end)
+   sorted by [t_end], with [t_end = max_int] for frames still open at the
+   end of the log (e.g. a thread blocked forever inside an acquire).
+   Sorting by the end time lets [add_open_frames] binary-search away every
+   frame that closed before the window starts. *)
+let frame_spans (log : Log.t) =
   let stacks : (int, (Opid.t * int) list ref) Hashtbl.t = Hashtbl.create 16 in
-  let spans = ref [] in
-  let stack tid =
-    match Hashtbl.find_opt stacks tid with
+  let spans : (int, (Opid.t * int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let slot tbl tid =
+    match Hashtbl.find_opt tbl tid with
     | Some s -> s
     | None ->
       let s = ref [] in
-      Hashtbl.add stacks tid s;
+      Hashtbl.add tbl tid s;
       s
   in
-  Array.iter
+  Log.iter
     (fun (e : Event.t) ->
       match e.op.kind with
-      | Opid.Begin -> (stack e.tid) := (e.op, e.time) :: !(stack e.tid)
+      | Opid.Begin -> (slot stacks e.tid) := (e.op, e.time) :: !(slot stacks e.tid)
       | Opid.End ->
         let key = Opid.method_key e.op in
-        let s = stack e.tid in
+        let s = slot stacks e.tid in
         let rec pop acc = function
           | [] -> None
           | ((op : Opid.t), t0) :: rest when Opid.method_key op = key ->
@@ -60,48 +60,29 @@ let frame_spans events =
         (match pop [] !s with
         | Some ((op, t0), rest) ->
           s := rest;
-          spans := (e.tid, op, t0, e.time) :: !spans
+          (slot spans e.tid) := (op, t0, e.time) :: !(slot spans e.tid)
         | None -> ())
       | Opid.Read | Opid.Write -> ())
-    events;
+    log;
   Hashtbl.iter
-    (fun tid s -> List.iter (fun (op, t0) -> spans := (tid, op, t0, max_int) :: !spans) !s)
+    (fun tid s ->
+      List.iter
+        (fun (op, t0) -> (slot spans tid) := (op, t0, max_int) :: !(slot spans tid))
+        !s)
     stacks;
-  !spans
-
-(* Sorted times of each thread's "progress" events (writes and frame
-   boundaries — reads excluded, since a spin-waiting thread still reads). *)
-let progress_times events =
-  let per_tid : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun (e : Event.t) ->
-      if e.op.kind <> Opid.Read then
-        match Hashtbl.find_opt per_tid e.tid with
-        | Some r -> r := e.time :: !r
-        | None -> Hashtbl.add per_tid e.tid (ref [ e.time ]))
-    events;
   let sorted = Hashtbl.create 16 in
   Hashtbl.iter
-    (fun tid r ->
-      let arr = Array.of_list (List.rev !r) in
-      Array.sort compare arr;
-      Hashtbl.add sorted tid arr)
-    per_tid;
+    (fun tid s ->
+      let arr = Array.of_list !s in
+      Array.sort (fun (_, _, a) (_, _, b) -> Int.compare a b) arr;
+      let ends = Array.map (fun (_, _, t1) -> t1) arr in
+      Hashtbl.add sorted tid (arr, ends))
+    spans;
   sorted
 
 (* Any progress event of [tid] strictly inside (lo, hi)? *)
-let progressed progress ~tid ~lo ~hi =
-  match Hashtbl.find_opt progress tid with
-  | None -> false
-  | Some times ->
-    let n = Array.length times in
-    (* First index with times.(i) > lo. *)
-    let rec search a b = if a >= b then a else
-      let mid = (a + b) / 2 in
-      if times.(mid) <= lo then search (mid + 1) b else search a mid
-    in
-    let i = search 0 n in
-    i < n && times.(i) < hi
+let progressed log ~tid ~lo ~hi =
+  hi - 1 >= lo + 1 && Log.progress_count log ~tid ~lo:(lo + 1) ~hi:(hi - 1) > 0
 
 (* A blocking acquire (Monitor.Enter, Task.Wait, ...) is *invoked* before
    the release it waits for, so its Begin event precedes the window.  The
@@ -109,67 +90,52 @@ let progressed progress ~tid ~lo ~hi =
    acquire candidate — but only if the thread has made no progress since
    the invocation (it is plausibly blocked inside it): a frame that kept
    executing cannot be waiting for a release that has not happened yet. *)
-let add_open_frames spans progress side ~tid ~lo =
-  List.fold_left
-    (fun acc (t, op, t0, t1) ->
-      if t = tid && t0 < lo && t1 >= lo && not (progressed progress ~tid ~lo:t0 ~hi:lo)
-      then add_occurrence acc op
-      else acc)
-    side spans
+let add_open_frames log spans side ~tid ~lo =
+  match Hashtbl.find_opt spans tid with
+  | None -> side
+  | Some (arr, ends) ->
+    let acc = ref side in
+    for i = Index.lower_bound ends lo to Array.length arr - 1 do
+      let op, t0, _ = arr.(i) in
+      if t0 < lo && not (progressed log ~tid ~lo:t0 ~hi:lo) then
+        acc := add_occurrence !acc op
+    done;
+    !acc
 
-(* First delayed event of [tid] inside [lo, hi], if any. *)
-let first_delay events ~tid ~lo ~hi =
-  Array.fold_left
-    (fun acc (e : Event.t) ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-        if e.tid = tid && e.delayed_by > 0 && e.time >= lo && e.time <= hi then Some e
-        else None)
-    None events
+(* First delayed event of [tid] inside [lo, hi], if any: a binary search
+   over the delayed-event index — early exit, where the seed folded over
+   the whole event array even after a match. *)
+let first_delay log ~tid ~lo ~hi = Log.first_delayed_in log ~tid ~lo ~hi
 
-let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true) (log : Log.t) =
-  let events = log.events in
-  let spans = frame_spans events in
-  let progress = progress_times events in
-  (* Access events grouped by address, in time order (events are sorted). *)
-  let by_addr : (int, Event.t list ref) Hashtbl.t = Hashtbl.create 64 in
-  Array.iter
-    (fun (e : Event.t) ->
-      if Opid.is_access e.op then
-        match Hashtbl.find_opt by_addr e.target with
-        | Some r -> r := e :: !r
-        | None -> Hashtbl.add by_addr e.target (ref [ e ]))
-    events;
+let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
+    ?metrics (log : Log.t) =
+  let t_start = Unix.gettimeofday () in
+  let spans = frame_spans log in
   let windows = ref [] in
   let races = ref [] in
-  let pair_counts : (Opid.t * Opid.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let nwindows = ref 0 and nraces = ref 0 in
+  let considered = ref 0 and capped = ref 0 in
+  let pair_counts : (Opid.t * Opid.t, int ref) Hashtbl.t = Hashtbl.create 64 in
   let consider (a : Event.t) (b : Event.t) =
-    let key = (a.op, b.op) in
-    let seen = Option.value ~default:0 (Hashtbl.find_opt pair_counts key) in
-    if seen < cap then begin
-      Hashtbl.replace pair_counts key (seen + 1);
+    begin
+      incr considered;
       let acq_side ~lo ~hi =
-        add_open_frames spans progress
-          (side_of_span events ~tid:b.tid ~lo ~hi)
+        add_open_frames log spans
+          (side_of_span log ~tid:b.tid ~lo ~hi)
           ~tid:b.tid ~lo
       in
-      let rel = ref (side_of_span events ~tid:a.tid ~lo:a.time ~hi:b.time) in
+      let rel = ref (side_of_span log ~tid:a.tid ~lo:a.time ~hi:b.time) in
       let acq = ref (acq_side ~lo:a.time ~hi:b.time) in
       if refine then begin
-        match first_delay events ~tid:a.tid ~lo:a.time ~hi:b.time with
+        match first_delay log ~tid:a.tid ~lo:a.time ~hi:b.time with
         | Some r ->
           let delay_start = r.time - r.delayed_by in
           (* A spin-waiting thread is logically blocked yet still emits
              read events, so only non-read activity counts as progress. *)
           let made_progress =
-            Array.exists
-              (fun (e : Event.t) ->
-                e.tid = b.tid
-                && e.time >= delay_start
-                && e.time < r.time
-                && e.op.kind <> Opid.Read)
-              events
+            r.time - 1 >= delay_start
+            && Log.progress_count log ~tid:b.tid ~lo:delay_start ~hi:(r.time - 1)
+               > 0
           in
           let stalled = not made_progress in
           if stalled then
@@ -194,24 +160,101 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true) (log : 
       let field = Opid.field_key a.op in
       let rel_impossible = Opid.Map.is_empty rel || all_kinds_are rel Opid.Read in
       let acq_impossible = Opid.Map.is_empty acq || all_kinds_are acq Opid.Write in
-      if rel_impossible || acq_impossible then
+      if rel_impossible || acq_impossible then begin
+        incr nraces;
         races := { race_pair = (a.op, b.op); race_field = field } :: !races
-      else windows := { pair = (a.op, b.op); field; rel; acq } :: !windows
+      end
+      else begin
+        incr nwindows;
+        windows := { pair = (a.op, b.op); field; rel; acq } :: !windows
+      end
     end
   in
-  Hashtbl.iter
-    (fun _addr accesses ->
-      let accesses = Array.of_list (List.rev !accesses) in
+  (* Pair enumeration.  An address sees only a handful of static ops (the
+     field's read/write and property variants), so the per-static-pair cap
+     counters are pulled out of the hashtable into a tiny matrix once per
+     address: the O(k^2) candidate scan then tests an int ref instead of
+     hashing, and bails out of the whole address as soon as every
+     conflicting static pair there has reached the cap.  Enumeration order
+     and cap decisions are identical to testing each candidate directly. *)
+  Log.iter_addr_accesses log (fun _addr accesses ->
       let n = Array.length accesses in
-      for i = 0 to n - 1 do
-        let a = accesses.(i) in
-        let j = ref (i + 1) in
-        while !j < n && (accesses.(!j) : Event.t).time - a.time <= near do
-          let b = accesses.(!j) in
-          if a.tid <> b.tid && (a.op.kind = Opid.Write || b.op.kind = Opid.Write) then
-            consider a b;
-          incr j
-        done
-      done)
-    by_addr;
+      if n > 1 then begin
+        let ops = ref [] in
+        let nops = ref 0 in
+        let opidx =
+          Array.map
+            (fun (e : Event.t) ->
+              match
+                List.find_opt (fun (o, _) -> Opid.equal o e.op) !ops
+              with
+              | Some (_, i) -> i
+              | None ->
+                let i = !nops in
+                ops := (e.op, i) :: !ops;
+                incr nops;
+                i)
+            accesses
+        in
+        let k = !nops in
+        let by_idx = Array.make k (accesses.(0) : Event.t).op in
+        List.iter (fun (o, i) -> by_idx.(i) <- o) !ops;
+        let counts =
+          Array.init k (fun ia ->
+              Array.init k (fun ib ->
+                  let key = (by_idx.(ia), by_idx.(ib)) in
+                  match Hashtbl.find_opt pair_counts key with
+                  | Some r -> r
+                  | None ->
+                    let r = ref 0 in
+                    Hashtbl.add pair_counts key r;
+                    r))
+        in
+        let conflicting =
+          Array.init k (fun ia ->
+              Array.init k (fun ib ->
+                  by_idx.(ia).kind = Opid.Write || by_idx.(ib).kind = Opid.Write))
+        in
+        (* Conflicting static pairs at this address not yet at the cap. *)
+        let live = ref 0 in
+        for ia = 0 to k - 1 do
+          for ib = 0 to k - 1 do
+            if conflicting.(ia).(ib) && !(counts.(ia).(ib)) < cap then incr live
+          done
+        done;
+        (try
+           if !live = 0 then raise Exit;
+           for i = 0 to n - 1 do
+             let a = accesses.(i) in
+             let ia = opidx.(i) in
+             let j = ref (i + 1) in
+             while !j < n && (accesses.(!j) : Event.t).time - a.time <= near do
+               let b = accesses.(!j) in
+               let ib = opidx.(!j) in
+               if a.tid <> b.tid && conflicting.(ia).(ib) then begin
+                 let c = counts.(ia).(ib) in
+                 if !c < cap then begin
+                   incr c;
+                   if !c = cap then begin
+                     incr capped;
+                     decr live
+                   end;
+                   consider a b;
+                   if !live = 0 then raise Exit
+                 end
+               end;
+               incr j
+             done
+           done
+         with Exit -> ())
+      end);
+  (match metrics with
+  | None -> ()
+  | Some (m : Metrics.t) ->
+    m.events <- m.events + Log.length log;
+    m.pairs_considered <- m.pairs_considered + !considered;
+    m.pairs_capped <- m.pairs_capped + !capped;
+    m.windows <- m.windows + !nwindows;
+    m.races <- m.races + !nraces;
+    m.extract_s <- m.extract_s +. (Unix.gettimeofday () -. t_start));
   (List.rev !windows, List.rev !races)

@@ -42,6 +42,17 @@ val default_near : int
 val default_cap : int
 (** 15 windows per static location pair, the paper's bound. *)
 
-val extract : ?near:int -> ?cap:int -> ?refine:bool -> Log.t -> t list * race list
+val extract :
+  ?near:int -> ?cap:int -> ?refine:bool -> ?metrics:Metrics.t -> Log.t ->
+  t list * race list
 (** [extract log] returns the windows and the observed races of one run.
-    [refine] (default true) applies delay-based window refinement. *)
+    [refine] (default true) applies delay-based window refinement.
+    [metrics], when given, is bumped in place with the events/pairs/
+    windows/races counters and the extraction wall-clock.
+
+    All span, progress, and delay queries resolve by binary search over
+    the log's construction-time indices ({!Log.fold_thread_in},
+    {!Log.progress_count}, {!Log.first_delayed_in},
+    {!Log.iter_addr_accesses}), making extraction
+    O(events log events + pairs x window size) instead of the naive
+    O(pairs x events) full rescans. *)

@@ -29,24 +29,28 @@ let dedup pairs =
       | c -> c)
     pairs
 
-(* Conflicting unsafe-call pairs with their dynamic witnesses. *)
+(* Conflicting unsafe-call pairs with their dynamic witnesses.  The
+   per-address access index already partitions calls by target, so only
+   same-address calls within the [near] horizon are ever paired (the seed
+   scanned all O(n^2) unsafe-call pairs of the whole log).  Callers dedup,
+   so the per-address emission order is immaterial. *)
 let conflicting_events ?(near = 1_000_000) (log : Log.t) =
-  let calls =
-    Array.of_seq
-      (Seq.filter is_unsafe_call (Array.to_seq log.events))
-  in
   let found = ref [] in
-  let n = Array.length calls in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let a = calls.(i) and b = calls.(j) in
-      if
-        a.target = b.target && a.tid <> b.tid
-        && (a.op.kind = Opid.Write || b.op.kind = Opid.Write)
-        && b.time - a.time <= near
-      then found := (a, b) :: !found
-    done
-  done;
+  Log.iter_addr_accesses log (fun _addr accesses ->
+      let calls =
+        Array.of_seq (Seq.filter is_unsafe_call (Array.to_seq accesses))
+      in
+      let n = Array.length calls in
+      for i = 0 to n - 1 do
+        let a = calls.(i) in
+        let j = ref (i + 1) in
+        while !j < n && (calls.(!j) : Event.t).time - a.time <= near do
+          let b = calls.(!j) in
+          if a.tid <> b.tid && (a.op.kind = Opid.Write || b.op.kind = Opid.Write)
+          then found := (a, b) :: !found;
+          incr j
+        done
+      done);
   List.rev !found
 
 let conflicting_pairs ?near log =
@@ -77,14 +81,12 @@ let probe_delay (config : Config.t) (subject : Orchestrator.subject) victim =
             Opid.equal a.op victim && a.delayed_by > 0
             && b.time - a.time <= a.delayed_by + 200_000
           then begin
+            (* Non-read activity of the victim's counterpart thread during
+               the injected delay, via the per-thread progress index. *)
             let made_progress =
-              Array.exists
-                (fun (e : Event.t) ->
-                  e.tid = b.tid
-                  && e.time >= a.time - a.delayed_by
-                  && e.time < a.time
-                  && e.op.kind <> Opid.Read)
-                log.events
+              Log.progress_count log ~tid:b.tid ~lo:(a.time - a.delayed_by)
+                ~hi:(a.time - 1)
+              > 0
             in
             if not made_progress then
               stalled_pairs := { first = a.op; second = b.op } :: !stalled_pairs

@@ -252,6 +252,35 @@ let test_orchestrator_test_seed () =
     (Orchestrator.test_seed ~base:1 ~round:1 ~test_index:0
     <> Orchestrator.test_seed ~base:1 ~round:2 ~test_index:0)
 
+let test_orchestrator_parallel_matches_sequential () =
+  (* Worker domains run the tests, but the merge is sequential in test
+     order, so every verdict — per round and final — must be identical to
+     the single-domain path, probabilities included. *)
+  List.iter
+    (fun app_id ->
+      let app = Sherlock_corpus.Registry.find app_id in
+      let subject = Sherlock_corpus.App.subject app in
+      let base = { Config.default with rounds = 2 } in
+      let seq = Orchestrator.infer ~config:{ base with parallelism = 1 } subject in
+      let par = Orchestrator.infer ~config:{ base with parallelism = 4 } subject in
+      let same_verdicts label a b =
+        check Alcotest.int (label ^ ": count") (List.length a) (List.length b);
+        List.iter2
+          (fun (x : Verdict.t) (y : Verdict.t) ->
+            check Alcotest.bool (label ^ ": verdict") true (Verdict.compare x y = 0);
+            check (Alcotest.float 0.0) (label ^ ": probability") x.probability
+              y.probability)
+          a b
+      in
+      same_verdicts (app_id ^ " final") seq.final par.final;
+      List.iter2
+        (fun (r1 : Orchestrator.round_result) (r2 : Orchestrator.round_result) ->
+          same_verdicts
+            (Printf.sprintf "%s round %d" app_id r1.round)
+            r1.verdicts r2.verdicts)
+        seq.rounds par.rounds)
+    [ "App-1"; "App-2" ]
+
 (* --- Report / ground truth --- *)
 
 let truth =
@@ -386,6 +415,8 @@ let () =
           Alcotest.test_case "accumulate off" `Quick test_orchestrator_accumulate_off;
           Alcotest.test_case "run_test_logs" `Quick test_orchestrator_run_test_logs;
           Alcotest.test_case "test seeds" `Quick test_orchestrator_test_seed;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_orchestrator_parallel_matches_sequential;
           Alcotest.test_case "probabilistic delays" `Quick test_probabilistic_delays;
         ] );
       ( "report",

@@ -65,6 +65,45 @@ let test_log_queries () =
   check Alcotest.bool "active" true (Log.thread_active_in log ~tid:1 ~lo:15 ~hi:25);
   check Alcotest.bool "inactive" false (Log.thread_active_in log ~tid:1 ~lo:21 ~hi:29)
 
+let test_log_empty_fresh () =
+  (* [empty] must hand out a fresh value: the volatile-address table is
+     mutable, and a shared one would leak state between callers. *)
+  let a = Log.empty () in
+  Hashtbl.replace a.volatile_addrs 42 ();
+  let b = Log.empty () in
+  check Alcotest.int "fresh volatile table" 0 (Hashtbl.length b.volatile_addrs);
+  check Alcotest.int "no events" 0 (Log.length b)
+
+let test_first_delay_earliest () =
+  (* Two delayed events in range: the first one in time must win (the
+     seed's fold kept scanning and could report a later one). *)
+  let o = Opid.write ~cls:"C" "g" in
+  let log =
+    mklog
+      [
+        ev ~target:2 ~delayed_by:5 90 0 o;
+        ev ~target:2 ~delayed_by:7 40 0 o;
+        ev 10 1 (Opid.read ~cls:"C" "f");
+      ]
+  in
+  match Log.first_delayed_in log ~tid:0 ~lo:0 ~hi:1_000 with
+  | Some e ->
+    check Alcotest.int "first in time" 40 e.time;
+    check Alcotest.int "its delay" 7 e.delayed_by
+  | None -> Alcotest.fail "expected a delayed event"
+
+let test_first_delay_bounds () =
+  let o = Opid.write ~cls:"C" "g" in
+  let log = mklog [ ev ~target:2 ~delayed_by:7 40 0 o ] in
+  check Alcotest.bool "outside range" true
+    (Log.first_delayed_in log ~tid:0 ~lo:41 ~hi:1_000 = None);
+  check Alcotest.bool "wrong thread" true
+    (Log.first_delayed_in log ~tid:1 ~lo:0 ~hi:1_000 = None);
+  check Alcotest.bool "has_delayed agrees" false
+    (Log.has_delayed_in log ~tid:0 ~lo:41 ~hi:1_000);
+  check Alcotest.bool "has_delayed hit" true
+    (Log.has_delayed_in log ~tid:0 ~lo:40 ~hi:40)
+
 (* --- Durations --- *)
 
 let test_durations_pairing () =
@@ -338,7 +377,205 @@ let prop_trace_io_roundtrip =
            (fun (a : Event.t) (b : Event.t) ->
              Opid.equal a.op b.op && a.time = b.time && a.tid = b.tid
              && a.target = b.target)
-           log.events log'.events)
+           log.events log'.events
+      (* The loaded log rebuilds its indices; spot-check that they answer
+         queries identically to the original's. *)
+      && List.for_all
+           (fun tid ->
+             Log.progress_count log ~tid ~lo:0 ~hi:10_000
+             = Log.progress_count log' ~tid ~lo:0 ~hi:10_000
+             && List.length (Log.events_of_thread log tid)
+                = List.length (Log.events_of_thread log' tid))
+           [ 0; 1; 2 ])
+
+(* --- Reference window extraction --- *)
+
+(* The pre-index full-scan algorithm, kept as an executable specification:
+   every query the indexed [Windows.extract] answers with binary searches
+   is answered here by scanning the whole event array.  Addresses are
+   visited in first-seen order and same-address pairs in time order with
+   one global per-static-pair cap — the same deterministic order the
+   indexed implementation uses, so results are compared exactly. *)
+module Naive = struct
+  let add side op =
+    Opid.Map.update op (function None -> Some 1 | Some n -> Some (n + 1)) side
+
+  let side_of_span (log : Log.t) ~tid ~lo ~hi =
+    Array.fold_left
+      (fun acc (e : Event.t) ->
+        if e.tid = tid && e.time >= lo && e.time <= hi then add acc e.op else acc)
+      Opid.Map.empty log.events
+
+  let all_kinds_are side kind =
+    Opid.Map.for_all (fun (op : Opid.t) _ -> op.kind = kind) side
+
+  let frame_spans (log : Log.t) =
+    let stacks : (int, (Opid.t * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+    let spans : (int, (Opid.t * int * int) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let slot tbl tid =
+      match Hashtbl.find_opt tbl tid with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.add tbl tid s;
+        s
+    in
+    Array.iter
+      (fun (e : Event.t) ->
+        match e.op.kind with
+        | Opid.Begin ->
+          (slot stacks e.tid) := (e.op, e.time) :: !(slot stacks e.tid)
+        | Opid.End ->
+          let key = Opid.method_key e.op in
+          let s = slot stacks e.tid in
+          let rec pop acc = function
+            | [] -> None
+            | ((op : Opid.t), t0) :: rest when Opid.method_key op = key ->
+              Some ((op, t0), List.rev_append acc rest)
+            | frame :: rest -> pop (frame :: acc) rest
+          in
+          (match pop [] !s with
+          | Some ((op, t0), rest) ->
+            s := rest;
+            (slot spans e.tid) := (op, t0, e.time) :: !(slot spans e.tid)
+          | None -> ())
+        | Opid.Read | Opid.Write -> ())
+      log.events;
+    Hashtbl.iter
+      (fun tid s ->
+        List.iter
+          (fun (op, t0) ->
+            (slot spans tid) := (op, t0, max_int) :: !(slot spans tid))
+          !s)
+      stacks;
+    spans
+
+  let progressed (log : Log.t) ~tid ~lo ~hi =
+    Array.exists
+      (fun (e : Event.t) ->
+        e.tid = tid && e.time > lo && e.time < hi && e.op.kind <> Opid.Read)
+      log.events
+
+  let add_open_frames log spans side ~tid ~lo =
+    match Hashtbl.find_opt spans tid with
+    | None -> side
+    | Some frames ->
+      List.fold_left
+        (fun acc (op, t0, t1) ->
+          if t1 >= lo && t0 < lo && not (progressed log ~tid ~lo:t0 ~hi:lo)
+          then add acc op
+          else acc)
+        side !frames
+
+  let first_delay (log : Log.t) ~tid ~lo ~hi =
+    Array.fold_left
+      (fun acc (e : Event.t) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if e.tid = tid && e.delayed_by > 0 && e.time >= lo && e.time <= hi
+          then Some e
+          else None)
+      None log.events
+
+  let extract ~near ~cap ~refine (log : Log.t) =
+    let spans = frame_spans log in
+    let windows = ref [] in
+    let races = ref [] in
+    let pair_counts : (Opid.t * Opid.t, int) Hashtbl.t = Hashtbl.create 64 in
+    let consider (a : Event.t) (b : Event.t) =
+      let acq_side ~lo ~hi =
+        add_open_frames log spans
+          (side_of_span log ~tid:b.tid ~lo ~hi)
+          ~tid:b.tid ~lo
+      in
+      let rel = ref (side_of_span log ~tid:a.tid ~lo:a.time ~hi:b.time) in
+      let acq = ref (acq_side ~lo:a.time ~hi:b.time) in
+      (if refine then
+         match first_delay log ~tid:a.tid ~lo:a.time ~hi:b.time with
+         | Some r ->
+           let delay_start = r.time - r.delayed_by in
+           let made_progress =
+             Array.exists
+               (fun (e : Event.t) ->
+                 e.tid = b.tid
+                 && e.time >= delay_start
+                 && e.time < r.time
+                 && e.op.kind <> Opid.Read)
+               log.events
+           in
+           if not made_progress then acq := acq_side ~lo:r.time ~hi:b.time
+           else
+             rel :=
+               Opid.Map.update r.op
+                 (function None | Some 1 -> None | Some n -> Some (n - 1))
+                 !rel
+         | None -> ());
+      let rel = !rel and acq = !acq in
+      let field = Opid.field_key a.op in
+      let rel_impossible = Opid.Map.is_empty rel || all_kinds_are rel Opid.Read in
+      let acq_impossible =
+        Opid.Map.is_empty acq || all_kinds_are acq Opid.Write
+      in
+      if rel_impossible || acq_impossible then
+        races := { Windows.race_pair = (a.op, b.op); race_field = field } :: !races
+      else windows := { Windows.pair = (a.op, b.op); field; rel; acq } :: !windows
+    in
+    let addrs = ref [] in
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun (e : Event.t) ->
+        if Opid.is_access e.op && not (Hashtbl.mem seen e.target) then begin
+          Hashtbl.add seen e.target ();
+          addrs := e.target :: !addrs
+        end)
+      log.events;
+    List.iter
+      (fun addr ->
+        let accesses =
+          Array.of_list
+            (List.filter
+               (fun (e : Event.t) -> Opid.is_access e.op && e.target = addr)
+               (Array.to_list log.events))
+        in
+        let n = Array.length accesses in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            let a = accesses.(i) and b = accesses.(j) in
+            if
+              b.time - a.time <= near
+              && a.tid <> b.tid
+              && (a.op.kind = Opid.Write || b.op.kind = Opid.Write)
+            then begin
+              let key = (a.op, b.op) in
+              let c = Option.value ~default:0 (Hashtbl.find_opt pair_counts key) in
+              if c < cap then begin
+                Hashtbl.replace pair_counts key (c + 1);
+                consider a b
+              end
+            end
+          done
+        done)
+      (List.rev !addrs);
+    (List.rev !windows, List.rev !races)
+end
+
+let side_bindings side =
+  List.map (fun ((o : Opid.t), n) -> (Opid.to_string o, n)) (Opid.Map.bindings side)
+
+let window_eq (a : Windows.t) (b : Windows.t) =
+  Opid.equal (fst a.pair) (fst b.pair)
+  && Opid.equal (snd a.pair) (snd b.pair)
+  && a.field = b.field
+  && side_bindings a.rel = side_bindings b.rel
+  && side_bindings a.acq = side_bindings b.acq
+
+let race_eq (a : Windows.race) (b : Windows.race) =
+  Opid.equal (fst a.race_pair) (fst b.race_pair)
+  && Opid.equal (snd a.race_pair) (snd b.race_pair)
+  && a.race_field = b.race_field
 
 (* --- Properties --- *)
 
@@ -359,6 +596,47 @@ let gen_ops =
          | _ -> Opid.exit ~cls name
        in
        return (Event.make ~time ~tid ~op ~target:(field + 1) ())))
+
+(* Like [gen_ops] but with occasional injected-delay annotations, so the
+   refinement paths of both implementations are exercised. *)
+let gen_ops_delayed =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (let* time = int_range 1 10_000 in
+       let* tid = int_range 0 2 in
+       let* kind = int_range 0 3 in
+       let* field = int_range 0 2 in
+       let* delayed = int_range 0 9 in
+       let* delay = int_range 1 400 in
+       let cls = "P.C" in
+       let name = Printf.sprintf "f%d" field in
+       let op =
+         match kind with
+         | 0 -> Opid.read ~cls name
+         | 1 -> Opid.write ~cls name
+         | 2 -> Opid.enter ~cls name
+         | _ -> Opid.exit ~cls name
+       in
+       let delayed_by = if delayed = 0 then delay else 0 in
+       return (Event.make ~time ~tid ~op ~target:(field + 1) ~delayed_by ())))
+
+let prop_extract_matches_reference =
+  QCheck.Test.make ~name:"indexed extraction matches the naive reference"
+    ~count:300
+    (QCheck.make gen_ops_delayed)
+    (fun events ->
+      let log = mklog events in
+      List.for_all
+        (fun (near, cap, refine) ->
+          let w1, r1 = Windows.extract ~near ~cap ~refine log in
+          let w2, r2 = Naive.extract ~near ~cap ~refine log in
+          List.length w1 = List.length w2
+          && List.length r1 = List.length r2
+          && List.for_all2 window_eq w1 w2
+          && List.for_all2 race_eq r1 r2)
+        (* near exercising both in- and out-of-horizon pairs; a tight cap
+           exercising the bail-out; refinement on and off. *)
+        [ (10_000, 15, true); (3_000, 2, true); (10_000, 15, false) ])
 
 let prop_windows_no_crash =
   QCheck.Test.make ~name:"window extraction total on random logs" ~count:200
@@ -410,6 +688,9 @@ let () =
         [
           Alcotest.test_case "sorting" `Quick test_log_sorting;
           Alcotest.test_case "queries" `Quick test_log_queries;
+          Alcotest.test_case "empty is fresh" `Quick test_log_empty_fresh;
+          Alcotest.test_case "first delay earliest" `Quick test_first_delay_earliest;
+          Alcotest.test_case "first delay bounds" `Quick test_first_delay_bounds;
         ] );
       ( "durations",
         [
@@ -448,5 +729,5 @@ let () =
       ( "properties",
         qcheck
           [ prop_windows_no_crash; prop_window_sides_nonempty; prop_log_sorted;
-            prop_trace_io_roundtrip ] );
+            prop_trace_io_roundtrip; prop_extract_matches_reference ] );
     ]
