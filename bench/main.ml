@@ -516,6 +516,32 @@ let perf () =
   in
   let largest_s = time_extract ~reps:50 largest in
   let stress_s = time_extract ~reps:10 stress_log in
+  (* Telemetry overhead on the hot path: the same stress-log extraction
+     with the metrics registry enabled and a span collector installed,
+     best-of-trials on both sides.  The telemetry subsystem's budget is
+     < 5% here; exceeding it fails the bench run. *)
+  let telemetry_off_s, telemetry_on_s =
+    let module Tm = Sherlock_telemetry.Metrics in
+    let module Tspan = Sherlock_telemetry.Span in
+    (* Interleaved off/on trials (best of each) so drift — GC, frequency
+       scaling, a noisy neighbour — hits both sides equally. *)
+    let off = ref infinity and on = ref infinity in
+    for _ = 1 to 4 do
+      Tm.set_enabled false;
+      Tspan.set_collector None;
+      off := Float.min !off (time_extract ~reps:10 stress_log);
+      Tspan.set_collector (Some (Tspan.create_collector ()));
+      Tm.set_enabled true;
+      on := Float.min !on (time_extract ~reps:10 stress_log)
+    done;
+    Tm.set_enabled false;
+    Tspan.set_collector None;
+    Tm.reset Tm.default;
+    (!off, !on)
+  in
+  let telemetry_overhead_pct =
+    100.0 *. ((telemetry_on_s /. telemetry_off_s) -. 1.0)
+  in
   let throughput n s = float n /. s in
   (* End-to-end Table 2 pipeline: fresh 3-round inference plus scoring for
      every app (no [infer_cache], so the number is order-independent). *)
@@ -558,6 +584,12 @@ let perf () =
       Printf.sprintf "%.0f events/sec (%.1fx seed)" stress_tp
         (stress_tp /. seed_stress_events_per_sec);
     ];
+  Table.add_row t
+    [
+      "telemetry overhead (stress extract)";
+      Printf.sprintf "%.1f%% (off %.4fs, on %.4fs)" telemetry_overhead_pct
+        telemetry_off_s telemetry_on_s;
+    ];
   Table.add_row t [ "table2 end-to-end"; Printf.sprintf "%.3f s" table2_s ];
   Table.add_row t
     [ "corpus infer, sequential"; Printf.sprintf "%.3f s" sequential_s ];
@@ -576,16 +608,24 @@ let perf () =
                          "events_per_sec": %.0f, "seed_events_per_sec": %.0f,
                          "speedup_vs_seed": %.2f},
   "table2_s": %.3f,
-  "orchestrator": {"sequential_s": %.3f, "parallel_s": %.3f, "domains": %d}
+  "orchestrator": {"sequential_s": %.3f, "parallel_s": %.3f, "domains": %d},
+  "telemetry": {"stress_extract_off_s": %.6f, "stress_extract_on_s": %.6f,
+                "overhead_pct": %.2f, "budget_pct": 5.0}
 }
 |}
     stress_n stress_s stress_tp seed_stress_events_per_sec
     (stress_tp /. seed_stress_events_per_sec)
     largest_id largest_n largest_s largest_tp seed_largest_events_per_sec
     (largest_tp /. seed_largest_events_per_sec)
-    table2_s sequential_s parallel_s domains;
+    table2_s sequential_s parallel_s domains telemetry_off_s telemetry_on_s
+    telemetry_overhead_pct;
   close_out oc;
-  Printf.printf "wrote BENCH_trace.json\n"
+  Printf.printf "wrote BENCH_trace.json\n";
+  if telemetry_overhead_pct >= 5.0 then begin
+    Printf.printf "FAIL: telemetry overhead %.1f%% exceeds the 5%% budget\n"
+      telemetry_overhead_pct;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 

@@ -7,6 +7,7 @@
 open Cmdliner
 open Sherlock_core
 open Sherlock_corpus
+module Telemetry = Sherlock_telemetry
 
 let find_app name =
   match Registry.find name with
@@ -78,9 +79,39 @@ let infer_run config app_name =
   let result = Orchestrator.infer ~config (App.subject app) in
   (app, result)
 
+let telemetry_out_arg =
+  let doc =
+    "Write wall-clock telemetry spans of the run (Chrome trace-event / \
+     Perfetto JSON) to $(docv); also enables the metrics registry."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
+
+(* Wrap a command body in a span collector + enabled metrics registry when
+   the user asked for telemetry; export the spans afterwards. *)
+let with_telemetry out f =
+  match out with
+  | None -> f ()
+  | Some path ->
+    let collector = Telemetry.Span.create_collector () in
+    Telemetry.Span.set_collector (Some collector);
+    Telemetry.Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.Span.set_collector None;
+        Telemetry.Metrics.set_enabled false)
+      (fun () ->
+        let r = f () in
+        Telemetry.Perfetto.write path (Telemetry.Perfetto.of_spans collector);
+        Printf.printf "wrote %d telemetry spans to %s\n"
+          (Telemetry.Span.span_count collector)
+          path;
+        r)
+
 let run_cmd =
-  let run config app_name verbose dump_dir =
-    let app, result = infer_run config app_name in
+  let run config app_name verbose dump_dir telemetry_out =
+    let app, result =
+      with_telemetry telemetry_out (fun () -> infer_run config app_name)
+    in
     (match dump_dir with
     | None -> ()
     | Some dir ->
@@ -102,17 +133,20 @@ let run_cmd =
             r.round r.stats.num_windows r.stats.num_vars r.delayed_ops
             (List.length r.verdicts))
         result.rounds;
-      Report.print_round_metrics Format.std_formatter result.rounds
+      Report.print_round_metrics Format.std_formatter result.rounds;
+      if telemetry_out <> None then
+        Format.printf "%a@." Telemetry.Metrics.pp_summary Telemetry.Metrics.default
     end;
     Report.print_sites Format.std_formatter ~app:app.name result.final app.truth;
     let report = Report.classify app.truth result.final in
     Printf.printf
-      "\n%d inferred: %d correct, %d data-racy, %d instrumentation errors, %d not-sync; %d missed\n"
+      "\n%d inferred: %d correct, %d data-racy, %d instrumentation errors, %d not-sync; %d missed; precision %s\n"
       (Report.num_inferred report) (Report.num_correct report)
       (Report.count report Report.Data_racy)
       (Report.count report Report.Instr_error)
       (Report.count report Report.Not_sync)
       (List.length report.missed)
+      (Report.precision_string report)
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-round statistics.")
@@ -126,7 +160,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Infer synchronizations for one application (3 rounds by default).")
-    Term.(const run $ config_term $ app_arg $ verbose $ dump_dir)
+    Term.(const run $ config_term $ app_arg $ verbose $ dump_dir $ telemetry_out_arg)
 
 let race_cmd =
   let run config app_name model_name =
@@ -179,6 +213,76 @@ let tsvd_cmd =
     (Cmd.info "tsvd" ~doc:"Compare TSVD happens-before inference with SherLock's.")
     Term.(const run $ config_term $ app_arg)
 
+let timeline_cmd =
+  let run config app_name out max_flows =
+    let app = find_app app_name in
+    let subject = App.subject app in
+    (* Infer first, so the timeline shows the runs the *final* delay plan
+       produces — the schedule the last round's verdicts perturb. *)
+    let result = Orchestrator.infer ~config subject in
+    let plan =
+      if config.Config.use_delays then
+        Perturber.of_verdicts ~delay_us:config.delay_us result.final
+      else Perturber.empty
+    in
+    let timelines =
+      List.mapi
+        (fun i (name, body) ->
+          let hooks, finish = Sherlock_sim.Schedule.recorder () in
+          let seed =
+            Orchestrator.test_seed ~base:config.seed ~round:(config.rounds + 1)
+              ~test_index:i
+          in
+          let log =
+            Sherlock_sim.Runtime.run ~seed ~hooks
+              ~instrument:
+                (Sherlock_sim.Runtime.tracing
+                   ~delay_before:(Perturber.delay_before plan) ())
+              body
+          in
+          {
+            Timeline.test_name = name;
+            log;
+            schedule = finish ~duration:log.Sherlock_trace.Log.duration;
+          })
+        subject.tests
+    in
+    let events =
+      Timeline.export ~near:config.near ~max_flows ~app:app.name ~plan timelines
+    in
+    Telemetry.Perfetto.write out events;
+    Printf.printf
+      "wrote %s: %d trace events over %d tests (%d delayed ops in plan)\n" out
+      (List.length events) (List.length timelines) (Perturber.size plan)
+  in
+  let app_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application id (App-1) or name.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "sherlock-timeline.json"
+      & info [ "telemetry-out"; "o" ] ~docv:"FILE"
+          ~doc:"Output file (Chrome trace-event / Perfetto JSON).")
+  in
+  let max_flows =
+    Arg.(
+      value & opt int 64
+      & info [ "max-flows" ] ~docv:"N"
+          ~doc:"Cap on conflicting-access flow arrows per test.")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Export a virtual-time Perfetto timeline of an application's \
+          instrumented runs: per-thread method frames, scheduler \
+          running/blocked intervals, delay-injection markers, and flow \
+          arrows between conflicting accesses.")
+    Term.(const run $ config_term $ app_pos $ out $ max_flows)
+
 let solve_trace_cmd =
   let run config paths =
     (* The decoupled artifact workflow: solve from dumped trace files. *)
@@ -223,6 +327,6 @@ let main =
   let doc = "unsupervised synchronization-operation inference (ASPLOS'21 reproduction)" in
   Cmd.group
     (Cmd.info "sherlock" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; race_cmd; tsvd_cmd; solve_trace_cmd ]
+    [ list_cmd; run_cmd; race_cmd; tsvd_cmd; solve_trace_cmd; timeline_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -26,6 +26,7 @@ type tableau = {
   basis : int array;
   ncols : int;
   first_artificial : int;     (* columns >= this are artificial *)
+  mutable pivots : int;       (* pivot operations performed, for telemetry *)
 }
 
 let build num_vars constrs =
@@ -74,9 +75,10 @@ let build num_vars constrs =
         basis.(i) <- !next_art;
         incr next_art))
     normalized;
-  { t; basis; ncols; first_artificial = num_vars + num_slack }
+  { t; basis; ncols; first_artificial = num_vars + num_slack; pivots = 0 }
 
 let pivot tab ~row ~col =
+  tab.pivots <- tab.pivots + 1;
   let t = tab.t in
   let m = Array.length t in
   let width = tab.ncols + 1 in
@@ -210,18 +212,29 @@ let phase2 tab num_vars objective =
       tab.basis;
     Optimal { objective; solution }
 
+let record_telemetry tab =
+  let module Tm = Sherlock_telemetry.Metrics in
+  if Tm.enabled () then begin
+    Tm.Counter.incr (Tm.counter "lp.solves");
+    Tm.Histogram.observe_int (Tm.histogram "lp.pivots") tab.pivots
+  end
+
 let solve ~num_vars ~objective constrs =
   let tab = build num_vars constrs in
-  if tab.first_artificial = tab.ncols then phase2 tab num_vars objective
-  else begin
-    let cost1 = Array.make tab.ncols 0.0 in
-    for j = tab.first_artificial to tab.ncols - 1 do
-      cost1.(j) <- 1.0
-    done;
-    match optimize tab cost1 ~allow:(fun _ -> true) with
-    | None -> assert false (* phase-1 objective is bounded below by 0 *)
-    | Some v when v > 1e-6 -> Infeasible
-    | Some _ ->
-      expel_artificials tab;
-      phase2 tab num_vars objective
-  end
+  let outcome =
+    if tab.first_artificial = tab.ncols then phase2 tab num_vars objective
+    else begin
+      let cost1 = Array.make tab.ncols 0.0 in
+      for j = tab.first_artificial to tab.ncols - 1 do
+        cost1.(j) <- 1.0
+      done;
+      match optimize tab cost1 ~allow:(fun _ -> true) with
+      | None -> assert false (* phase-1 objective is bounded below by 0 *)
+      | Some v when v > 1e-6 -> Infeasible
+      | Some _ ->
+        expel_artificials tab;
+        phase2 tab num_vars objective
+    end
+  in
+  record_telemetry tab;
+  outcome

@@ -63,6 +63,8 @@ let encode_protected config vars (w : Observations.merged_window) idx =
   term Acquire w.acq "acq"
 
 let solve (config : Config.t) obs =
+  let module Tspan = Sherlock_telemetry.Span in
+  Tspan.with_span ~name:"solve" @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let problem = Problem.create () in
   let vars = { problem; table = Hashtbl.create 64 } in
@@ -222,6 +224,10 @@ let solve (config : Config.t) obs =
   let solve_s = Unix.gettimeofday () -. t_start in
   let acc = Observations.metrics obs in
   acc.solve_s <- acc.solve_s +. solve_s;
+  Tspan.add_attr "vars" (Tspan.Int (Problem.num_vars problem));
+  Tspan.add_attr "windows" (Tspan.Int (List.length windows));
+  Tspan.add_attr "verdicts" (Tspan.Int (List.length verdicts));
+  Tspan.add_attr "objective" (Tspan.Float objective);
   ( verdicts,
     {
       num_vars = Problem.num_vars problem;

@@ -1,4 +1,5 @@
 open Sherlock_sim
+module Tspan = Sherlock_telemetry.Span
 
 type subject = {
   subject_name : string;
@@ -63,24 +64,47 @@ let parallel_map ~domains f arr =
   Array.map (function Some r -> r | None -> assert false) results
 
 (* Run one test and extract its observations — the per-domain unit of
-   work.  Returns the extraction plus the run's wall-clock. *)
-let run_and_extract (config : Config.t) ~round ~plan test_index (_name, body) =
+   work.  Returns the extraction plus the run's wall-clock.  The run and
+   extract spans open on whichever worker domain executes the test, so a
+   parallel round renders as one telemetry track per domain. *)
+let run_and_extract (config : Config.t) ~round ~plan test_index (name, body) =
   let t0 = Unix.gettimeofday () in
-  let log = run_one config ~round ~test_index plan body in
+  let log =
+    Tspan.with_span ~name:"run"
+      ~attrs:[ ("test", Tspan.Str name); ("round", Tspan.Int round) ]
+      (fun () ->
+        let log = run_one config ~round ~test_index plan body in
+        Tspan.add_attr "events" (Tspan.Int (Sherlock_trace.Log.length log));
+        log)
+  in
   let run_s = Unix.gettimeofday () -. t0 in
   let x =
-    Observations.extract_log ~near:config.near ~cap:config.window_cap
-      ~refine:config.use_refinement log
+    Tspan.with_span ~name:"extract"
+      ~attrs:[ ("test", Tspan.Str name); ("round", Tspan.Int round) ]
+      (fun () ->
+        Observations.extract_log ~near:config.near ~cap:config.window_cap
+          ~refine:config.use_refinement log)
   in
   (x, run_s)
 
 let infer ?(config = Config.default) subject =
+  Tspan.with_span ~name:"infer"
+    ~attrs:
+      [
+        ("subject", Tspan.Str subject.subject_name);
+        ("tests", Tspan.Int (List.length subject.tests));
+        ("rounds", Tspan.Int config.rounds);
+        ("parallelism", Tspan.Int config.parallelism);
+      ]
+  @@ fun () ->
   let obs = ref (Observations.create ()) in
   let plan = ref Perturber.empty in
   let rounds = ref [] in
   let tests = Array.of_list subject.tests in
   let domains = max 1 config.parallelism in
   for round = 1 to config.rounds do
+    Tspan.with_span ~name:"round" ~attrs:[ ("round", Tspan.Int round) ]
+    @@ fun () ->
     if not config.accumulate then obs := Observations.create ();
     let extractions =
       if domains = 1 || Array.length tests <= 1 then
@@ -101,7 +125,11 @@ let infer ?(config = Config.default) subject =
       { round; verdicts; stats; delayed_ops = Perturber.size !plan } :: !rounds;
     plan :=
       (if config.use_delays then Perturber.of_verdicts ~delay_us:config.delay_us verdicts
-       else Perturber.empty)
+       else Perturber.empty);
+    Tspan.add_attr "windows" (Tspan.Int stats.num_windows);
+    Tspan.add_attr "vars" (Tspan.Int stats.num_vars);
+    Tspan.add_attr "verdicts" (Tspan.Int (List.length verdicts));
+    Tspan.add_attr "delayed_ops" (Tspan.Int (Perturber.size !plan))
   done;
   let rounds = List.rev !rounds in
   let final = match List.rev rounds with last :: _ -> last.verdicts | [] -> [] in

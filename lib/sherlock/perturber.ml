@@ -5,18 +5,26 @@ type plan = int Opid.Map.t
 let empty = Opid.Map.empty
 
 let of_verdicts ~delay_us verdicts =
-  List.fold_left
-    (fun plan (v : Verdict.t) ->
-      match v.role with
-      | Verdict.Acquire -> plan
-      | Verdict.Release ->
-        let target =
-          match v.op.kind with
-          | Opid.Write | Opid.Read | Opid.Begin -> v.op
-          | Opid.End -> { v.op with kind = Opid.Begin }
-        in
-        Opid.Map.add target delay_us plan)
-    empty verdicts
+  Sherlock_telemetry.Span.with_span ~name:"plan-delays" @@ fun () ->
+  let plan =
+    List.fold_left
+      (fun plan (v : Verdict.t) ->
+        match v.role with
+        | Verdict.Acquire -> plan
+        | Verdict.Release ->
+          let target =
+            match v.op.kind with
+            | Opid.Write | Opid.Read | Opid.Begin -> v.op
+            | Opid.End -> { v.op with kind = Opid.Begin }
+          in
+          Opid.Map.add target delay_us plan)
+      empty verdicts
+  in
+  Sherlock_telemetry.Span.add_attr "delayed_ops"
+    (Sherlock_telemetry.Span.Int (Opid.Map.cardinal plan));
+  Sherlock_telemetry.Span.add_attr "delay_us"
+    (Sherlock_telemetry.Span.Int delay_us);
+  plan
 
 let delay_before plan op =
   match Opid.Map.find_opt op plan with Some d -> d | None -> 0

@@ -52,6 +52,12 @@ let precision t =
   if num_inferred t = 0 then nan
   else float_of_int (num_correct t) /. float_of_int (num_inferred t)
 
+(* The [nan] from [precision] must not leak into user-facing output as
+   "nan%": zero inferred verdicts prints as "n/a". *)
+let precision_string t =
+  if num_inferred t = 0 then "n/a"
+  else Printf.sprintf "%.0f%%" (100.0 *. precision t)
+
 let correct_ops t =
   List.filter_map (function v, Correct e -> Some (v, e) | _ -> None) t.classified
 
@@ -64,33 +70,40 @@ let false_positive_cause (gt : Ground_truth.t) (v : Verdict.t) =
   else if v.op.member = ".cctor" then Ground_truth.Static_ctor
   else Ground_truth.Other_cause
 
-(* Snapshot values, not deltas: each round's [stats.trace] is the
-   cumulative metrics at that round's solve, which stays meaningful when
-   [accumulate] is off and the observation state resets per round. *)
+(* Each round's [stats.trace] is the cumulative metrics snapshot at that
+   round's solve (which stays meaningful when [accumulate] is off and the
+   observation state resets per round); every cell also shows the delta
+   against the previous round, so round-over-round cost reads directly
+   off the table. *)
 let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
   let table =
-    Sherlock_util.Table.create ~title:"Per-round trace metrics (cumulative)"
+    Sherlock_util.Table.create
+      ~title:"Per-round trace metrics (cumulative, +delta vs previous round)"
       ~header:
         [
           "Round"; "Events"; "Pairs"; "Capped"; "Windows"; "Races"; "Run s";
           "Extract s"; "Solve s";
         ]
   in
+  let int_cell cum prev = Printf.sprintf "%d (+%d)" cum (cum - prev) in
+  let sec_cell cum prev = Printf.sprintf "%.3f (+%.3f)" cum (cum -. prev) in
+  let prev = ref (Metrics.create ()) in
   List.iter
     (fun (r : Orchestrator.round_result) ->
-      let m = r.stats.trace in
+      let m = r.stats.trace and p = !prev in
       Sherlock_util.Table.add_row table
         [
           string_of_int r.round;
-          string_of_int m.events;
-          string_of_int m.pairs_considered;
-          string_of_int m.pairs_capped;
-          string_of_int m.windows;
-          string_of_int m.races;
-          Printf.sprintf "%.3f" m.run_s;
-          Printf.sprintf "%.3f" m.extract_s;
-          Printf.sprintf "%.3f" m.solve_s;
-        ])
+          int_cell m.events p.events;
+          int_cell m.pairs_considered p.pairs_considered;
+          int_cell m.pairs_capped p.pairs_capped;
+          int_cell m.windows p.windows;
+          int_cell m.races p.races;
+          sec_cell m.run_s p.run_s;
+          sec_cell m.extract_s p.extract_s;
+          sec_cell m.solve_s p.solve_s;
+        ];
+      prev := m)
     rounds;
   Format.fprintf ppf "%s@." (Sherlock_util.Table.render table)
 

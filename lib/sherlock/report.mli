@@ -25,6 +25,10 @@ val num_inferred : t -> int
 val precision : t -> float
 (** correct / inferred; nan when nothing was inferred. *)
 
+val precision_string : t -> string
+(** Rendering for CLI/report output: ["75%"], or ["n/a"] when nothing was
+    inferred (never ["nan%"]). *)
+
 val correct_ops : t -> (Verdict.t * Ground_truth.entry) list
 
 val false_positive_cause : Ground_truth.t -> Verdict.t -> Ground_truth.cause
@@ -36,7 +40,8 @@ val false_positive_cause : Ground_truth.t -> Verdict.t -> Ground_truth.cause
 val print_round_metrics : Format.formatter -> Orchestrator.round_result list -> unit
 (** Render one row per round from the cumulative trace-metrics snapshot
     taken at that round's solve (events, pairs, windows, races, wall
-    clocks). *)
+    clocks), each cell annotated with its delta against the previous
+    round. *)
 
 val print_sites : Format.formatter -> app:string -> Verdict.t list -> Ground_truth.t -> unit
 (** Render the artifact's result format: "Releasing sites: ... Acquire

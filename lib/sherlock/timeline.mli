@@ -1,0 +1,38 @@
+(** Virtual-time Perfetto export of a simulated schedule.
+
+    Replays one or more test traces (via the log's per-address index) plus
+    the scheduler recording into Chrome trace-event data that Perfetto /
+    [chrome://tracing] render directly:
+
+    - one process per test, two tracks per simulated thread — the method
+      frames replayed from the Begin/End events, and a scheduler track of
+      running / blocked intervals from the {!Sherlock_sim.Schedule}
+      recording;
+    - delay-injection markers wherever the Perturber's plan fired (an
+      instant on the frame track plus a slice covering the injected
+      interval on the scheduler track);
+    - flow arrows linking conflicting-access pairs (same address,
+      different threads, at least one write, at most [near] apart) — the
+      exact pairs window extraction reasons about.
+
+    Timestamps are the simulator's virtual microseconds, so slice widths
+    are deterministic for a given seed. *)
+
+open Sherlock_trace
+
+type test_timeline = {
+  test_name : string;
+  log : Log.t;
+  schedule : Sherlock_sim.Schedule.t;
+}
+
+val export :
+  ?near:int ->
+  ?max_flows:int ->
+  app:string ->
+  plan:Perturber.plan ->
+  test_timeline list ->
+  Sherlock_telemetry.Perfetto.event list
+(** [near] bounds the conflicting-access pair distance (default
+    {!Windows.default_near}); [max_flows] caps the flow arrows per test
+    (default 64, keeping the JSON loadable for event-dense traces). *)

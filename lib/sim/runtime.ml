@@ -12,6 +12,51 @@ let no_instrument = { trace = false; delay_before = (fun _ -> 0) }
 
 let tracing ?(delay_before = fun _ -> 0) () = { trace = true; delay_before }
 
+type hooks = {
+  on_spawn : parent:int -> tid:int -> name:string -> time:int -> unit;
+  on_block : tid:int -> time:int -> unit;
+  on_wake : waker:int -> tid:int -> time:int -> unit;
+  on_pick : tid:int -> time:int -> runnable:int -> unit;
+  on_finish : tid:int -> time:int -> unit;
+}
+
+let no_hooks =
+  {
+    on_spawn = (fun ~parent:_ ~tid:_ ~name:_ ~time:_ -> ());
+    on_block = (fun ~tid:_ ~time:_ -> ());
+    on_wake = (fun ~waker:_ ~tid:_ ~time:_ -> ());
+    on_pick = (fun ~tid:_ ~time:_ ~runnable:_ -> ());
+    on_finish = (fun ~tid:_ ~time:_ -> ());
+  }
+
+(* When telemetry is on, scheduling decisions additionally bump the
+   process-wide counters; the counters are resolved once per [run]. *)
+let counting_hooks base =
+  let module Tm = Sherlock_telemetry.Metrics in
+  let picks = Tm.counter "sim.sched.picks"
+  and blocks = Tm.counter "sim.sched.blocks"
+  and wakes = Tm.counter "sim.sched.wakes"
+  and spawns = Tm.counter "sim.sched.spawns" in
+  {
+    on_spawn =
+      (fun ~parent ~tid ~name ~time ->
+        Tm.Counter.incr spawns;
+        base.on_spawn ~parent ~tid ~name ~time);
+    on_block =
+      (fun ~tid ~time ->
+        Tm.Counter.incr blocks;
+        base.on_block ~tid ~time);
+    on_wake =
+      (fun ~waker ~tid ~time ->
+        Tm.Counter.incr wakes;
+        base.on_wake ~waker ~tid ~time);
+    on_pick =
+      (fun ~tid ~time ~runnable ->
+        Tm.Counter.incr picks;
+        base.on_pick ~tid ~time ~runnable);
+    on_finish = base.on_finish;
+  }
+
 type thread = {
   tid : int;
   name : string;
@@ -32,6 +77,7 @@ end
 type world = {
   rng : Rng.t;
   instrument : instrument;
+  hooks : hooks;
   noise : int;
   mutable threads : thread list;
   mutable ready : (thread * (unit -> unit)) list;
@@ -142,6 +188,7 @@ let pick w =
       | _ -> List.nth mins (Rng.int w.rng (List.length mins))
     in
     w.ready <- List.filter (fun (t', _) -> t'.tid <> t.tid) ready;
+    w.hooks.on_pick ~tid:t.tid ~time:t.clock ~runnable:(List.length ready);
     Some (t, resume)
 
 let op_cost w =
@@ -153,7 +200,8 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
   let open Effect.Deep in
   let finish () =
     t.alive <- false;
-    if not t.daemon then w.live_nondaemon <- w.live_nondaemon - 1
+    if not t.daemon then w.live_nondaemon <- w.live_nondaemon - 1;
+    w.hooks.on_finish ~tid:t.tid ~time:t.clock
   in
   match_with body ()
     {
@@ -185,6 +233,7 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
             Some
               (fun (k : (a, unit) continuation) ->
                 t.blocked <- true;
+                w.hooks.on_block ~tid:t.tid ~time:t.clock;
                 q.entries <-
                   q.entries
                   @ [
@@ -198,6 +247,7 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
               (fun (k : (a, unit) continuation) ->
                 let wake (wt, resume) =
                   if wt.clock < t.clock + 1 then wt.clock <- t.clock + 1;
+                  w.hooks.on_wake ~waker:t.tid ~tid:wt.tid ~time:wt.clock;
                   push_ready w wt resume
                 in
                 let n =
@@ -230,6 +280,8 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
                 w.next_tid <- w.next_tid + 1;
                 w.threads <- child :: w.threads;
                 if not daemon then w.live_nondaemon <- w.live_nondaemon + 1;
+                w.hooks.on_spawn ~parent:t.tid ~tid:child.tid ~name
+                  ~time:child.clock;
                 push_ready w child (fun () -> exec_thread w child child_body);
                 bump_clock w t 1;
                 push_ready w t (fun () -> continue k child.tid))
@@ -261,11 +313,16 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
           | _ -> None);
     }
 
-let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40) body =
+let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40)
+    ?(hooks = no_hooks) body =
+  let hooks =
+    if Sherlock_telemetry.Metrics.enabled () then counting_hooks hooks else hooks
+  in
   let w =
     {
       rng = Rng.create seed;
       instrument;
+      hooks;
       noise;
       threads = [];
       ready = [];

@@ -40,7 +40,28 @@ val no_instrument : instrument
 val tracing : ?delay_before:(Opid.t -> int) -> unit -> instrument
 (** Tracing on, with an optional delay policy. *)
 
-val run : ?seed:int -> ?instrument:instrument -> ?noise:int -> (unit -> unit) -> Log.t
+(** Observation hooks on the scheduler's decisions, the raw material for
+    schedule timelines ({!Schedule} turns them into per-thread
+    running/blocked intervals).  All times are the affected thread's
+    virtual clock at the decision.  When telemetry is enabled
+    ([Sherlock_telemetry.Metrics.enabled]), {!run} additionally counts
+    picks/blocks/wakes/spawns into the default metrics registry. *)
+type hooks = {
+  on_spawn : parent:int -> tid:int -> name:string -> time:int -> unit;
+  on_block : tid:int -> time:int -> unit;
+      (** the thread suspended on a wait queue *)
+  on_wake : waker:int -> tid:int -> time:int -> unit;
+      (** [tid] resumed by [waker]; [time] is its post-jump clock *)
+  on_pick : tid:int -> time:int -> runnable:int -> unit;
+      (** the scheduler elected [tid]; [runnable] other threads were ready *)
+  on_finish : tid:int -> time:int -> unit;
+}
+
+val no_hooks : hooks
+
+val run :
+  ?seed:int -> ?instrument:instrument -> ?noise:int -> ?hooks:hooks ->
+  (unit -> unit) -> Log.t
 (** [run body] executes [body] as the main thread and schedules all
     spawned threads to completion.  [seed] fixes the interleaving;
     [noise] scales the random scheduling jitter (default 40: roughly one

@@ -1,0 +1,72 @@
+type interval = {
+  tid : int;
+  start : int;
+  stop : int;
+}
+
+type t = {
+  threads : (int * string) list;
+  lifetimes : (int * int * int) list;
+  blocked : interval list;
+}
+
+let empty = { threads = []; lifetimes = []; blocked = [] }
+
+let recorder () =
+  let names : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let spawned : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let finished : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let block_start : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let blocked = ref [] in
+  Hashtbl.add names 0 "main";
+  Hashtbl.add spawned 0 0;
+  let hooks =
+    {
+      Runtime.no_hooks with
+      on_spawn =
+        (fun ~parent:_ ~tid ~name ~time ->
+          Hashtbl.replace names tid name;
+          Hashtbl.replace spawned tid time);
+      on_block = (fun ~tid ~time -> Hashtbl.replace block_start tid time);
+      on_wake =
+        (fun ~waker:_ ~tid ~time ->
+          match Hashtbl.find_opt block_start tid with
+          | None -> ()
+          | Some start ->
+            Hashtbl.remove block_start tid;
+            blocked := { tid; start; stop = time } :: !blocked);
+      on_finish = (fun ~tid ~time -> Hashtbl.replace finished tid time);
+    }
+  in
+  let finish ~duration =
+    let still_blocked =
+      Hashtbl.fold
+        (fun tid start acc -> { tid; start; stop = duration } :: acc)
+        block_start []
+    in
+    let threads =
+      Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) names []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let lifetimes =
+      List.map
+        (fun (tid, _) ->
+          let spawn = Option.value ~default:0 (Hashtbl.find_opt spawned tid) in
+          let fin =
+            Option.value ~default:duration (Hashtbl.find_opt finished tid)
+          in
+          (tid, spawn, fin))
+        threads
+    in
+    {
+      threads;
+      lifetimes;
+      blocked =
+        List.sort
+          (fun a b -> Int.compare a.start b.start)
+          (still_blocked @ !blocked);
+    }
+  in
+  (hooks, finish)
+
+let blocked_of_thread t tid = List.filter (fun i -> i.tid = tid) t.blocked

@@ -1,0 +1,34 @@
+(** Virtual-time schedule capture.
+
+    A {!recorder} plugs into {!Runtime.run}'s scheduling hooks and folds
+    the block/wake/spawn/finish decisions into per-thread lifetimes and
+    blocked intervals — the data the telemetry timeline exporter renders
+    as running/blocked tracks next to each thread's method frames.  The
+    trace log alone cannot recover this: blocked threads emit no events,
+    so a gap in a thread's event stream is ambiguous between "blocked"
+    and "scheduled late"; the hooks disambiguate. *)
+
+type interval = {
+  tid : int;
+  start : int;  (** virtual us the thread suspended *)
+  stop : int;   (** virtual us it was woken (or the run's end) *)
+}
+
+type t = {
+  threads : (int * string) list;       (** tid, name — ascending tid *)
+  lifetimes : (int * int * int) list;  (** tid, spawn time, finish time *)
+  blocked : interval list;             (** in wake order *)
+}
+
+val empty : t
+(** No threads, no intervals (placeholder for logs loaded from disk,
+    which carry no schedule). *)
+
+val recorder : unit -> Runtime.hooks * (duration:int -> t)
+(** A fresh recorder: pass the hooks to {!Runtime.run}, then call the
+    closure with the finished log's duration to obtain the schedule
+    (open blocked intervals and unfinished threads are closed at
+    [duration]; the main thread is always present). *)
+
+val blocked_of_thread : t -> int -> interval list
+(** The blocked intervals of one thread, in time order. *)

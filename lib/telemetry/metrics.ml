@@ -1,0 +1,158 @@
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let enabled () = Atomic.get enabled_flag
+
+module Counter = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let make name = { name; v = Atomic.make 0 }
+
+  let name t = t.name
+
+  let incr ?(by = 1) t = ignore (Atomic.fetch_and_add t.v by)
+
+  let value t = Atomic.get t.v
+end
+
+module Histogram = struct
+  (* Bucket [i] counts observations in (2^(i-1), 2^i]; bucket 0 counts
+     everything <= 1 (including non-positive values). *)
+  let num_buckets = 63
+
+  type t = {
+    name : string;
+    mutex : Mutex.t;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    buckets : int array;
+  }
+
+  let make name =
+    {
+      name;
+      mutex = Mutex.create ();
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+      buckets = Array.make num_buckets 0;
+    }
+
+  let name t = t.name
+
+  let bucket_of v =
+    if v <= 1.0 then 0
+    else
+      let i = int_of_float (ceil (Float.log2 v)) in
+      if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
+
+  let observe t v =
+    Mutex.lock t.mutex;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    Mutex.unlock t.mutex
+
+  let observe_int t v = observe t (float_of_int v)
+
+  let count t = t.count
+
+  let sum t = t.sum
+
+  let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+  let min_value t = t.min_v
+
+  let max_value t = t.max_v
+
+  let percentile t p =
+    if t.count = 0 then nan
+    else begin
+      let rank = p *. float_of_int t.count in
+      let seen = ref 0 in
+      let result = ref t.max_v in
+      (try
+         for i = 0 to num_buckets - 1 do
+           seen := !seen + t.buckets.(i);
+           if float_of_int !seen >= rank then begin
+             (* Upper bound of the bucket, clamped into the observed range. *)
+             let upper = if i = 0 then 1.0 else Float.pow 2.0 (float_of_int i) in
+             result := Float.min t.max_v (Float.max t.min_v upper);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+end
+
+type registry = {
+  mutex : Mutex.t;
+  counters : (string, Counter.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 32;
+  }
+
+let default = create ()
+
+let get_or_create reg tbl make name =
+  Mutex.lock reg.mutex;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+      let v = make name in
+      Hashtbl.add tbl name v;
+      v
+  in
+  Mutex.unlock reg.mutex;
+  v
+
+let counter ?(registry = default) name =
+  get_or_create registry registry.counters Counter.make name
+
+let histogram ?(registry = default) name =
+  get_or_create registry registry.histograms Histogram.make name
+
+let sorted_values tbl name_of =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> String.compare (name_of a) (name_of b))
+
+let counters reg = sorted_values reg.counters Counter.name
+
+let histograms reg = sorted_values reg.histograms Histogram.name
+
+let reset reg =
+  Mutex.lock reg.mutex;
+  Hashtbl.reset reg.counters;
+  Hashtbl.reset reg.histograms;
+  Mutex.unlock reg.mutex
+
+let pp_summary ppf reg =
+  Format.fprintf ppf "@[<v>telemetry counters:@,";
+  List.iter
+    (fun c -> Format.fprintf ppf "  %-42s %d@," (Counter.name c) (Counter.value c))
+    (counters reg);
+  Format.fprintf ppf "telemetry histograms:@,";
+  List.iter
+    (fun h ->
+      Format.fprintf ppf
+        "  %-42s n=%d mean=%.1f min=%.1f max=%.1f p50<=%.0f p90<=%.0f@,"
+        (Histogram.name h) (Histogram.count h) (Histogram.mean h)
+        (Histogram.min_value h) (Histogram.max_value h)
+        (Histogram.percentile h 0.5) (Histogram.percentile h 0.9))
+    (histograms reg);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,77 @@
+(** Named counters and histograms — the registry generalizing the flat
+    {!Sherlock_trace.Metrics} record (which stays as a thin bridge; see
+    [Sherlock_trace.Metrics.to_registry]).
+
+    Primitives are unconditional and safe from any domain: counters are
+    atomic, histograms take a per-histogram mutex.  Hot paths (window
+    extraction, the simplex, the simulator's scheduler) additionally gate
+    their observations on {!enabled}, a process-wide flag an entry point
+    flips on when the user asks for telemetry, so the instrumented code
+    costs one atomic load when telemetry is off. *)
+
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+module Counter : sig
+  type t
+
+  val name : t -> string
+
+  val incr : ?by:int -> t -> unit
+
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+  (** Power-of-two buckets plus exact count/sum/min/max: enough for means
+      and coarse percentiles without retaining samples. *)
+
+  val name : t -> string
+
+  val observe : t -> float -> unit
+
+  val observe_int : t -> int -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val min_value : t -> float
+
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] with [p] in [0, 1]: the upper bound of the bucket
+      holding the p-quantile (an over-approximation within 2x); [nan]
+      when empty. *)
+end
+
+type registry
+
+val create : unit -> registry
+(** A fresh, empty registry (tests and isolated measurements). *)
+
+val default : registry
+(** The process-wide registry all pipeline instrumentation records into. *)
+
+val counter : ?registry:registry -> string -> Counter.t
+(** Get or create; the same name always yields the same counter. *)
+
+val histogram : ?registry:registry -> string -> Histogram.t
+
+val counters : registry -> Counter.t list
+(** Sorted by name. *)
+
+val histograms : registry -> Histogram.t list
+
+val reset : registry -> unit
+(** Drop every counter and histogram (bench reruns). *)
+
+val pp_summary : Format.formatter -> registry -> unit
+(** Text summary: one line per counter, one per histogram with
+    count/mean/min/max/p50/p90. *)

@@ -33,6 +33,19 @@ let merge ~into t =
   into.extract_s <- into.extract_s +. t.extract_s;
   into.solve_s <- into.solve_s +. t.solve_s
 
+let to_registry ?(prefix = "trace.") registry t =
+  let module Tm = Sherlock_telemetry.Metrics in
+  let count name v = Tm.Counter.incr ~by:v (Tm.counter ~registry (prefix ^ name)) in
+  count "events" t.events;
+  count "pairs_considered" t.pairs_considered;
+  count "pairs_capped" t.pairs_capped;
+  count "windows" t.windows;
+  count "races" t.races;
+  let seconds name v = Tm.Histogram.observe (Tm.histogram ~registry (prefix ^ name)) v in
+  seconds "run_s" t.run_s;
+  seconds "extract_s" t.extract_s;
+  seconds "solve_s" t.solve_s
+
 let pp ppf t =
   Format.fprintf ppf
     "%d events, %d pairs (%d capped), %d windows, %d races, run %.3fs, extract %.3fs, solve %.3fs"

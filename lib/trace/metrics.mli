@@ -27,4 +27,12 @@ val copy : t -> t
 val merge : into:t -> t -> unit
 (** Add every counter of the second argument into [into]. *)
 
+val to_registry :
+  ?prefix:string -> Sherlock_telemetry.Metrics.registry -> t -> unit
+(** Bridge into the telemetry metrics registry: the integer fields are
+    added to counters named [prefix ^ field] (default prefix ["trace."]),
+    the wall-clock fields observed into same-named histograms.  This
+    record stays the pipeline's in-band accumulator; the registry is the
+    generalized, exportable view. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,3 +1,6 @@
+module Tm = Sherlock_telemetry.Metrics
+module Tspan = Sherlock_telemetry.Span
+
 type side = int Opid.Map.t
 
 type t = {
@@ -109,7 +112,15 @@ let first_delay log ~tid ~lo ~hi = Log.first_delayed_in log ~tid ~lo ~hi
 
 let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
     ?metrics (log : Log.t) =
+ Tspan.with_span ~name:"windows.extract" @@ fun () ->
   let t_start = Unix.gettimeofday () in
+  (* Telemetry histograms are resolved once per extraction and only when
+     telemetry is on, so the per-pair hot path pays a single branch. *)
+  let tm_on = Tm.enabled () in
+  let h_window_dur = if tm_on then Some (Tm.histogram "windows.duration_us") else None in
+  let h_pairs_per_loc =
+    if tm_on then Some (Tm.histogram "windows.pairs_per_location") else None
+  in
   let spans = frame_spans log in
   let windows = ref [] in
   let races = ref [] in
@@ -167,7 +178,10 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
       else begin
         incr nwindows;
         windows := { pair = (a.op, b.op); field; rel; acq } :: !windows
-      end
+      end;
+      match h_window_dur with
+      | Some h -> Tm.Histogram.observe_int h (b.time - a.time)
+      | None -> ()
     end
   in
   (* Pair enumeration.  An address sees only a handful of static ops (the
@@ -180,6 +194,7 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
   Log.iter_addr_accesses log (fun _addr accesses ->
       let n = Array.length accesses in
       if n > 1 then begin
+        let considered_before = !considered in
         let ops = ref [] in
         let nops = ref 0 in
         let opidx =
@@ -246,7 +261,10 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
                incr j
              done
            done
-         with Exit -> ())
+         with Exit -> ());
+        match h_pairs_per_loc with
+        | Some h -> Tm.Histogram.observe_int h (!considered - considered_before)
+        | None -> ()
       end);
   (match metrics with
   | None -> ()
@@ -257,4 +275,8 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
     m.windows <- m.windows + !nwindows;
     m.races <- m.races + !nraces;
     m.extract_s <- m.extract_s +. (Unix.gettimeofday () -. t_start));
+  Tspan.add_attr "events" (Tspan.Int (Log.length log));
+  Tspan.add_attr "windows" (Tspan.Int !nwindows);
+  Tspan.add_attr "races" (Tspan.Int !nraces);
+  Tspan.add_attr "pairs" (Tspan.Int !considered);
   (List.rev !windows, List.rev !races)

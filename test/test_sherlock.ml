@@ -311,6 +311,23 @@ let test_report_classify () =
   check Alcotest.int "missed" 1 (List.length r.missed);
   check (Alcotest.float 1e-9) "precision" 0.25 (Report.precision r)
 
+(* Regression: zero inferred verdicts used to render [precision]'s nan as
+   "nan%"; the string form must say "n/a" instead. *)
+let test_precision_string () =
+  let empty = Report.classify truth [] in
+  check Alcotest.bool "precision is nan" true (Float.is_nan (Report.precision empty));
+  check Alcotest.string "empty renders n/a" "n/a" (Report.precision_string empty);
+  let quarter =
+    Report.classify truth
+      [
+        v wf Verdict.Release;
+        v (Opid.read ~cls:"C" "racy") Verdict.Acquire;
+        v (Opid.write ~cls:"C.Hidden" "x") Verdict.Release;
+        v (Opid.read ~cls:"C" "other") Verdict.Acquire;
+      ]
+  in
+  check Alcotest.string "1/4 renders 25%" "25%" (Report.precision_string quarter)
+
 let test_report_role_mismatch_not_correct () =
   let r = Report.classify truth [ v wf Verdict.Acquire ] in
   check Alcotest.int "wrong role not correct" 0 (Report.num_correct r)
@@ -422,6 +439,7 @@ let () =
       ( "report",
         [
           Alcotest.test_case "classify" `Quick test_report_classify;
+          Alcotest.test_case "precision string" `Quick test_precision_string;
           Alcotest.test_case "role mismatch" `Quick test_report_role_mismatch_not_correct;
           Alcotest.test_case "fp causes" `Quick test_fp_causes;
           Alcotest.test_case "guard causes" `Quick test_guard_cause;

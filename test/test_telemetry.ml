@@ -1,0 +1,316 @@
+(* The telemetry subsystem: span trees (well-nestedness, exception
+   safety), the metrics registry (counters, power-of-two histograms, the
+   Trace.Metrics bridge), and the Perfetto exporters (ordering and
+   duration invariants as a qcheck property, plus a virtual-time
+   Timeline smoke test). *)
+
+open Sherlock_telemetry
+module Tm = Metrics
+module Log = Sherlock_trace.Log
+module Event = Sherlock_trace.Event
+module Opid = Sherlock_trace.Opid
+
+let check = Alcotest.check
+
+(* Run [f] with a fresh installed collector; always uninstalls. *)
+let with_collector f =
+  let c = Span.create_collector () in
+  Span.set_collector (Some c);
+  Fun.protect ~finally:(fun () -> Span.set_collector None) (fun () -> f c)
+
+(* --- spans --- *)
+
+let find name spans =
+  match List.find_opt (fun (s : Span.closed) -> s.name = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "span %s not closed" name
+
+let test_span_nesting () =
+  with_collector @@ fun c ->
+  Span.with_span ~name:"outer" (fun () ->
+      Span.with_span ~name:"inner" (fun () ->
+          check Alcotest.int "depth inside" 2 (Span.open_depth ()));
+      Span.with_span ~name:"sibling" ignore);
+  let spans = Span.closed_spans c in
+  check Alcotest.int "three spans" 3 (Span.span_count c);
+  let outer = find "outer" spans in
+  let inner = find "inner" spans in
+  let sibling = find "sibling" spans in
+  check Alcotest.(option int) "inner parent" (Some outer.id) inner.parent;
+  check Alcotest.(option int) "sibling parent" (Some outer.id) sibling.parent;
+  check Alcotest.(option int) "outer is root" None outer.parent;
+  (* children close before the parent and lie inside its interval *)
+  List.iter
+    (fun (s : Span.closed) ->
+      check Alcotest.bool (s.name ^ " starts after outer") true
+        (s.start_s >= outer.start_s);
+      check Alcotest.bool (s.name ^ " ends before outer") true
+        (s.end_s <= outer.end_s))
+    [ inner; sibling ];
+  check Alcotest.int "nothing left open" 0 (Span.open_depth ())
+
+exception Boom
+
+let test_span_closes_on_exception () =
+  with_collector @@ fun c ->
+  (try
+     Span.with_span ~name:"outer" (fun () ->
+         Span.with_span ~name:"inner" (fun () -> raise Boom))
+   with Boom -> ());
+  let spans = Span.closed_spans c in
+  check Alcotest.int "both spans closed" 2 (Span.span_count c);
+  let outer = find "outer" spans and inner = find "inner" spans in
+  check Alcotest.(option int) "parent chain survives" (Some outer.id)
+    inner.parent;
+  check Alcotest.int "stack unwound" 0 (Span.open_depth ());
+  (* and the next span is a root again, not a child of the dead tree *)
+  Span.with_span ~name:"after" ignore;
+  check Alcotest.(option int) "fresh root" None (find "after" (Span.closed_spans c)).parent
+
+let test_span_attrs () =
+  with_collector @@ fun c ->
+  Span.with_span ~name:"s" ~attrs:[ ("given", Span.Int 1) ] (fun () ->
+      Span.add_attr "added" (Span.Str "late"));
+  let s = find "s" (Span.closed_spans c) in
+  check Alcotest.int "two attrs" 2 (List.length s.attrs);
+  check Alcotest.bool "attachment order" true
+    (s.attrs = [ ("given", Span.Int 1); ("added", Span.Str "late") ])
+
+let test_span_no_collector () =
+  Span.set_collector None;
+  check Alcotest.(option int) "no collector" None
+    (Option.map (fun _ -> 0) (Span.current_collector ()));
+  (* with_span must be a pure passthrough: value, exception, no state *)
+  check Alcotest.int "value passes" 7 (Span.with_span ~name:"x" (fun () -> 7));
+  (try Span.with_span ~name:"x" (fun () -> raise Boom) with Boom -> ());
+  check Alcotest.int "no open spans" 0 (Span.open_depth ())
+
+(* --- metrics --- *)
+
+let test_counter () =
+  let r = Tm.create () in
+  let c = Tm.counter ~registry:r "a" in
+  Tm.Counter.incr c;
+  Tm.Counter.incr ~by:41 c;
+  check Alcotest.int "count" 42 (Tm.Counter.value c);
+  check Alcotest.bool "get-or-create" true (c == Tm.counter ~registry:r "a");
+  Tm.reset r;
+  (* reset drops the instruments: the next lookup creates a fresh zero *)
+  let c' = Tm.counter ~registry:r "a" in
+  check Alcotest.bool "fresh after reset" false (c == c');
+  check Alcotest.int "reset" 0 (Tm.Counter.value c')
+
+let test_histogram () =
+  let r = Tm.create () in
+  let h = Tm.histogram ~registry:r "h" in
+  check Alcotest.bool "empty mean is nan" true (Float.is_nan (Tm.Histogram.mean h));
+  List.iter (fun v -> Tm.Histogram.observe_int h v) [ 1; 2; 4; 100; 1000 ];
+  check Alcotest.int "count" 5 (Tm.Histogram.count h);
+  check (Alcotest.float 1e-9) "sum" 1107.0 (Tm.Histogram.sum h);
+  check (Alcotest.float 1e-9) "min" 1.0 (Tm.Histogram.min_value h);
+  check (Alcotest.float 1e-9) "max" 1000.0 (Tm.Histogram.max_value h);
+  let p50 = Tm.Histogram.percentile h 0.5 in
+  check Alcotest.bool "p50 within range" true (p50 >= 1.0 && p50 <= 1000.0);
+  check Alcotest.bool "p100 clamps to max" true
+    (Tm.Histogram.percentile h 1.0 <= 1000.0)
+
+let test_registry_listing () =
+  let r = Tm.create () in
+  ignore (Tm.counter ~registry:r "z");
+  ignore (Tm.counter ~registry:r "a");
+  ignore (Tm.histogram ~registry:r "m");
+  check
+    Alcotest.(list string)
+    "counters sorted" [ "a"; "z" ]
+    (List.map Tm.Counter.name (Tm.counters r));
+  check Alcotest.int "histograms" 1 (List.length (Tm.histograms r));
+  (* the summary printer renders without raising *)
+  check Alcotest.bool "summary non-empty" true
+    (String.length (Format.asprintf "%a" Tm.pp_summary r) > 0)
+
+let test_trace_metrics_bridge () =
+  let m = Sherlock_trace.Metrics.create () in
+  m.events <- 10;
+  m.pairs_considered <- 4;
+  m.pairs_capped <- 1;
+  m.windows <- 3;
+  m.races <- 2;
+  m.run_s <- 0.5;
+  let r = Tm.create () in
+  Sherlock_trace.Metrics.to_registry r m;
+  let counter name = Tm.Counter.value (Tm.counter ~registry:r name) in
+  check Alcotest.int "events" 10 (counter "trace.events");
+  check Alcotest.int "pairs" 4 (counter "trace.pairs_considered");
+  check Alcotest.int "capped" 1 (counter "trace.pairs_capped");
+  check Alcotest.int "windows" 3 (counter "trace.windows");
+  check Alcotest.int "races" 2 (counter "trace.races");
+  let h = Tm.histogram ~registry:r "trace.run_s" in
+  check Alcotest.int "run_s observed" 1 (Tm.Histogram.count h)
+
+(* --- Perfetto export --- *)
+
+(* Arbitrary events: a mix of every phase with scrambled timestamps and
+   possibly-negative complete durations. *)
+let arb_events =
+  let open QCheck in
+  let arb_event =
+    map
+      (fun (ts, dur, pick, tid) ->
+        let ts = abs ts mod 10_000 in
+        match pick mod 5 with
+        | 0 -> Perfetto.complete ~name:"c" ~ts ~dur ~pid:1 ~tid ()
+        | 1 -> Perfetto.instant ~name:"i" ~ts ~pid:1 ~tid ()
+        | 2 -> Perfetto.flow_start ~id:(abs dur) ~ts ~pid:1 ~tid ()
+        | 3 -> Perfetto.flow_end ~id:(abs dur) ~ts ~pid:1 ~tid ()
+        | _ -> Perfetto.thread_name ~pid:1 ~tid "t")
+      (quad int (int_range (-50) 5000) int (int_range 0 7))
+  in
+  list_of_size Gen.(int_range 0 60) arb_event
+
+let prop_prepare_sorted_nonnegative =
+  QCheck.Test.make ~name:"prepare: metadata first, sorted ts, dur >= 0"
+    ~count:200 arb_events (fun events ->
+      let prepared = Perfetto.prepare events in
+      List.length prepared = List.length events
+      &&
+      let rec split_meta = function
+        | { Perfetto.ph = Perfetto.Metadata; _ } :: rest -> split_meta rest
+        | rest ->
+          (* no metadata event may appear after the prefix *)
+          List.for_all (fun (e : Perfetto.event) -> e.ph <> Perfetto.Metadata) rest
+          &&
+          let rec sorted = function
+            | (a : Perfetto.event) :: (b : Perfetto.event) :: rest ->
+              a.ts <= b.ts && sorted (b :: rest)
+            | _ -> true
+          in
+          sorted rest
+      in
+      split_meta prepared
+      && List.for_all
+           (fun (e : Perfetto.event) ->
+             match e.ph with Perfetto.Complete d -> d >= 0 | _ -> true)
+           prepared)
+
+let prop_of_spans_sorted_nonnegative =
+  QCheck.Test.make ~name:"of_spans export: sorted with non-negative durations"
+    ~count:50
+    QCheck.(int_range 1 5)
+    (fun depth ->
+      let c = Span.create_collector () in
+      Span.set_collector (Some c);
+      Fun.protect ~finally:(fun () -> Span.set_collector None) @@ fun () ->
+      let rec nest d =
+        Span.with_span ~name:(Printf.sprintf "d%d" d) (fun () ->
+            if d < depth then nest (d + 1))
+      in
+      nest 1;
+      Span.with_span ~name:"tail" ignore;
+      let events = Perfetto.prepare (Perfetto.of_spans c) in
+      List.length
+        (List.filter (fun (e : Perfetto.event) -> e.ph <> Perfetto.Metadata) events)
+      = depth + 1
+      && List.for_all
+           (fun (e : Perfetto.event) ->
+             match e.ph with Perfetto.Complete d -> d >= 0 | _ -> e.ts >= 0)
+           events)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_json_escaping () =
+  let s =
+    Perfetto.to_string
+      [
+        Perfetto.instant ~name:"quote \" slash \\ newline \n"
+          ~args:[ ("k", Perfetto.Str "tab\t") ]
+          ~ts:1 ~pid:1 ~tid:1 ();
+      ]
+  in
+  check Alcotest.bool "quote escaped" true (contains s {|quote \" slash|});
+  check Alcotest.bool "backslash escaped" true (contains s {|slash \\ newline|});
+  check Alcotest.bool "newline escaped" true (contains s {|newline \n|});
+  check Alcotest.bool "tab escaped" true (contains s {|tab\t|})
+
+(* --- virtual-time timeline --- *)
+
+let test_timeline_export () =
+  let open Sherlock_sim in
+  let hooks, finish = Schedule.recorder () in
+  let log =
+    Runtime.run ~seed:3 ~hooks ~instrument:(Runtime.tracing ()) (fun () ->
+        let cell = Heap.cell ~cls:"T" ~field:"x" 0 in
+        let t =
+          Threadlib.create ~delegate:("T", "Worker") (fun () ->
+              Heap.write cell 1)
+        in
+        Threadlib.start t;
+        ignore (Heap.read cell);
+        Threadlib.join t)
+  in
+  let timelines =
+    [
+      {
+        Sherlock_core.Timeline.test_name = "t";
+        log;
+        schedule = finish ~duration:log.Log.duration;
+      };
+    ]
+  in
+  let events =
+    Sherlock_core.Timeline.export ~app:"unit" ~plan:Sherlock_core.Perturber.empty
+      timelines
+  in
+  let has ph = List.exists (fun (e : Perfetto.event) -> e.ph = ph) events in
+  check Alcotest.bool "has frames/slices" true
+    (List.exists
+       (fun (e : Perfetto.event) ->
+         match e.ph with Perfetto.Complete _ -> true | _ -> false)
+       events);
+  check Alcotest.bool "names both threads" true
+    (List.length
+       (List.filter
+          (fun (e : Perfetto.event) ->
+            e.ph = Perfetto.Metadata && e.name = "thread_name")
+          events)
+     >= 4);
+  (* read and write of T::x race within [near]: at least one flow arrow *)
+  check Alcotest.bool "flow start" true
+    (List.exists
+       (fun (e : Perfetto.event) ->
+         match e.ph with Perfetto.Flow_start _ -> true | _ -> false)
+       events);
+  check Alcotest.bool "flow end" true
+    (List.exists
+       (fun (e : Perfetto.event) ->
+         match e.ph with Perfetto.Flow_end _ -> true | _ -> false)
+       events);
+  ignore has
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "well-nested" `Quick test_span_nesting;
+          Alcotest.test_case "closes on exception" `Quick test_span_closes_on_exception;
+          Alcotest.test_case "attributes" `Quick test_span_attrs;
+          Alcotest.test_case "no collector" `Quick test_span_no_collector;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "registry listing" `Quick test_registry_listing;
+          Alcotest.test_case "trace bridge" `Quick test_trace_metrics_bridge;
+        ] );
+      ( "perfetto",
+        Alcotest.test_case "json escaping" `Quick test_json_escaping
+        :: qcheck
+             [ prop_prepare_sorted_nonnegative; prop_of_spans_sorted_nonnegative ] );
+      ("timeline", [ Alcotest.test_case "export" `Quick test_timeline_export ]);
+    ]
