@@ -479,6 +479,57 @@ let stress ~workers ~iters () =
   List.iter Threadlib.start threads;
   List.iter Threadlib.join threads
 
+(* BENCH_trace.json is one top-level JSON object with one section per
+   line, so independent artifacts (perf, robustness) can each rewrite
+   their own keys while preserving the others from earlier runs. *)
+let bench_json = "BENCH_trace.json"
+
+let read_bench_sections () =
+  match open_in bench_json with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line ->
+        let line = String.trim line in
+        let line =
+          if String.length line > 0 && line.[String.length line - 1] = ',' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        if String.length line > 1 && line.[0] = '"' then
+          match String.index_from_opt line 1 '"' with
+          | Some q when q + 1 < String.length line && line.[q + 1] = ':' ->
+            let key = String.sub line 1 (q - 1) in
+            let value =
+              String.trim (String.sub line (q + 2) (String.length line - q - 2))
+            in
+            go ((key, value) :: acc)
+          | _ -> go acc
+        else go acc
+    in
+    go []
+
+let update_bench_sections updates =
+  let keep =
+    List.filter
+      (fun (k, _) -> not (List.mem_assoc k updates))
+      (read_bench_sections ())
+  in
+  let all = keep @ updates in
+  let oc = open_out bench_json in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %s%s\n" k v
+        (if i + 1 < List.length all then "," else ""))
+    all;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" bench_json
+
 (* [Windows.extract] throughput at the seed commit (pre-index full-scan
    implementation), measured on this machine class with the identical
    workloads and averaging reps.  The perf target reports speedups
@@ -599,31 +650,170 @@ let perf () =
       Printf.sprintf "%.3f s" parallel_s;
     ];
   Table.print t;
-  let oc = open_out "BENCH_trace.json" in
-  Printf.fprintf oc
-    {|{
-  "stress": {"events": %d, "extract_s": %.6f, "events_per_sec": %.0f,
-             "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f},
-  "largest_corpus_log": {"id": "%s", "events": %d, "extract_s": %.6f,
-                         "events_per_sec": %.0f, "seed_events_per_sec": %.0f,
-                         "speedup_vs_seed": %.2f},
-  "table2_s": %.3f,
-  "orchestrator": {"sequential_s": %.3f, "parallel_s": %.3f, "domains": %d},
-  "telemetry": {"stress_extract_off_s": %.6f, "stress_extract_on_s": %.6f,
-                "overhead_pct": %.2f, "budget_pct": 5.0}
-}
-|}
-    stress_n stress_s stress_tp seed_stress_events_per_sec
-    (stress_tp /. seed_stress_events_per_sec)
-    largest_id largest_n largest_s largest_tp seed_largest_events_per_sec
-    (largest_tp /. seed_largest_events_per_sec)
-    table2_s sequential_s parallel_s domains telemetry_off_s telemetry_on_s
-    telemetry_overhead_pct;
-  close_out oc;
-  Printf.printf "wrote BENCH_trace.json\n";
+  update_bench_sections
+    [
+      ( "stress",
+        Printf.sprintf
+          {|{"events": %d, "extract_s": %.6f, "events_per_sec": %.0f, "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f}|}
+          stress_n stress_s stress_tp seed_stress_events_per_sec
+          (stress_tp /. seed_stress_events_per_sec) );
+      ( "largest_corpus_log",
+        Printf.sprintf
+          {|{"id": "%s", "events": %d, "extract_s": %.6f, "events_per_sec": %.0f, "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f}|}
+          largest_id largest_n largest_s largest_tp seed_largest_events_per_sec
+          (largest_tp /. seed_largest_events_per_sec) );
+      ("table2_s", Printf.sprintf "%.3f" table2_s);
+      ( "orchestrator",
+        Printf.sprintf
+          {|{"sequential_s": %.3f, "parallel_s": %.3f, "domains": %d}|}
+          sequential_s parallel_s domains );
+      ( "telemetry",
+        Printf.sprintf
+          {|{"stress_extract_off_s": %.6f, "stress_extract_on_s": %.6f, "overhead_pct": %.2f, "budget_pct": 5.0}|}
+          telemetry_off_s telemetry_on_s telemetry_overhead_pct );
+    ];
   if telemetry_overhead_pct >= 5.0 then begin
     Printf.printf "FAIL: telemetry overhead %.1f%% exceeds the 5%% budget\n"
       telemetry_overhead_pct;
+    exit 1
+  end
+
+(* Robustness gate: the whole corpus is inferred under a randomized
+   fault plan (crashes, a hung thread, spurious wakeups) plus the step
+   watchdog, and the run must demonstrate that no single failing test
+   run can kill an inference:
+
+   - every app completes all configured rounds with its failures
+     reported in the round results;
+   - at least one injected crash and at least one hang-class outcome
+     (deadlock or watchdog stall) actually fired somewhere;
+   - apps the plan never touched produce final verdicts identical to
+     the no-fault baseline (the fault lookup consumes no scheduler
+     randomness);
+   - the watchdog converts a livelocked stress run into
+     [Runtime.Stalled] rather than spinning forever. *)
+let eval_fault_plan fault_plan =
+  let config = { Config.default with fault_plan; retries = 1 } in
+  let crashes = ref 0 and deadlocks = ref 0 and stalls = ref 0 in
+  let unaffected = ref 0 and identical = ref 0 in
+  let all_rounds = ref true and verdicts = ref 0 in
+  List.iter
+    (fun (a : App.t) ->
+      let base = (infer a).final in
+      let r = Orchestrator.infer ~config (App.subject a) in
+      if List.length r.rounds <> config.rounds then all_rounds := false;
+      verdicts := !verdicts + List.length r.final;
+      let injected = ref 0 in
+      List.iter
+        (fun (rr : Orchestrator.round_result) ->
+          injected := !injected + Orchestrator.injected_faults rr.run_reports;
+          List.iter
+            (fun (rep : Orchestrator.run_report) ->
+              List.iter
+                (function
+                  | Orchestrator.Crashed _ -> incr crashes
+                  | Orchestrator.Deadlocked _ -> incr deadlocks
+                  | Orchestrator.Stalled _ -> incr stalls)
+                rep.failures)
+            rr.run_reports)
+        r.rounds;
+      (* "Unaffected" is strict: not one plan site fired in any round —
+         not merely "no failure", since a fired wakeup perturbs the
+         schedule without failing the run. *)
+      if !injected = 0 then begin
+        incr unaffected;
+        if List.equal (fun v1 v2 -> Verdict.compare v1 v2 = 0) base r.final then
+          incr identical
+      end)
+    apps;
+  (!crashes, !deadlocks, !stalls, !unaffected, !identical, !all_rounds, !verdicts)
+
+(* Tuning aid for the robustness gate's pinned plan seed (run it by name;
+   excluded from the run-everything path): a useful plan needs every
+   failure class to fire somewhere yet leave at least one app untouched
+   for the baseline-identity check. *)
+let robustness_scan () =
+  for seed = 1 to 30 do
+    let plan =
+      Sherlock_sim.Fault.randomized ~seed ~crashes:1 ~hangs:1 ~wakeups:1
+        ~max_tid:5 ~max_op:150 ()
+    in
+    let c, d, s, u, i, ar, v = eval_fault_plan plan in
+    Printf.printf
+      "seed %2d: crash %3d dead %3d stall %3d unaffected %d identical %d \
+       rounds %b verdicts %2d  [%s]\n%!"
+      seed c d s u i ar v
+      (String.concat " " (Sherlock_sim.Fault.to_specs plan))
+  done
+
+let robustness () =
+  (* Seed 29 (from robustness-scan): crashes and deadlocks both fire,
+     one app stays untouched for the identity check. *)
+  let fault_plan =
+    Sherlock_sim.Fault.randomized ~seed:29 ~crashes:1 ~hangs:1 ~wakeups:1
+      ~max_tid:5 ~max_op:150 ()
+  in
+  let crashes, deadlocks, stalls, unaffected, identical, all_rounds, verdicts =
+    eval_fault_plan fault_plan
+  in
+  let crashes = ref crashes and deadlocks = ref deadlocks in
+  let stalls = ref stalls and unaffected = ref unaffected in
+  let identical = ref identical and all_rounds = ref all_rounds in
+  let verdicts = ref verdicts in
+  let stall_demo =
+    match
+      Sherlock_sim.Runtime.run ~seed:7
+        ~instrument:(Sherlock_sim.Runtime.tracing ())
+        ~max_steps:2_000
+        (stress ~workers:6 ~iters:400)
+    with
+    | _ -> false
+    | exception Sherlock_sim.Runtime.Stalled _ -> true
+  in
+  let t =
+    Table.create
+      ~title:"Robustness: corpus inference under a randomized fault plan"
+      ~header:[ "measure"; "value" ]
+  in
+  Table.add_row t
+    [ "fault plan"; Format.asprintf "%a" Sherlock_sim.Fault.pp fault_plan ];
+  Table.add_row t
+    [
+      "injected failures (crash/deadlock/stall)";
+      Printf.sprintf "%d / %d / %d" !crashes !deadlocks !stalls;
+    ];
+  Table.add_row t
+    [
+      "all rounds completed";
+      Printf.sprintf "%b (%d apps, %d final verdicts)" !all_rounds
+        (List.length apps) !verdicts;
+    ];
+  Table.add_row t
+    [
+      "unaffected apps identical to baseline";
+      Printf.sprintf "%d / %d" !identical !unaffected;
+    ];
+  Table.add_row t
+    [ "watchdog stalls livelocked stress run"; string_of_bool stall_demo ];
+  Table.print t;
+  let ok =
+    !all_rounds && !crashes >= 1
+    && !deadlocks + !stalls >= 1
+    && !unaffected > 0
+    && !identical = !unaffected
+    && !verdicts > 0 && stall_demo
+  in
+  update_bench_sections
+    [
+      ( "robustness",
+        Printf.sprintf
+          {|{"fault_plan": "%s", "crashes": %d, "deadlocks": %d, "stalls": %d, "apps": %d, "unaffected": %d, "unaffected_identical": %d, "final_verdicts": %d, "watchdog_stall_demo": %b, "pass": %b}|}
+          (String.concat " " (Sherlock_sim.Fault.to_specs fault_plan))
+          !crashes !deadlocks !stalls (List.length apps) !unaffected !identical
+          !verdicts stall_demo ok );
+    ];
+  if not ok then begin
+    Printf.printf "FAIL: robustness gate violated\n";
     exit 1
   end
 
@@ -687,6 +877,8 @@ let artifacts =
     ("ablation_extras", ablation_extras);
     ("overhead", overhead);
     ("perf", perf);
+    ("robustness", robustness);
+    ("robustness-scan", robustness_scan);
     ("microbench", bechamel_suite);
   ]
 
@@ -710,4 +902,4 @@ let () =
         f ();
         Printf.printf "(%s regenerated in %.1fs)\n\n%!" name
           (Unix.gettimeofday () -. t0))
-      artifacts
+      (List.filter (fun (name, _) -> name <> "robustness-scan") artifacts)

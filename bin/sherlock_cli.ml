@@ -46,11 +46,49 @@ let parallelism_arg =
     & opt int Config.default.parallelism
     & info [ "j"; "parallelism" ] ~docv:"N" ~doc)
 
-let config_term =
-  let make rounds lambda near seed parallelism =
-    { Config.default with rounds; lambda; near; seed; parallelism }
+let fault_arg =
+  let doc =
+    "Inject a deterministic fault into every simulated run (repeatable). \
+     Specs: $(b,crash:tid=T,op=N), $(b,hang:tid=T,op=N), \
+     $(b,wakeup:tid=T,op=N), $(b,delay-factor:F)."
   in
-  Term.(const make $ rounds_arg $ lambda_arg $ near_arg $ seed_arg $ parallelism_arg)
+  Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let max_steps_arg =
+  let doc =
+    "Scheduler-step watchdog per simulated run (0 disables): past this many \
+     scheduler picks the run aborts as stalled and is retried."
+  in
+  Arg.(value & opt int Config.default.max_steps & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc = "Reseeded re-runs after a test run crashes, deadlocks or stalls." in
+  Arg.(value & opt int Config.default.retries & info [ "retries" ] ~docv:"N" ~doc)
+
+let config_term =
+  let make rounds lambda near seed parallelism fault_specs max_steps retries =
+    let fault_plan =
+      match Sherlock_sim.Fault.of_specs fault_specs with
+      | Ok plan -> plan
+      | Error msg ->
+        Printf.eprintf "bad --fault spec: %s\n" msg;
+        exit 2
+    in
+    {
+      Config.default with
+      rounds;
+      lambda;
+      near;
+      seed;
+      parallelism;
+      fault_plan;
+      max_steps;
+      retries;
+    }
+  in
+  Term.(
+    const make $ rounds_arg $ lambda_arg $ near_arg $ seed_arg $ parallelism_arg
+    $ fault_arg $ max_steps_arg $ retries_arg)
 
 let list_cmd =
   let run () =
@@ -129,14 +167,19 @@ let run_cmd =
     if verbose then begin
       List.iter
         (fun (r : Orchestrator.round_result) ->
-          Printf.printf "round %d: %d windows, %d variables, %d delayed ops, %d verdicts\n"
+          Printf.printf
+            "round %d: %d windows, %d variables, %d delayed ops, %d verdicts%s%s\n"
             r.round r.stats.num_windows r.stats.num_vars r.delayed_ops
-            (List.length r.verdicts))
+            (List.length r.verdicts)
+            (let failed = Orchestrator.failed_runs r.run_reports in
+             if failed > 0 then Printf.sprintf ", %d failed runs" failed else "")
+            (if r.stats.degraded then " [degraded LP]" else ""))
         result.rounds;
       Report.print_round_metrics Format.std_formatter result.rounds;
       if telemetry_out <> None then
         Format.printf "%a@." Telemetry.Metrics.pp_summary Telemetry.Metrics.default
     end;
+    Report.print_run_failures Format.std_formatter result.rounds;
     Report.print_sites Format.std_formatter ~app:app.name result.final app.truth;
     let report = Report.classify app.truth result.final in
     Printf.printf
@@ -226,25 +269,35 @@ let timeline_cmd =
       else Perturber.empty
     in
     let timelines =
-      List.mapi
+      List.filter_map Fun.id
+      @@ List.mapi
         (fun i (name, body) ->
           let hooks, finish = Sherlock_sim.Schedule.recorder () in
           let seed =
             Orchestrator.test_seed ~base:config.seed ~round:(config.rounds + 1)
               ~test_index:i
           in
-          let log =
+          match
             Sherlock_sim.Runtime.run ~seed ~hooks
               ~instrument:
                 (Sherlock_sim.Runtime.tracing
                    ~delay_before:(Perturber.delay_before plan) ())
-              body
-          in
-          {
-            Timeline.test_name = name;
-            log;
-            schedule = finish ~duration:log.Sherlock_trace.Log.duration;
-          })
+              ~fault:config.fault_plan ~max_steps:config.max_steps body
+          with
+          | log ->
+            Some
+              {
+                Timeline.test_name = name;
+                log;
+                schedule = finish ~duration:log.Sherlock_trace.Log.duration;
+              }
+          | exception
+              (( Sherlock_sim.Fault.Injected_crash _
+               | Sherlock_sim.Runtime.Deadlock _
+               | Sherlock_sim.Runtime.Stalled _ ) as e) ->
+            (* A failing run loses its timeline but not the export. *)
+            Printf.eprintf "timeline: skipping %s: %s\n" name (Printexc.to_string e);
+            None)
         subject.tests
     in
     let events =

@@ -65,7 +65,14 @@ let abs t ~weight nm e =
   add_objective t (Linexpr.var ~coeff:weight a);
   a
 
+let fault : status option ref = ref None
+
+let set_fault s = fault := s
+
 let solve t =
+  match !fault with
+  | Some s -> (s, fun _ -> 0.0)
+  | None ->
   let objective = Linexpr.terms t.objective in
   match
     Simplex.solve ~num_vars:t.count ~objective (List.rev t.constrs)

@@ -54,5 +54,14 @@ val solve : t -> status * (var -> float)
 (** Solve the accumulated program.  The assignment function returns 0 for
     every variable when the program is not [Solved]. *)
 
+val set_fault : status option -> unit
+(** Fault-injection seam: while [Some s] is installed, {!solve} skips the
+    simplex entirely and reports [s] with the all-zero assignment.  Used
+    by tests and the bench robustness gate to exercise the pipeline's
+    graceful-degradation path (an organically infeasible program cannot
+    arise from the SherLock encoding, whose constraints are all
+    satisfiable at zero).  [set_fault None] restores normal solving.
+    Global, not domain-local: install only around single-domain runs. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line size summary (variables / constraints), for logs. *)

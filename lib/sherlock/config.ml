@@ -20,6 +20,9 @@ type t = {
   accumulate : bool;
   use_race_removal : bool;
   use_refinement : bool;
+  max_steps : int;
+  retries : int;
+  fault_plan : Sherlock_sim.Fault.plan;
 }
 
 let default =
@@ -45,10 +48,16 @@ let default =
     accumulate = true;
     use_race_removal = true;
     use_refinement = true;
+    max_steps = 1_000_000;
+    retries = 1;
+    fault_plan = Sherlock_sim.Fault.empty;
   }
 
 let pp ppf t =
   Format.fprintf ppf
-    "lambda=%g near=%dus cap=%d delay=%dus rounds=%d threshold=%g seed=%d par=%d"
+    "lambda=%g near=%dus cap=%d delay=%dus rounds=%d threshold=%g seed=%d \
+     par=%d max-steps=%d retries=%d"
     t.lambda t.near t.window_cap t.delay_us t.rounds t.threshold t.seed
-    t.parallelism
+    t.parallelism t.max_steps t.retries;
+  if not (Sherlock_sim.Fault.is_empty t.fault_plan) then
+    Format.fprintf ppf " fault=[%a]" Sherlock_sim.Fault.pp t.fault_plan

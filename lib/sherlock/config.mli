@@ -36,6 +36,17 @@ type t = {
   accumulate : bool;         (** keep observations across runs *)
   use_race_removal : bool;   (** drop protected terms of observed races *)
   use_refinement : bool;     (** shrink windows from delay propagation *)
+  (* Resilience — fault injection and supervised orchestration. *)
+  max_steps : int;
+      (** scheduler-pick watchdog per simulated run; past it the run
+          aborts as [Runtime.Stalled] and is handled like a deadlock.
+          0 disables the watchdog; default 1_000_000 *)
+  retries : int;
+      (** how many reseeded re-runs the orchestrator attempts after a
+          test run fails (crash / deadlock / stall); 0 disables *)
+  fault_plan : Sherlock_sim.Fault.plan;
+      (** deterministic fault plan applied to every simulated run;
+          [Fault.empty] (the default) injects nothing *)
 }
 
 val default : t

@@ -6,6 +6,7 @@ type solve_stats = {
   num_windows : int;
   objective : float;
   solve_s : float;
+  degraded : bool;
   trace : Metrics.t;
 }
 
@@ -62,7 +63,7 @@ let encode_protected config vars (w : Observations.merged_window) idx =
   term Release w.rel "rel";
   term Acquire w.acq "acq"
 
-let solve (config : Config.t) obs =
+let solve ?(previous = []) (config : Config.t) obs =
   let module Tspan = Sherlock_telemetry.Span in
   Tspan.with_span ~name:"solve" @@ fun () ->
   let t_start = Unix.gettimeofday () in
@@ -211,15 +212,23 @@ let solve (config : Config.t) obs =
   in
   let status, assignment = solve_rounded 25 in
   let objective = match status with Problem.Solved obj -> obj | _ -> nan in
+  let degraded = match status with Problem.Solved _ -> false | _ -> true in
   let verdicts =
-    Hashtbl.fold
-      (fun (op, role) v acc ->
-        let p = assignment v in
-        if p >= config.threshold then
-          { Verdict.op; role; probability = p } :: acc
-        else acc)
-      vars.table []
-    |> List.sort Verdict.compare
+    if degraded then
+      (* Infeasible / unbounded program: rather than aborting the whole
+         inference, fall back on the previous round's verdicts so the
+         perturber keeps a sensible delay plan and later rounds can
+         recover. *)
+      previous
+    else
+      Hashtbl.fold
+        (fun (op, role) v acc ->
+          let p = assignment v in
+          if p >= config.threshold then
+            { Verdict.op; role; probability = p } :: acc
+          else acc)
+        vars.table []
+      |> List.sort Verdict.compare
   in
   let solve_s = Unix.gettimeofday () -. t_start in
   let acc = Observations.metrics obs in
@@ -228,11 +237,13 @@ let solve (config : Config.t) obs =
   Tspan.add_attr "windows" (Tspan.Int (List.length windows));
   Tspan.add_attr "verdicts" (Tspan.Int (List.length verdicts));
   Tspan.add_attr "objective" (Tspan.Float objective);
+  if degraded then Tspan.add_attr "degraded" (Tspan.Bool true);
   ( verdicts,
     {
       num_vars = Problem.num_vars problem;
       num_windows = List.length windows;
       objective;
       solve_s;
+      degraded;
       trace = Metrics.copy acc;
     } )

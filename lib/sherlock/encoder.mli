@@ -24,15 +24,26 @@
 type solve_stats = {
   num_vars : int;
   num_windows : int;
-  objective : float;
+  objective : float;  (** [nan] when degraded *)
   solve_s : float;  (** wall-clock of this LP build + solve *)
+  degraded : bool;
+      (** the LP came back infeasible / unbounded and the returned
+          verdicts are the carried-over [previous] ones *)
   trace : Sherlock_trace.Metrics.t;
       (** snapshot of the cumulative trace metrics (runs, extraction,
           solving) at the time of this solve *)
 }
 
-val solve : Config.t -> Observations.t -> Verdict.t list * solve_stats
+val solve :
+  ?previous:Verdict.t list ->
+  Config.t ->
+  Observations.t ->
+  Verdict.t list * solve_stats
 (** Build and solve the LP for the accumulated observations; operations
     whose variable reaches [config.threshold] become verdicts.  Windows
     whose static pair was ever observed racing are excluded from the
-    protected terms when [use_race_removal] is set. *)
+    protected terms when [use_race_removal] is set.
+
+    If the LP comes back infeasible or unbounded the solve does not
+    raise: it returns [previous] (default [\[\]] — typically the prior
+    round's verdicts) and flags the round [degraded] in the stats. *)

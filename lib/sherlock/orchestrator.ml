@@ -1,9 +1,23 @@
 open Sherlock_sim
 module Tspan = Sherlock_telemetry.Span
+module Tm = Sherlock_telemetry.Metrics
 
 type subject = {
   subject_name : string;
   tests : (string * (unit -> unit)) list;
+}
+
+type run_failure =
+  | Crashed of string
+  | Deadlocked of string
+  | Stalled of int
+
+type run_report = {
+  test_name : string;
+  attempts : int;
+  failures : run_failure list;
+  injected : int;
+  completed : bool;
 }
 
 type round_result = {
@@ -11,6 +25,7 @@ type round_result = {
   verdicts : Verdict.t list;
   stats : Encoder.solve_stats;
   delayed_ops : int;
+  run_reports : run_report list;
 }
 
 type result = {
@@ -19,10 +34,37 @@ type result = {
   observations : Observations.t;
 }
 
+let failure_to_string = function
+  | Crashed msg -> "crashed: " ^ msg
+  | Deadlocked stuck -> "deadlocked: " ^ stuck
+  | Stalled steps -> Printf.sprintf "stalled after %d steps" steps
+
+let failed_runs reports =
+  List.fold_left (fun acc r -> acc + List.length r.failures) 0 reports
+
+let incomplete_runs reports =
+  List.length (List.filter (fun r -> not r.completed) reports)
+
+let injected_faults reports =
+  List.fold_left (fun acc r -> acc + r.injected) 0 reports
+
+(* Supervision counters: cold path (at most once per test attempt), so
+   recorded unconditionally rather than gated on [Tm.enabled]. *)
+let c_failed = Tm.counter "orch.run.failed"
+
+let c_retried = Tm.counter "orch.run.retried"
+
+let c_degraded = Tm.counter "orch.run.degraded"
+
 let test_seed ~base ~round ~test_index = (base * 1_000_003) + (round * 7919) + test_index
 
-let run_one (config : Config.t) ~round ~test_index plan body =
+let run_one ?(hooks = Runtime.no_hooks) (config : Config.t) ~round ~test_index
+    ~attempt plan body =
   let seed = test_seed ~base:config.seed ~round ~test_index in
+  (* Retries perturb only the schedule seed; the fault plan stays, so an
+     injected fault reproduces while an unlucky organic interleaving gets
+     a fresh chance. *)
+  let seed = if attempt = 0 then seed else seed lxor (attempt * 0x9e3779b9) in
   let delay_before =
     if config.delay_probability >= 1.0 then Perturber.delay_before plan
     else begin
@@ -37,22 +79,32 @@ let run_one (config : Config.t) ~round ~test_index plan body =
         else 0
     end
   in
-  Runtime.run ~seed ~instrument:(Runtime.tracing ~delay_before ()) body
+  Runtime.run ~seed ~hooks
+    ~instrument:(Runtime.tracing ~delay_before ())
+    ~fault:config.fault_plan ~max_steps:config.max_steps body
 
 (* Order-preserving map over [arr] with up to [domains] worker domains
    pulling indices from a shared counter.  Each [f] call is independent
    (a fresh simulator world per test, no global mutable state), so the
-   only cross-domain traffic is the [Atomic] work counter and the results
-   array, each slot written by exactly one worker before the join. *)
+   only cross-domain traffic is the [Atomic] work counter, the failure
+   slot, and the results array, each slot written by exactly one worker
+   before the join.  Workers never raise: the first exception is parked
+   in [failure], remaining work is abandoned, every domain is joined,
+   and only then is the exception re-raised on the calling domain. *)
 let parallel_map ~domains f arr =
   let n = Array.length arr in
   let results = Array.make n None in
   let next = Atomic.make 0 in
+  let failure = Atomic.make None in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (f i arr.(i));
+      if i < n && Option.is_none (Atomic.get failure) then begin
+        (match f i arr.(i) with
+        | r -> results.(i) <- Some r
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failure None (Some (e, bt))));
         loop ()
       end
     in
@@ -61,31 +113,88 @@ let parallel_map ~domains f arr =
   let spawned = Array.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
   worker ();
   Array.iter Domain.join spawned;
-  Array.map (function Some r -> r | None -> assert false) results
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> Array.map (function Some r -> r | None -> assert false) results
 
 (* Run one test and extract its observations — the per-domain unit of
-   work.  Returns the extraction plus the run's wall-clock.  The run and
+   work.  Returns the extraction (with the run's wall-clock) when some
+   attempt completed, plus a report of every failed attempt.  A failing
+   run — injected crash, deadlock, watchdog stall, or a workload
+   exception — never escapes: it is recorded and retried up to
+   [config.retries] times with a reseeded schedule, and a test whose
+   every attempt fails simply contributes no observations.  The run and
    extract spans open on whichever worker domain executes the test, so a
    parallel round renders as one telemetry track per domain. *)
 let run_and_extract (config : Config.t) ~round ~plan test_index (name, body) =
-  let t0 = Unix.gettimeofday () in
-  let log =
-    Tspan.with_span ~name:"run"
-      ~attrs:[ ("test", Tspan.Str name); ("round", Tspan.Int round) ]
-      (fun () ->
-        let log = run_one config ~round ~test_index plan body in
-        Tspan.add_attr "events" (Tspan.Int (Sherlock_trace.Log.length log));
-        log)
+  (* Total plan sites fired across all attempts of this test: an app whose
+     count stays 0 everywhere was provably untouched by the plan (the
+     lookup consumes no scheduler randomness), which is what the bench
+     robustness gate's baseline-identity check keys on. *)
+  let injected = ref 0 in
+  let hooks =
+    {
+      Runtime.no_hooks with
+      on_fault = (fun ~tid:_ ~op:_ ~action:_ ~time:_ -> incr injected);
+    }
   in
-  let run_s = Unix.gettimeofday () -. t0 in
-  let x =
-    Tspan.with_span ~name:"extract"
-      ~attrs:[ ("test", Tspan.Str name); ("round", Tspan.Int round) ]
-      (fun () ->
-        Observations.extract_log ~near:config.near ~cap:config.window_cap
-          ~refine:config.use_refinement log)
+  let rec attempt_run attempt failures =
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Tspan.with_span ~name:"run"
+        ~attrs:
+          [
+            ("test", Tspan.Str name);
+            ("round", Tspan.Int round);
+            ("attempt", Tspan.Int attempt);
+          ]
+        (fun () ->
+          match run_one ~hooks config ~round ~test_index ~attempt plan body with
+          | log ->
+            Tspan.add_attr "events" (Tspan.Int (Sherlock_trace.Log.length log));
+            Ok log
+          | exception Fault.Injected_crash { tid; op } ->
+            Error (Crashed (Printf.sprintf "injected fault in tid %d at op %d" tid op))
+          | exception Runtime.Deadlock stuck -> Error (Deadlocked stuck)
+          | exception Runtime.Stalled { steps; _ } -> Error (Stalled steps)
+          | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+          | exception e -> Error (Crashed (Printexc.to_string e)))
+    in
+    match outcome with
+    | Ok log ->
+      let run_s = Unix.gettimeofday () -. t0 in
+      let x =
+        Tspan.with_span ~name:"extract"
+          ~attrs:[ ("test", Tspan.Str name); ("round", Tspan.Int round) ]
+          (fun () ->
+            Observations.extract_log ~near:config.near ~cap:config.window_cap
+              ~refine:config.use_refinement log)
+      in
+      ( Some (x, run_s),
+        {
+          test_name = name;
+          attempts = attempt + 1;
+          failures = List.rev failures;
+          injected = !injected;
+          completed = true;
+        } )
+    | Error f ->
+      Tm.Counter.incr c_failed;
+      if attempt < config.retries then begin
+        Tm.Counter.incr c_retried;
+        attempt_run (attempt + 1) (f :: failures)
+      end
+      else
+        ( None,
+          {
+            test_name = name;
+            attempts = attempt + 1;
+            failures = List.rev (f :: failures);
+            injected = !injected;
+            completed = false;
+          } )
   in
-  (x, run_s)
+  attempt_run 0 []
 
 let infer ?(config = Config.default) subject =
   Tspan.with_span ~name:"infer"
@@ -106,30 +215,42 @@ let infer ?(config = Config.default) subject =
     Tspan.with_span ~name:"round" ~attrs:[ ("round", Tspan.Int round) ]
     @@ fun () ->
     if not config.accumulate then obs := Observations.create ();
-    let extractions =
+    let results =
       if domains = 1 || Array.length tests <= 1 then
         Array.mapi (run_and_extract config ~round ~plan:!plan) tests
       else parallel_map ~domains (run_and_extract config ~round ~plan:!plan) tests
     in
     (* Merge sequentially in test order: the observation state — and hence
        the LP and its verdicts — is bitwise-identical to the sequential
-       path regardless of which domain ran which test. *)
+       path regardless of which domain ran which test.  Tests whose every
+       attempt failed contribute nothing but their report. *)
     Array.iter
-      (fun (x, run_s) ->
-        Observations.add_extraction !obs x;
-        let m = Observations.metrics !obs in
-        m.run_s <- m.run_s +. run_s)
-      extractions;
-    let verdicts, stats = Encoder.solve config !obs in
+      (fun (extraction, _report) ->
+        match extraction with
+        | None -> ()
+        | Some (x, run_s) ->
+          Observations.add_extraction !obs x;
+          let m = Observations.metrics !obs in
+          m.run_s <- m.run_s +. run_s)
+      results;
+    let run_reports = Array.to_list (Array.map snd results) in
+    let previous =
+      match !rounds with r :: _ -> r.verdicts | [] -> []
+    in
+    let verdicts, stats = Encoder.solve ~previous config !obs in
+    if stats.degraded then Tm.Counter.incr c_degraded;
     rounds :=
-      { round; verdicts; stats; delayed_ops = Perturber.size !plan } :: !rounds;
+      { round; verdicts; stats; delayed_ops = Perturber.size !plan; run_reports }
+      :: !rounds;
     plan :=
       (if config.use_delays then Perturber.of_verdicts ~delay_us:config.delay_us verdicts
        else Perturber.empty);
     Tspan.add_attr "windows" (Tspan.Int stats.num_windows);
     Tspan.add_attr "vars" (Tspan.Int stats.num_vars);
     Tspan.add_attr "verdicts" (Tspan.Int (List.length verdicts));
-    Tspan.add_attr "delayed_ops" (Tspan.Int (Perturber.size !plan))
+    Tspan.add_attr "delayed_ops" (Tspan.Int (Perturber.size !plan));
+    Tspan.add_attr "failed_runs" (Tspan.Int (failed_runs run_reports));
+    if stats.degraded then Tspan.add_attr "degraded" (Tspan.Bool true)
   done;
   let rounds = List.rev !rounds in
   let final = match List.rev rounds with last :: _ -> last.verdicts | [] -> [] in
@@ -138,5 +259,5 @@ let infer ?(config = Config.default) subject =
 let run_test_logs ?(config = Config.default) subject =
   List.mapi
     (fun test_index (_name, body) ->
-      run_one config ~round:1 ~test_index Perturber.empty body)
+      run_one config ~round:1 ~test_index ~attempt:0 Perturber.empty body)
     subject.tests

@@ -81,8 +81,8 @@ let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
       ~title:"Per-round trace metrics (cumulative, +delta vs previous round)"
       ~header:
         [
-          "Round"; "Events"; "Pairs"; "Capped"; "Windows"; "Races"; "Run s";
-          "Extract s"; "Solve s";
+          "Round"; "Events"; "Pairs"; "Capped"; "Windows"; "Races"; "Inj";
+          "Failed"; "Lost"; "LP"; "Run s"; "Extract s"; "Solve s";
         ]
   in
   let int_cell cum prev = Printf.sprintf "%d (+%d)" cum (cum - prev) in
@@ -99,6 +99,10 @@ let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
           int_cell m.pairs_capped p.pairs_capped;
           int_cell m.windows p.windows;
           int_cell m.races p.races;
+          string_of_int (Orchestrator.injected_faults r.run_reports);
+          string_of_int (Orchestrator.failed_runs r.run_reports);
+          string_of_int (Orchestrator.incomplete_runs r.run_reports);
+          (if r.stats.degraded then "degraded" else "ok");
           sec_cell m.run_s p.run_s;
           sec_cell m.extract_s p.extract_s;
           sec_cell m.solve_s p.solve_s;
@@ -106,6 +110,34 @@ let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
       prev := m)
     rounds;
   Format.fprintf ppf "%s@." (Sherlock_util.Table.render table)
+
+(* One line per failed attempt, in (round, test) order; silent when the
+   whole inference was clean. *)
+let print_run_failures ppf (rounds : Orchestrator.round_result list) =
+  let any =
+    List.exists
+      (fun (r : Orchestrator.round_result) ->
+        Orchestrator.failed_runs r.run_reports > 0)
+      rounds
+  in
+  if any then begin
+    Format.fprintf ppf "Failed runs:@.";
+    List.iter
+      (fun (r : Orchestrator.round_result) ->
+        List.iter
+          (fun (rep : Orchestrator.run_report) ->
+            List.iteri
+              (fun attempt f ->
+                Format.fprintf ppf "  round %d  %-24s attempt %d/%d: %s%s@."
+                  r.round rep.test_name (attempt + 1) rep.attempts
+                  (Orchestrator.failure_to_string f)
+                  (if (not rep.completed) && attempt + 1 = rep.attempts then
+                     "  [dropped]"
+                   else ""))
+              rep.failures)
+          r.run_reports)
+      rounds
+  end
 
 let print_sites ppf ~app verdicts gt =
   let describe (v : Verdict.t) =

@@ -41,7 +41,14 @@ val print_round_metrics : Format.formatter -> Orchestrator.round_result list -> 
 (** Render one row per round from the cumulative trace-metrics snapshot
     taken at that round's solve (events, pairs, windows, races, wall
     clocks), each cell annotated with its delta against the previous
-    round. *)
+    round.  Also shows the round's injected fault-plan sites ("Inj"),
+    failed run attempts ("Failed"), tests dropped after exhausting
+    retries ("Lost"), and whether the LP solved or degraded. *)
+
+val print_run_failures : Format.formatter -> Orchestrator.round_result list -> unit
+(** One line per failed run attempt (round, test, attempt, cause), with
+    [\[dropped\]] marking tests that exhausted their retries; prints
+    nothing when every run completed. *)
 
 val print_sites : Format.formatter -> app:string -> Verdict.t list -> Ground_truth.t -> unit
 (** Render the artifact's result format: "Releasing sites: ... Acquire

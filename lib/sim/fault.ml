@@ -1,0 +1,136 @@
+module Rng = Sherlock_util.Rng
+
+type action =
+  | Crash
+  | Hang
+  | Spurious_wakeup
+  | Delay_inflation
+
+type site = {
+  tid : int;
+  op : int;
+  action : action;
+}
+
+type plan = {
+  plan_sites : site list;
+  plan_delay_factor : int;
+}
+
+exception Injected_crash of {
+  tid : int;
+  op : int;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Injected_crash { tid; op } ->
+      Some (Printf.sprintf "Fault.Injected_crash(tid=%d, op=%d)" tid op)
+    | _ -> None)
+
+let empty = { plan_sites = []; plan_delay_factor = 1 }
+
+let is_empty p = p.plan_sites = [] && p.plan_delay_factor = 1
+
+let make ?(delay_factor = 1) sites =
+  if delay_factor < 1 then invalid_arg "Fault.make: delay_factor must be >= 1";
+  List.iter
+    (fun s ->
+      if s.tid < 0 then invalid_arg "Fault.make: tid must be >= 0";
+      if s.op < 1 then invalid_arg "Fault.make: op must be >= 1";
+      if s.action = Delay_inflation then
+        invalid_arg "Fault.make: delay inflation is plan-wide, not a site")
+    sites;
+  { plan_sites = sites; plan_delay_factor = delay_factor }
+
+let sites p = p.plan_sites
+
+let has_sites p = p.plan_sites <> []
+
+let delay_factor p = p.plan_delay_factor
+
+let find p ~tid ~op =
+  List.find_opt (fun s -> s.tid = tid && s.op = op) p.plan_sites
+  |> Option.map (fun s -> s.action)
+
+let action_name = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Spurious_wakeup -> "wakeup"
+  | Delay_inflation -> "delay-inflation"
+
+(* --- Spec syntax: "crash:tid=2,op=40", "delay-factor:8" --- *)
+
+let parse_site kind args =
+  let action =
+    match kind with
+    | "crash" -> Some Crash
+    | "hang" -> Some Hang
+    | "wakeup" -> Some Spurious_wakeup
+    | _ -> None
+  in
+  match action with
+  | None -> Error (Printf.sprintf "unknown fault kind %S" kind)
+  | Some action -> (
+    let bindings = String.split_on_char ',' args in
+    let lookup key =
+      List.find_map
+        (fun b ->
+          match String.split_on_char '=' b with
+          | [ k; v ] when k = key -> int_of_string_opt v
+          | _ -> None)
+        bindings
+    in
+    match (lookup "tid", lookup "op") with
+    | Some tid, Some op when tid >= 0 && op >= 1 -> Ok { tid; op; action }
+    | _ ->
+      Error
+        (Printf.sprintf "%s needs tid=<n>,op=<n> (n >= 0, op >= 1), got %S" kind
+           args))
+
+let of_specs specs =
+  let rec go sites factor = function
+    | [] -> Ok (make ~delay_factor:factor (List.rev sites))
+    | spec :: rest -> (
+      match String.index_opt spec ':' with
+      | None -> Error (Printf.sprintf "malformed fault spec %S" spec)
+      | Some i -> (
+        let kind = String.sub spec 0 i in
+        let args = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match kind with
+        | "delay-factor" -> (
+          match int_of_string_opt args with
+          | Some f when f >= 1 -> go sites f rest
+          | _ -> Error (Printf.sprintf "delay-factor needs a positive integer, got %S" args))
+        | _ -> (
+          match parse_site kind args with
+          | Ok site -> go (site :: sites) factor rest
+          | Error _ as e -> e)))
+  in
+  go [] 1 specs
+
+let to_specs p =
+  let site_specs =
+    List.map
+      (fun s -> Printf.sprintf "%s:tid=%d,op=%d" (action_name s.action) s.tid s.op)
+      p.plan_sites
+  in
+  if p.plan_delay_factor > 1 then
+    site_specs @ [ Printf.sprintf "delay-factor:%d" p.plan_delay_factor ]
+  else site_specs
+
+let pp ppf p =
+  if is_empty p then Format.pp_print_string ppf "(no faults)"
+  else Format.pp_print_string ppf (String.concat " " (to_specs p))
+
+let randomized ~seed ?(crashes = 1) ?(hangs = 1) ?(wakeups = 1)
+    ?(delay_factor = 1) ~max_tid ~max_op () =
+  if max_tid < 1 then invalid_arg "Fault.randomized: max_tid must be >= 1";
+  if max_op < 1 then invalid_arg "Fault.randomized: max_op must be >= 1";
+  let rng = Rng.create (seed lxor 0x0fa17) in
+  let site action =
+    { tid = Rng.range rng 1 max_tid; op = Rng.range rng 1 max_op; action }
+  in
+  let repeat n action = List.init (max 0 n) (fun _ -> site action) in
+  make ~delay_factor
+    (repeat crashes Crash @ repeat hangs Hang @ repeat wakeups Spurious_wakeup)

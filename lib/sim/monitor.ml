@@ -1,5 +1,24 @@
 let cls = "System.Threading.Monitor"
 
+exception Not_owner of {
+  lock : int;
+  owner : int option;
+  caller : int;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Not_owner { lock; owner; caller } ->
+      let owner =
+        match owner with
+        | None -> "unlocked"
+        | Some o -> Printf.sprintf "owned by tid %d" o
+      in
+      Some
+        (Printf.sprintf "Monitor.Not_owner(lock=%d, %s, caller=tid %d)" lock
+           owner caller)
+    | _ -> None)
+
 type t = {
   id : int;
   mutable owner : int option;
@@ -30,7 +49,7 @@ let exit t =
       let me = Runtime.self () in
       (match t.owner with
       | Some o when o = me -> ()
-      | _ -> failwith "Monitor.exit: caller does not own the lock");
+      | owner -> raise (Not_owner { lock = t.id; owner; caller = me }));
       t.depth <- t.depth - 1;
       if t.depth = 0 then begin
         t.owner <- None;

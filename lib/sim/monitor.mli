@@ -7,6 +7,14 @@
 
 type t
 
+exception Not_owner of {
+  lock : int;  (** the lock's object id *)
+  owner : int option;  (** current owner tid, or [None] if unlocked *)
+  caller : int;  (** tid of the offending caller *)
+}
+(** Raised by {!exit} on lock misuse; carries enough context to make the
+    report actionable in fault-injected runs. *)
+
 val create : unit -> t
 (** Must be called inside a running simulation. *)
 
@@ -14,8 +22,8 @@ val enter : t -> unit
 (** Blocks until the lock is free; reentrant. *)
 
 val exit : t -> unit
-(** Releases one level of ownership and wakes a waiter.  Raises [Failure]
-    if the caller does not own the lock. *)
+(** Releases one level of ownership and wakes a waiter.  Raises
+    {!Not_owner} if the caller does not own the lock. *)
 
 val with_lock : t -> (unit -> 'a) -> 'a
 (** [enter]/[exit] bracket, exception-safe. *)

@@ -3,6 +3,19 @@ module Rng = Sherlock_util.Rng
 
 exception Deadlock of string
 
+exception Stalled of {
+  steps : int;
+  runnable : string;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Stalled { steps; runnable } ->
+      Some
+        (Printf.sprintf "Runtime.Stalled(%d scheduler steps; alive: %s)" steps
+           runnable)
+    | _ -> None)
+
 type instrument = {
   trace : bool;
   delay_before : Opid.t -> int;
@@ -18,6 +31,7 @@ type hooks = {
   on_wake : waker:int -> tid:int -> time:int -> unit;
   on_pick : tid:int -> time:int -> runnable:int -> unit;
   on_finish : tid:int -> time:int -> unit;
+  on_fault : tid:int -> op:int -> action:Fault.action -> time:int -> unit;
 }
 
 let no_hooks =
@@ -27,6 +41,7 @@ let no_hooks =
     on_wake = (fun ~waker:_ ~tid:_ ~time:_ -> ());
     on_pick = (fun ~tid:_ ~time:_ ~runnable:_ -> ());
     on_finish = (fun ~tid:_ ~time:_ -> ());
+    on_fault = (fun ~tid:_ ~op:_ ~action:_ ~time:_ -> ());
   }
 
 (* When telemetry is on, scheduling decisions additionally bump the
@@ -36,7 +51,8 @@ let counting_hooks base =
   let picks = Tm.counter "sim.sched.picks"
   and blocks = Tm.counter "sim.sched.blocks"
   and wakes = Tm.counter "sim.sched.wakes"
-  and spawns = Tm.counter "sim.sched.spawns" in
+  and spawns = Tm.counter "sim.sched.spawns"
+  and faults = Tm.counter "sim.fault.injected" in
   {
     on_spawn =
       (fun ~parent ~tid ~name ~time ->
@@ -55,6 +71,10 @@ let counting_hooks base =
         Tm.Counter.incr picks;
         base.on_pick ~tid ~time ~runnable);
     on_finish = base.on_finish;
+    on_fault =
+      (fun ~tid ~op ~action ~time ->
+        Tm.Counter.incr faults;
+        base.on_fault ~tid ~op ~action ~time);
   }
 
 type thread = {
@@ -64,6 +84,7 @@ type thread = {
   mutable clock : int;
   mutable alive : bool;
   mutable blocked : bool;
+  mutable ops : int;  (** traced operations performed, the fault-site index *)
 }
 
 module Waitq = struct
@@ -79,8 +100,13 @@ type world = {
   instrument : instrument;
   hooks : hooks;
   noise : int;
+  fault : Fault.plan;
+  fault_sites : bool;  (* [Fault.has_sites fault], hoisted off the hot path *)
+  max_steps : int;  (* scheduler picks before [Stalled]; 0 = unlimited *)
+  mutable steps : int;
   mutable threads : thread list;
   mutable ready : (thread * (unit -> unit)) list;
+  mutable waitqs : Waitq.t list;  (* every queue ever blocked on, for spurious wakeups *)
   events : Log.Builder.t;
   mutable live_nondaemon : int;
   volatile_addrs : (int, unit) Hashtbl.t;
@@ -195,6 +221,25 @@ let op_cost w =
   let base = 1 + Rng.int w.rng 3 in
   if w.noise > 0 && Rng.int w.rng w.noise = 0 then base + Rng.int w.rng 150 else base
 
+(* A spurious-wakeup fault: resume every thread blocked on any wait queue
+   as if it had been signalled by [t].  The primitives all re-check their
+   condition in a loop, so a correct workload makes no extra progress —
+   but its schedule, and any latent wakeup-assuming bug, is exercised.
+   Queues are visited in registration order, so the effect is
+   deterministic. *)
+let spurious_wake_all w t =
+  List.iter
+    (fun (q : Waitq.t) ->
+      let entries = q.entries in
+      q.entries <- [];
+      List.iter
+        (fun ((wt : thread), resume) ->
+          if wt.clock < t.clock + 1 then wt.clock <- t.clock + 1;
+          w.hooks.on_wake ~waker:t.tid ~tid:wt.tid ~time:wt.clock;
+          push_ready w wt resume)
+        entries)
+    (List.rev w.waitqs)
+
 let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
  fun w t body ->
   let open Effect.Deep in
@@ -216,14 +261,51 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
           | Traced (op, target) ->
             Some
               (fun (k : (a, unit) continuation) ->
-                let delay = w.instrument.delay_before op in
-                if delay > 0 then bump_clock w t delay;
-                bump_clock w t (op_cost w);
-                if w.instrument.trace then
-                  Log.Builder.add w.events
-                    (Event.make ~time:t.clock ~tid:t.tid ~op ~target
-                       ~delayed_by:delay ());
-                push_ready w t (fun () -> continue k ()))
+                t.ops <- t.ops + 1;
+                let fault =
+                  if w.fault_sites then Fault.find w.fault ~tid:t.tid ~op:t.ops
+                  else None
+                in
+                match fault with
+                | Some Fault.Crash ->
+                  (* The thread raises at its next pick, unwinding through
+                     the workload's own handlers like any exception. *)
+                  w.hooks.on_fault ~tid:t.tid ~op:t.ops ~action:Fault.Crash
+                    ~time:t.clock;
+                  let exn = Fault.Injected_crash { tid = t.tid; op = t.ops } in
+                  push_ready w t (fun () -> discontinue k exn)
+                | Some Fault.Hang ->
+                  (* Blocked forever: never pushed ready, never woken (not
+                     even spuriously — the continuation is dropped). *)
+                  w.hooks.on_fault ~tid:t.tid ~op:t.ops ~action:Fault.Hang
+                    ~time:t.clock;
+                  t.blocked <- true;
+                  w.hooks.on_block ~tid:t.tid ~time:t.clock
+                | (Some (Fault.Spurious_wakeup | Fault.Delay_inflation) | None)
+                  as f ->
+                  (match f with
+                  | Some Fault.Spurious_wakeup ->
+                    w.hooks.on_fault ~tid:t.tid ~op:t.ops
+                      ~action:Fault.Spurious_wakeup ~time:t.clock;
+                    spurious_wake_all w t
+                  | _ -> ());
+                  let delay = w.instrument.delay_before op in
+                  let factor = Fault.delay_factor w.fault in
+                  let delay =
+                    if delay > 0 && factor > 1 then begin
+                      w.hooks.on_fault ~tid:t.tid ~op:t.ops
+                        ~action:Fault.Delay_inflation ~time:t.clock;
+                      delay * factor
+                    end
+                    else delay
+                  in
+                  if delay > 0 then bump_clock w t delay;
+                  bump_clock w t (op_cost w);
+                  if w.instrument.trace then
+                    Log.Builder.add w.events
+                      (Event.make ~time:t.clock ~tid:t.tid ~op ~target
+                         ~delayed_by:delay ());
+                  push_ready w t (fun () -> continue k ()))
           | Sleep n ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -234,6 +316,7 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
               (fun (k : (a, unit) continuation) ->
                 t.blocked <- true;
                 w.hooks.on_block ~tid:t.tid ~time:t.clock;
+                if not (List.memq q w.waitqs) then w.waitqs <- q :: w.waitqs;
                 q.entries <-
                   q.entries
                   @ [
@@ -275,6 +358,7 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
                     clock = t.clock + 1;
                     alive = true;
                     blocked = false;
+                    ops = 0;
                   }
                 in
                 w.next_tid <- w.next_tid + 1;
@@ -314,7 +398,7 @@ let rec exec_thread : world -> thread -> (unit -> unit) -> unit =
     }
 
 let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40)
-    ?(hooks = no_hooks) body =
+    ?(hooks = no_hooks) ?(fault = Fault.empty) ?(max_steps = 0) body =
   let hooks =
     if Sherlock_telemetry.Metrics.enabled () then counting_hooks hooks else hooks
   in
@@ -324,8 +408,13 @@ let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40)
       instrument;
       hooks;
       noise;
+      fault;
+      fault_sites = Fault.has_sites fault;
+      max_steps;
+      steps = 0;
       threads = [];
       ready = [];
+      waitqs = [];
       events = Log.Builder.create ();
       live_nondaemon = 1;
       volatile_addrs = Hashtbl.create 16;
@@ -336,7 +425,15 @@ let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40)
     }
   in
   let main =
-    { tid = 0; name = "main"; daemon = false; clock = 0; alive = true; blocked = false }
+    {
+      tid = 0;
+      name = "main";
+      daemon = false;
+      clock = 0;
+      alive = true;
+      blocked = false;
+      ops = 0;
+    }
   in
   w.threads <- [ main ];
   push_ready w main (fun () -> exec_thread w main body);
@@ -344,6 +441,15 @@ let run ?(seed = 0) ?(instrument = no_instrument) ?(noise = 40)
     if w.live_nondaemon > 0 then
       match pick w with
       | Some (_, resume) ->
+        w.steps <- w.steps + 1;
+        if w.max_steps > 0 && w.steps > w.max_steps then begin
+          (* Livelock watchdog: the run is making scheduler transitions
+             but no non-daemon thread is finishing — convert it into a
+             structured outcome like [Deadlock]. *)
+          let alive = List.filter (fun t -> t.alive) w.threads in
+          let names = String.concat ", " (List.map (fun t -> t.name) alive) in
+          raise (Stalled { steps = w.steps; runnable = names })
+        end;
         resume ();
         loop ()
       | None ->

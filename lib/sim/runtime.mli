@@ -25,6 +25,15 @@ exception Deadlock of string
 (** Raised by {!run} when no thread can make progress but a non-daemon
     thread is still blocked.  The payload names the stuck threads. *)
 
+exception Stalled of {
+  steps : int;  (** scheduler picks consumed when the watchdog fired *)
+  runnable : string;  (** names of the threads still alive *)
+}
+(** Raised by {!run} when the step-limit watchdog trips: the scheduler is
+    still making transitions ([steps] picks so far) but no non-daemon
+    thread is finishing — livelock, converted into a structured outcome
+    the way {!Deadlock} handles true deadlock. *)
+
 type instrument = {
   trace : bool;  (** record events; off for overhead baselines *)
   delay_before : Opid.t -> int;
@@ -55,17 +64,31 @@ type hooks = {
   on_pick : tid:int -> time:int -> runnable:int -> unit;
       (** the scheduler elected [tid]; [runnable] other threads were ready *)
   on_finish : tid:int -> time:int -> unit;
+  on_fault : tid:int -> op:int -> action:Fault.action -> time:int -> unit;
+      (** a {!Fault} plan site fired on [tid] at its [op]th traced
+          operation (also fired once per inflated delay when the plan's
+          delay factor exceeds 1) *)
 }
 
 val no_hooks : hooks
 
 val run :
   ?seed:int -> ?instrument:instrument -> ?noise:int -> ?hooks:hooks ->
+  ?fault:Fault.plan -> ?max_steps:int ->
   (unit -> unit) -> Log.t
 (** [run body] executes [body] as the main thread and schedules all
     spawned threads to completion.  [seed] fixes the interleaving;
     [noise] scales the random scheduling jitter (default 40: roughly one
-    op in 40 gets an extra 0..150 us gap). *)
+    op in 40 gets an extra 0..150 us gap).
+
+    [fault] (default {!Fault.empty}) is consulted at every traced
+    operation; the lookup consumes no scheduler randomness, so a run
+    whose plan never fires is bitwise identical to the same run without
+    a plan.  A firing crash site aborts the run with
+    {!Fault.Injected_crash}; a hang site blocks its thread forever.
+
+    [max_steps] (default 0 = unlimited) bounds scheduler picks; past the
+    bound the run aborts with {!Stalled}. *)
 
 (** {1 Thread operations} *)
 

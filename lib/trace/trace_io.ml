@@ -39,15 +39,20 @@ let to_string (log : Log.t) =
     log.events;
   Buffer.contents buf
 
-let of_string s =
+let of_string ?(path = "<string>") s =
   let lines = String.split_on_char '\n' s in
+  (* Parse errors carry file:line (1-based, counting the magic line) so a
+     truncated or garbled trace file points straight at the bad spot. *)
+  let malformed lineno line =
+    failwith (Printf.sprintf "%s:%d: Trace_io: malformed line: %s" path lineno line)
+  in
   match lines with
   | first :: rest when first = magic ->
     let duration = ref 0 in
     let threads = ref 0 in
     let volatile_addrs = Hashtbl.create 8 in
     let events = ref [] in
-    let parse_line line =
+    let parse_line lineno line =
       match String.split_on_char ' ' line with
         | [ "" ] | [] -> ()
         | [ "duration"; d ] -> duration := int_of_string d
@@ -61,17 +66,20 @@ let of_string s =
               ~delayed_by:(int_of_string delayed_by)
               ()
             :: !events
-      | _ -> failwith ("Trace_io: malformed line: " ^ line)
+      | _ -> malformed lineno line
     in
-    List.iter
-      (fun line ->
-        try parse_line line
-        with Failure msg when msg = "int_of_string" ->
-          failwith ("Trace_io: malformed line: " ^ line))
+    List.iteri
+      (fun i line ->
+        let lineno = i + 2 in
+        try parse_line lineno line
+        with Failure msg
+          when msg = "int_of_string"
+               || (String.length msg >= 14 && String.sub msg 0 14 = "Trace_io: bad ") ->
+          malformed lineno line)
       rest;
     Log.create ~events:(List.rev !events) ~duration:!duration ~threads:!threads
       ~volatile_addrs
-  | _ -> failwith "Trace_io: bad magic"
+  | _ -> failwith (Printf.sprintf "%s:1: Trace_io: bad magic" path)
 
 let save log path =
   let oc = open_out path in
@@ -83,4 +91,4 @@ let load path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> of_string ~path (really_input_string ic (in_channel_length ic)))

@@ -21,8 +21,10 @@ val save : Log.t -> string -> unit
     [Invalid_argument] if an operation name contains whitespace. *)
 
 val load : string -> Log.t
-(** Read a log back.  Raises [Failure] on malformed input. *)
+(** Read a log back.  Raises [Failure] on malformed input; the message
+    starts with ["file:line:"] pointing at the offending line. *)
 
 val to_string : Log.t -> string
 
-val of_string : string -> Log.t
+val of_string : ?path:string -> string -> Log.t
+(** [path] (default ["<string>"]) is only used to label parse errors. *)

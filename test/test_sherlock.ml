@@ -281,6 +281,190 @@ let test_orchestrator_parallel_matches_sequential () =
         seq.rounds par.rounds)
     [ "App-1"; "App-2" ]
 
+(* --- Supervised orchestration (fault plans, degraded LP) --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* The flag test plus two victims that both own a thread with tid 2 — the
+   only tid the fault plans below target, so the flag test is provably
+   untouched (its world has tids 0 and 1 only). *)
+let resilient_subject () =
+  let flag_test = List.assoc "flag" (flag_subject ()).tests in
+  let pair_test () =
+    (* Joins a hung thread: surfaces as Deadlock. *)
+    let c = Heap.cell ~cls:"O.Pair" ~field:"n" 0 in
+    let mk i =
+      Threadlib.create ~delegate:("O.Pair", Printf.sprintf "W%d" i) (fun () ->
+          for _ = 1 to 3 do
+            Heap.write c (Heap.read c + 1)
+          done)
+    in
+    let t1 = mk 1 and t2 = mk 2 in
+    Threadlib.start t1;
+    Threadlib.start t2;
+    Threadlib.join t1;
+    Threadlib.join t2
+  in
+  let spin_test () =
+    (* Spins on a flag set by the hung thread: livelock, surfaces as
+       Stalled via the step watchdog. *)
+    let done_ = Heap.cell ~cls:"O.Spin" ~field:"done" false in
+    let t1 =
+      Threadlib.create ~delegate:("O.Spin", "Busy") (fun () -> Runtime.cpu 10 20)
+    in
+    let t2 =
+      Threadlib.create ~delegate:("O.Spin", "Setter") (fun () ->
+          Heap.write done_ true)
+    in
+    Threadlib.start t1;
+    Threadlib.start t2;
+    Heap.spin_until done_ (fun b -> b);
+    Threadlib.join t1;
+    Threadlib.join t2
+  in
+  {
+    Orchestrator.subject_name = "resilient";
+    tests = [ ("flag", flag_test); ("pair", pair_test); ("spin", spin_test) ];
+  }
+
+let hang_tid2_config =
+  {
+    Config.default with
+    fault_plan = Fault.make [ { Fault.tid = 2; op = 1; action = Fault.Hang } ];
+    max_steps = 5_000;
+    retries = 1;
+  }
+
+let find_report name (r : Orchestrator.round_result) =
+  List.find
+    (fun (rep : Orchestrator.run_report) -> rep.test_name = name)
+    r.run_reports
+
+let test_orchestrator_survives_hangs () =
+  (* A hang in two of three tests kills neither the round nor the
+     inference; the failure classes match the workload shape. *)
+  let result = Orchestrator.infer ~config:hang_tid2_config (resilient_subject ()) in
+  check Alcotest.int "all rounds ran" Config.default.rounds
+    (List.length result.rounds);
+  List.iter
+    (fun (r : Orchestrator.round_result) ->
+      let flag = find_report "flag" r in
+      check Alcotest.bool "flag completed" true flag.completed;
+      check Alcotest.int "flag untouched" 0 flag.injected;
+      check Alcotest.int "flag one attempt" 1 flag.attempts;
+      let pair = find_report "pair" r in
+      check Alcotest.bool "pair dropped" false pair.completed;
+      check Alcotest.int "pair attempts" 2 pair.attempts;
+      check Alcotest.bool "pair deadlocked" true
+        (List.for_all
+           (function Orchestrator.Deadlocked _ -> true | _ -> false)
+           pair.failures);
+      let spin = find_report "spin" r in
+      check Alcotest.bool "spin dropped" false spin.completed;
+      check Alcotest.bool "spin stalled" true
+        (List.for_all
+           (function Orchestrator.Stalled _ -> true | _ -> false)
+           spin.failures);
+      check Alcotest.int "failed attempts counted" 4
+        (Orchestrator.failed_runs r.run_reports);
+      check Alcotest.int "two tests lost" 2
+        (Orchestrator.incomplete_runs r.run_reports))
+    result.rounds;
+  check Alcotest.bool "still infers the flag" true
+    (Verdict.mem (Opid.write ~cls:"O.Flag" "ready") Verdict.Release result.final)
+
+let test_orchestrator_failures_do_not_leak () =
+  (* The dropped tests contribute no observations, and the flag test's
+     runs are bitwise identical to the no-fault baseline (its tid-2-keyed
+     plan never fires), so the verdicts must equal inferring over the
+     flag test alone. *)
+  let faulted =
+    Orchestrator.infer ~config:hang_tid2_config (resilient_subject ())
+  in
+  let baseline =
+    Orchestrator.infer
+      ~config:{ hang_tid2_config with fault_plan = Fault.empty }
+      (flag_subject ())
+  in
+  check Alcotest.int "same verdict count" (List.length baseline.final)
+    (List.length faulted.final);
+  List.iter2
+    (fun (a : Verdict.t) (b : Verdict.t) ->
+      check Alcotest.bool "same verdict" true (Verdict.compare a b = 0);
+      check (Alcotest.float 0.0) "same probability" a.probability b.probability)
+    baseline.final faulted.final
+
+let test_orchestrator_injected_crash_reported () =
+  let config =
+    {
+      Config.default with
+      rounds = 1;
+      retries = 1;
+      fault_plan = Fault.make [ { Fault.tid = 1; op = 1; action = Fault.Crash } ];
+    }
+  in
+  let result = Orchestrator.infer ~config (flag_subject ()) in
+  match result.rounds with
+  | [ r ] ->
+    let rep = find_report "flag" r in
+    check Alcotest.bool "dropped" false rep.completed;
+    check Alcotest.bool "fault fired every attempt" true (rep.injected >= 2);
+    check Alcotest.bool "reported as injected crash" true
+      (List.for_all
+         (function
+           | Orchestrator.Crashed msg ->
+             (* The message pinpoints the injected site. *)
+             contains msg "tid 1" && contains msg "injected"
+           | _ -> false)
+         rep.failures);
+    check Alcotest.int "no verdicts from nothing" 0 (List.length r.verdicts)
+  | rs -> Alcotest.failf "expected one round, got %d" (List.length rs)
+
+let with_lp_fault status f =
+  Sherlock_lp.Problem.set_fault (Some status);
+  Fun.protect ~finally:(fun () -> Sherlock_lp.Problem.set_fault None) f
+
+let test_encoder_degrades_on_infeasible_lp () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let obs = obs_of_logs [ log ] in
+  let healthy, healthy_stats = Encoder.solve Config.default obs in
+  check Alcotest.bool "healthy solve not degraded" false healthy_stats.degraded;
+  check Alcotest.bool "healthy solve infers" true (healthy <> []);
+  List.iter
+    (fun status ->
+      with_lp_fault status (fun () ->
+          (* With previous verdicts: returns them, flagged degraded. *)
+          let vs, stats = Encoder.solve ~previous:healthy Config.default obs in
+          check Alcotest.bool "degraded" true stats.degraded;
+          check Alcotest.bool "objective is nan" true (Float.is_nan stats.objective);
+          check Alcotest.int "previous verdicts kept" (List.length healthy)
+            (List.length vs);
+          List.iter2
+            (fun (a : Verdict.t) (b : Verdict.t) ->
+              check Alcotest.bool "same verdict" true (Verdict.compare a b = 0))
+            healthy vs;
+          (* Without previous verdicts: empty, still no exception. *)
+          let vs0, stats0 = Encoder.solve Config.default obs in
+          check Alcotest.bool "degraded too" true stats0.degraded;
+          check Alcotest.int "nothing to fall back on" 0 (List.length vs0)))
+    [ Sherlock_lp.Problem.Infeasible; Sherlock_lp.Problem.Unbounded ]
+
+let test_orchestrator_survives_infeasible_lp () =
+  (* Every round's LP degrades; the inference still completes all rounds
+     and simply carries the (empty) previous verdicts forward. *)
+  with_lp_fault Sherlock_lp.Problem.Infeasible (fun () ->
+      let result = Orchestrator.infer (flag_subject ()) in
+      check Alcotest.int "all rounds ran" Config.default.rounds
+        (List.length result.rounds);
+      List.iter
+        (fun (r : Orchestrator.round_result) ->
+          check Alcotest.bool "round degraded" true r.stats.degraded)
+        result.rounds;
+      check Alcotest.int "no verdicts" 0 (List.length result.final))
+
 (* --- Report / ground truth --- *)
 
 let truth =
@@ -435,6 +619,18 @@ let () =
           Alcotest.test_case "parallel matches sequential" `Quick
             test_orchestrator_parallel_matches_sequential;
           Alcotest.test_case "probabilistic delays" `Quick test_probabilistic_delays;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "survives hangs" `Quick test_orchestrator_survives_hangs;
+          Alcotest.test_case "failures don't leak into verdicts" `Quick
+            test_orchestrator_failures_do_not_leak;
+          Alcotest.test_case "injected crash reported" `Quick
+            test_orchestrator_injected_crash_reported;
+          Alcotest.test_case "encoder degrades on infeasible LP" `Quick
+            test_encoder_degrades_on_infeasible_lp;
+          Alcotest.test_case "inference survives infeasible LP" `Quick
+            test_orchestrator_survives_infeasible_lp;
         ] );
       ( "report",
         [

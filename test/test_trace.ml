@@ -357,8 +357,41 @@ let test_trace_io_file () =
       check Alcotest.int "events" 2 (Log.length log'))
 
 let test_trace_io_bad_magic () =
-  Alcotest.check_raises "bad magic" (Failure "Trace_io: bad magic") (fun () ->
-      ignore (Trace_io.of_string "nonsense\n"))
+  Alcotest.check_raises "bad magic" (Failure "<string>:1: Trace_io: bad magic")
+    (fun () -> ignore (Trace_io.of_string "nonsense\n"));
+  Alcotest.check_raises "bad magic names the file"
+    (Failure "trace.bin:1: Trace_io: bad magic") (fun () ->
+      ignore (Trace_io.of_string ~path:"trace.bin" "nonsense\n"))
+
+(* Regression: parse errors used to say only "malformed line"; they must
+   now pinpoint the offending file:line (the magic header is line 1, so
+   the first record is line 2). *)
+let test_trace_io_malformed_line_position () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf; ev 90 0 wf ] in
+  let lines = String.split_on_char '\n' (Trace_io.to_string log) in
+  let garble n =
+    String.concat "\n"
+      (List.mapi (fun i l -> if i = n - 1 then "garbage here" else l) lines)
+  in
+  let expect_failure_at ~path pos text =
+    match Trace_io.of_string ~path text with
+    | _ -> Alcotest.failf "garbled line %d parsed" pos
+    | exception Failure msg ->
+      let prefix = Printf.sprintf "%s:%d: Trace_io: malformed line" path pos in
+      check Alcotest.bool
+        (Printf.sprintf "message %S starts with %S" msg prefix)
+        true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+  in
+  (* Layout: line 1 magic, 2 duration, 3 threads, 4.. event records.
+     Garbling the duration header or an event record must name exactly
+     that line, in whichever path the caller supplied. *)
+  expect_failure_at ~path:"<string>" 2 (garble 2);
+  expect_failure_at ~path:"t.trace" 4 (garble 4);
+  expect_failure_at ~path:"t.trace" 6 (garble 6);
+  (* A truncated record (fields missing) is positioned too. *)
+  expect_failure_at ~path:"<string>" 2 (List.hd lines ^ "\ne 10 0\n")
 
 let test_trace_io_rejects_spaces () =
   let log = mklog [ ev 10 0 (Opid.read ~cls:"Bad Name" "f") ] in
@@ -724,6 +757,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_trace_io_roundtrip;
           Alcotest.test_case "file save/load" `Quick test_trace_io_file;
           Alcotest.test_case "bad magic" `Quick test_trace_io_bad_magic;
+          Alcotest.test_case "malformed line position" `Quick
+            test_trace_io_malformed_line_position;
           Alcotest.test_case "rejects spaces" `Quick test_trace_io_rejects_spaces;
         ] );
       ( "properties",
