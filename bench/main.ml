@@ -611,11 +611,23 @@ let perf () =
       apps;
     Unix.gettimeofday () -. t0
   in
-  let sequential_s = time_infer 1 in
-  (* At least two domains so the parallel path is really measured even on
-     single-core CI containers, where recommended_domain_count is 1. *)
+  (* Two-plus domains are requested, but the orchestrator clamps to the
+     host's core count (oversubscription is strictly slower under OCaml
+     5's stop-the-world minor GC), so on a single-core container this
+     measures the clamp's parity with the sequential path rather than a
+     real speedup; [cores] is recorded alongside so the number can be
+     read correctly.  Interleaved best-of-trials, like the telemetry
+     comparison above, so drift hits both sides equally. *)
   let domains = max 2 (Domain.recommended_domain_count ()) in
-  let parallel_s = time_infer domains in
+  let cores = Domain.recommended_domain_count () in
+  let sequential_s, parallel_s =
+    let seq = ref infinity and par = ref infinity in
+    for _ = 1 to 3 do
+      seq := Float.min !seq (time_infer 1);
+      par := Float.min !par (time_infer domains)
+    done;
+    (!seq, !par)
+  in
   let stress_n = Log.length stress_log and largest_n = Log.length largest in
   let stress_tp = throughput stress_n stress_s in
   let largest_tp = throughput largest_n largest_s in
@@ -665,8 +677,8 @@ let perf () =
       ("table2_s", Printf.sprintf "%.3f" table2_s);
       ( "orchestrator",
         Printf.sprintf
-          {|{"sequential_s": %.3f, "parallel_s": %.3f, "domains": %d}|}
-          sequential_s parallel_s domains );
+          {|{"sequential_s": %.3f, "parallel_s": %.3f, "domains": %d, "cores": %d}|}
+          sequential_s parallel_s domains cores );
       ( "telemetry",
         Printf.sprintf
           {|{"stress_extract_off_s": %.6f, "stress_extract_on_s": %.6f, "overhead_pct": %.2f, "budget_pct": 5.0}|}
@@ -675,6 +687,75 @@ let perf () =
   if telemetry_overhead_pct >= 5.0 then begin
     Printf.printf "FAIL: telemetry overhead %.1f%% exceeds the 5%% budget\n"
       telemetry_overhead_pct;
+    exit 1
+  end
+
+(* LP engine gate: the full corpus inferred with cross-round warm starts
+   on vs off — wall-clock, total simplex pivots, and per-app verdict
+   identity.  Fails the run (exit 1) if warm starts stop at least
+   halving the pivot count or if any verdict diverges, so an LP-engine
+   regression cannot land silently. *)
+let lp_gate () =
+  let show (r : Orchestrator.result) =
+    String.concat ";"
+      (List.map (fun v -> Format.asprintf "%a" Verdict.pp v) r.final)
+  in
+  let measure config =
+    let t0 = Unix.gettimeofday () in
+    let results =
+      List.map (fun (a : App.t) -> Orchestrator.infer ~config (App.subject a)) apps
+    in
+    let s = Unix.gettimeofday () -. t0 in
+    let pivots =
+      List.fold_left
+        (fun acc (r : Orchestrator.result) ->
+          List.fold_left
+            (fun acc (rr : Orchestrator.round_result) ->
+              acc + rr.stats.lp.lp_pivots)
+            acc r.rounds)
+        0 results
+    in
+    (s, pivots, List.map show results)
+  in
+  (* Sequential, so the timing compares solver work rather than domain
+     scheduling. *)
+  let config = { Config.default with parallelism = 1 } in
+  let warm_s, warm_pivots, warm_verdicts = measure config in
+  let cold_s, cold_pivots, cold_verdicts =
+    measure { config with use_warm_start = false }
+  in
+  let identical = warm_verdicts = cold_verdicts in
+  let ratio = float cold_pivots /. float (max 1 warm_pivots) in
+  let t =
+    Table.create ~title:"LP engine: warm starts vs cold solves (8-app corpus)"
+      ~header:[ "measure"; "warm"; "cold" ]
+  in
+  Table.add_row t
+    [
+      "corpus infer"; Printf.sprintf "%.3f s" warm_s;
+      Printf.sprintf "%.3f s" cold_s;
+    ];
+  Table.add_row t
+    [ "total pivots"; string_of_int warm_pivots; string_of_int cold_pivots ];
+  Table.add_row t
+    [
+      "verdicts"; (if identical then "identical" else "DIVERGED");
+      Printf.sprintf "(pivot ratio %.2fx)" ratio;
+    ];
+  Table.print t;
+  let pass = identical && warm_pivots * 2 <= cold_pivots in
+  update_bench_sections
+    [
+      ( "lp",
+        Printf.sprintf
+          {|{"warm_s": %.3f, "cold_s": %.3f, "warm_pivots": %d, "cold_pivots": %d, "pivot_ratio": %.2f, "verdicts_identical": %b, "pass": %b}|}
+          warm_s cold_s warm_pivots cold_pivots ratio identical pass );
+    ];
+  if not pass then begin
+    Printf.printf
+      "FAIL: lp gate (verdicts %s, warm pivots %d vs cold %d, need <= half)\n"
+      (if identical then "identical" else "diverged")
+      warm_pivots cold_pivots;
     exit 1
   end
 
@@ -877,6 +958,7 @@ let artifacts =
     ("ablation_extras", ablation_extras);
     ("overhead", overhead);
     ("perf", perf);
+    ("lp", lp_gate);
     ("robustness", robustness);
     ("robustness-scan", robustness_scan);
     ("microbench", bechamel_suite);

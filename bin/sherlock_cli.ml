@@ -168,9 +168,14 @@ let run_cmd =
       List.iter
         (fun (r : Orchestrator.round_result) ->
           Printf.printf
-            "round %d: %d windows, %d variables, %d delayed ops, %d verdicts%s%s\n"
+            "round %d: %d windows, %d variables, %d delayed ops, %d verdicts, \
+             %d LP solves / %d pivots%s%s%s\n"
             r.round r.stats.num_windows r.stats.num_vars r.delayed_ops
-            (List.length r.verdicts)
+            (List.length r.verdicts) r.stats.lp.lp_solves r.stats.lp.lp_pivots
+            (if r.stats.lp.lp_pivots_saved > 0 then
+               Printf.sprintf " (%d saved by warm start)"
+                 r.stats.lp.lp_pivots_saved
+             else "")
             (let failed = Orchestrator.failed_runs r.run_reports in
              if failed > 0 then Printf.sprintf ", %d failed runs" failed else "")
             (if r.stats.degraded then " [degraded LP]" else ""))

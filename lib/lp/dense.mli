@@ -1,0 +1,21 @@
+(** Two-phase dense primal simplex — the seed reference engine.
+
+    Solves [minimize c.x  subject to  A x (<=|>=|=) b,  x >= 0] exactly in
+    floating point with a dense [m x (n+1)] tableau and Bland's
+    anti-cycling rule.  Kept as the oracle the sparse revised simplex in
+    {!Simplex} is equivalence-tested against, and selectable per problem
+    via [Problem.set_engine]. *)
+
+val solve :
+  num_vars:int ->
+  objective:(int * float) list ->
+  Simplex.constr list ->
+  Simplex.outcome
+(** Same contract as {!Simplex.solve}. *)
+
+val solve_counted :
+  num_vars:int ->
+  objective:(int * float) list ->
+  Simplex.constr list ->
+  Simplex.outcome * int
+(** [solve] plus the number of pivot operations performed. *)

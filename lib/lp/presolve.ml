@@ -1,0 +1,223 @@
+(* LP presolve: a few safe reductions applied before a one-shot solve.
+
+   - variables forced to a bound by singleton rows (e.g. a rounding pin
+     [x >= 1] against the probability cap [x <= 1]) are fixed and
+     substituted out;
+   - empty rows are dropped after a consistency check;
+   - duplicate rows keep only the tightest right-hand side;
+   - duplicate hinge rows — rows identical except for their private
+     penalty column — are merged, summing the penalty weights in the
+     objective, which is how window multiplicities that escaped the
+     encoder-level dedup collapse.
+
+   Every reduction records how to restore the removed variables, so the
+   reported solution still satisfies the original constraint list. *)
+
+type stats = {
+  removed_rows : int;
+  fixed_vars : int;
+  merged_hinges : int;
+}
+
+type result = {
+  r_constrs : Simplex.constr list;
+  r_objective : (int * float) list;
+  r_offset : float; (* objective contribution of the fixed variables *)
+  r_stats : stats;
+  r_infeasible : bool;
+  r_restore : (int -> float) -> int -> float;
+      (* reduced-solution lookup -> original variable -> value *)
+}
+
+let tol = 1e-9
+
+type row = {
+  mutable live : bool;
+  mutable terms : (int * float) list; (* sorted by variable *)
+  rel : Simplex.relation;
+  mutable b : float;
+}
+
+let run ~num_vars ~objective constrs =
+  let rows =
+    Array.of_list
+      (List.map
+         (fun (c : Simplex.constr) ->
+           { live = true; terms = c.row; rel = c.relation; b = c.rhs })
+         constrs)
+  in
+  let cost = Array.make (max 1 num_vars) 0.0 in
+  List.iter (fun (v, k) -> cost.(v) <- cost.(v) +. k) objective;
+  let fixed = Array.make (max 1 num_vars) None in
+  let copy_of = Array.make (max 1 num_vars) (-1) in
+  let lo = Array.make (max 1 num_vars) 0.0 in
+  let hi = Array.make (max 1 num_vars) infinity in
+  let removed = ref 0 in
+  let nfixed = ref 0 in
+  let merged = ref 0 in
+  let infeasible = ref false in
+  (* Fixpoint: substitute fixed variables, drop empty rows, tighten
+     single-variable bounds, fix variables whose bounds meet. *)
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && (not !infeasible) && !passes < 16 do
+    changed := false;
+    incr passes;
+    Array.iter
+      (fun r ->
+        if r.live then begin
+          let subst =
+            List.exists (fun (v, _) -> fixed.(v) <> None) r.terms
+          in
+          if subst then begin
+            let gone = ref 0.0 in
+            r.terms <-
+              List.filter
+                (fun (v, k) ->
+                  match fixed.(v) with
+                  | Some value ->
+                    gone := !gone +. (k *. value);
+                    false
+                  | None -> true)
+                r.terms;
+            r.b <- r.b -. !gone;
+            changed := true
+          end;
+          match r.terms with
+          | [] ->
+            r.live <- false;
+            incr removed;
+            changed := true;
+            let viol =
+              match r.rel with
+              | Simplex.Le -> r.b < -.tol
+              | Simplex.Ge -> r.b > tol
+              | Simplex.Eq -> abs_float r.b > tol
+            in
+            if viol then infeasible := true
+          | [ (v, a) ] when abs_float a > tol ->
+            let x = r.b /. a in
+            (match (r.rel, a > 0.0) with
+            | Simplex.Le, true | Simplex.Ge, false ->
+              if x < hi.(v) then begin
+                hi.(v) <- x;
+                changed := true
+              end
+            | Simplex.Ge, true | Simplex.Le, false ->
+              if x > lo.(v) then begin
+                lo.(v) <- x;
+                changed := true
+              end
+            | Simplex.Eq, _ ->
+              if x > lo.(v) then lo.(v) <- x;
+              if x < hi.(v) then hi.(v) <- x;
+              changed := true);
+            if hi.(v) < -.tol || lo.(v) > hi.(v) +. tol then infeasible := true
+            else if fixed.(v) = None && hi.(v) -. lo.(v) <= tol then begin
+              fixed.(v) <- Some (max 0.0 ((lo.(v) +. hi.(v)) /. 2.0));
+              incr nfixed;
+              changed := true
+            end
+          | _ -> ()
+        end)
+      rows
+  done;
+  if not !infeasible then begin
+    (* Occurrence counts over the surviving rows, to spot penalty
+       columns: a positive-cost variable used by exactly one row, with a
+       negative coefficient, in a Le row — the hinge shape. *)
+    let occur = Array.make (max 1 num_vars) 0 in
+    Array.iter
+      (fun r ->
+        if r.live then
+          List.iter (fun (v, _) -> occur.(v) <- occur.(v) + 1) r.terms)
+      rows;
+    let penalty_of r =
+      if r.rel <> Simplex.Le then None
+      else
+        List.find_opt
+          (fun (v, k) -> occur.(v) = 1 && k < 0.0 && cost.(v) > 0.0)
+          r.terms
+    in
+    let tbl = Hashtbl.create 64 in
+    Array.iter
+      (fun r ->
+        if r.live then begin
+          match penalty_of r with
+          | Some (h, hk) ->
+            let key =
+              `Hinge (List.filter (fun (v, _) -> v <> h) r.terms, hk, r.b)
+            in
+            (match Hashtbl.find_opt tbl key with
+            | None -> Hashtbl.add tbl key (r, h)
+            | Some (_, h0) ->
+              (* Same body, same penalty shape: fold this row's weight
+                 onto the kept penalty variable and drop the row. *)
+              cost.(h0) <- cost.(h0) +. cost.(h);
+              cost.(h) <- 0.0;
+              copy_of.(h) <- h0;
+              r.live <- false;
+              incr removed;
+              incr merged)
+          | None ->
+            let key = `Plain (r.terms, r.rel) in
+            (match Hashtbl.find_opt tbl key with
+            | None -> Hashtbl.add tbl key (r, -1)
+            | Some (r0, _) ->
+              (* Duplicate body: keep the tighter right-hand side. *)
+              let drop =
+                match r.rel with
+                | Simplex.Le ->
+                  r0.b <- min r0.b r.b;
+                  true
+                | Simplex.Ge ->
+                  r0.b <- max r0.b r.b;
+                  true
+                | Simplex.Eq ->
+                  if abs_float (r0.b -. r.b) > tol then infeasible := true;
+                  true
+              in
+              if drop then begin
+                r.live <- false;
+                incr removed
+              end)
+        end)
+      rows
+  end;
+  let offset = ref 0.0 in
+  let seen = Hashtbl.create 64 in
+  let r_objective =
+    List.filter_map
+      (fun (v, _) ->
+        if Hashtbl.mem seen v then None
+        else begin
+          Hashtbl.add seen v ();
+          match fixed.(v) with
+          | Some value ->
+            offset := !offset +. (cost.(v) *. value);
+            None
+          | None -> if cost.(v) = 0.0 then None else Some (v, cost.(v))
+        end)
+      objective
+  in
+  let r_constrs =
+    Array.to_list rows
+    |> List.filter_map (fun r ->
+           if r.live then
+             Some { Simplex.row = r.terms; relation = r.rel; rhs = r.b }
+           else None)
+  in
+  let r_restore base v =
+    match fixed.(v) with
+    | Some value -> value
+    | None -> if copy_of.(v) >= 0 then base copy_of.(v) else base v
+  in
+  {
+    r_constrs;
+    r_objective;
+    r_offset = !offset;
+    r_stats =
+      { removed_rows = !removed; fixed_vars = !nfixed; merged_hinges = !merged };
+    r_infeasible = !infeasible;
+    r_restore;
+  }

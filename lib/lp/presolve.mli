@@ -1,0 +1,33 @@
+(** LP presolve for one-shot solves.
+
+    Applies a few safe reductions before handing the program to the
+    simplex: variables forced to a bound by their singleton rows are
+    fixed and substituted out, empty rows are dropped after a
+    consistency check, duplicate rows keep only the tightest right-hand
+    side, and duplicate hinge rows (identical bodies with private
+    penalty columns) are merged with their objective weights summed.
+    [r_restore] rebuilds a full assignment from the reduced one, so the
+    returned solution still satisfies every original constraint. *)
+
+type stats = {
+  removed_rows : int;  (** rows dropped (empty, duplicate, or merged) *)
+  fixed_vars : int;  (** variables fixed to a forced bound *)
+  merged_hinges : int;  (** of the removed rows, hinge merges *)
+}
+
+type result = {
+  r_constrs : Simplex.constr list;
+  r_objective : (int * float) list;
+  r_offset : float;  (** objective contribution of the fixed variables *)
+  r_stats : stats;
+  r_infeasible : bool;  (** a reduction proved the program infeasible *)
+  r_restore : (int -> float) -> int -> float;
+      (** [r_restore reduced v]: value of original variable [v] given a
+          lookup into the reduced problem's solution *)
+}
+
+val run :
+  num_vars:int ->
+  objective:(int * float) list ->
+  Simplex.constr list ->
+  result

@@ -1,31 +1,102 @@
 type var = int
 
+type row_id = int
+
 type status =
   | Solved of float
   | Infeasible
   | Unbounded
 
+type engine =
+  | Dense
+  | Sparse
+
+type solve_info = {
+  engine : engine;
+  pivots : int;
+  warm : bool;
+  pivots_saved : int;
+  presolve_removed_rows : int;
+  presolve_fixed_vars : int;
+  cold_restarts : int;
+}
+
+let no_info engine =
+  {
+    engine;
+    pivots = 0;
+    warm = false;
+    pivots_saved = 0;
+    presolve_removed_rows = 0;
+    presolve_fixed_vars = 0;
+    cold_restarts = 0;
+  }
+
+type crow = {
+  c_row : (int * float) list;
+  c_rel : Simplex.relation;
+  mutable c_rhs : float;
+}
+
+(* Incremental-solve state: a live {!Simplex.t} plus watermarks tracking
+   which of the problem's variables and rows have been pushed into it.
+   Sync is lazy — [solve_incremental] pushes whatever accumulated since
+   the previous call and reoptimizes from the existing basis. *)
+type istate = {
+  sx : Simplex.t;
+  mutable vars_pushed : int;
+  mutable rows_pushed : int;
+  mutable col_of_var : int array;
+  mutable row_ids : int array;
+}
+
 type t = {
   mutable names : string list; (* reversed *)
   mutable count : int;
-  mutable constrs : Simplex.constr list; (* reversed *)
+  mutable rows : crow array; (* growable; [0, nconstrs) live *)
   mutable nconstrs : int;
   mutable objective : Linexpr.t;
+  mutable engine : engine;
+  mutable use_presolve : bool;
+  mutable istate : istate option;
+  mutable info : solve_info;
 }
 
 let create () =
-  { names = []; count = 0; constrs = []; nconstrs = 0; objective = Linexpr.zero }
+  {
+    names = [];
+    count = 0;
+    rows = Array.make 16 { c_row = []; c_rel = Simplex.Le; c_rhs = 0.0 };
+    nconstrs = 0;
+    objective = Linexpr.zero;
+    engine = Sparse;
+    use_presolve = true;
+    istate = None;
+    info = no_info Sparse;
+  }
+
+let set_engine t e = t.engine <- e
+
+let engine t = t.engine
+
+let set_presolve t b = t.use_presolve <- b
 
 let push_constr t c =
-  t.constrs <- c :: t.constrs;
-  t.nconstrs <- t.nconstrs + 1
+  if t.nconstrs >= Array.length t.rows then begin
+    let rows = Array.make (2 * Array.length t.rows) c in
+    Array.blit t.rows 0 rows 0 t.nconstrs;
+    t.rows <- rows
+  end;
+  t.rows.(t.nconstrs) <- c;
+  t.nconstrs <- t.nconstrs + 1;
+  t.nconstrs - 1
 
 let add_constr t expr relation rhs =
   push_constr t
     {
-      Simplex.row = Linexpr.terms expr;
-      relation;
-      rhs = rhs -. Linexpr.constant expr;
+      c_row = Linexpr.terms expr;
+      c_rel = relation;
+      c_rhs = rhs -. Linexpr.constant expr;
     }
 
 let add_var t ?ub name =
@@ -33,7 +104,7 @@ let add_var t ?ub name =
   t.count <- v + 1;
   t.names <- name :: t.names;
   (match ub with
-  | Some u -> add_constr t (Linexpr.var v) Simplex.Le u
+  | Some u -> ignore (add_constr t (Linexpr.var v) Simplex.Le u)
   | None -> ());
   v
 
@@ -43,19 +114,37 @@ let name t v =
 
 let num_vars t = t.count
 
-let add_le t e rhs = add_constr t e Simplex.Le rhs
+let add_le t e rhs = ignore (add_constr t e Simplex.Le rhs)
 
-let add_ge t e rhs = add_constr t e Simplex.Ge rhs
+let add_ge t e rhs = ignore (add_constr t e Simplex.Ge rhs)
 
-let add_eq t e rhs = add_constr t e Simplex.Eq rhs
+let add_eq t e rhs = ignore (add_constr t e Simplex.Eq rhs)
+
+let add_ge_row t e rhs = add_constr t e Simplex.Ge rhs
+
+let set_row_rhs t id rhs =
+  t.rows.(id).c_rhs <- rhs;
+  match t.istate with
+  | Some s when id < s.rows_pushed -> Simplex.set_rhs s.sx s.row_ids.(id) rhs
+  | _ -> ()
 
 let add_objective t e = t.objective <- Linexpr.add t.objective e
+
+let set_objective t e = t.objective <- e
 
 let hinge t ~weight nm e =
   let h = add_var t nm in
   (* h >= e, i.e. e - h <= 0; h >= 0 is implicit. *)
   add_le t (Linexpr.sub e (Linexpr.var h)) 0.0;
   add_objective t (Linexpr.var ~coeff:weight h);
+  h
+
+let hinge_var t nm e =
+  (* The constraint shape of {!hinge} without the objective term — for
+     callers (the incremental encoder) that rebuild the objective each
+     round with recomputed weights. *)
+  let h = add_var t nm in
+  add_le t (Linexpr.sub e (Linexpr.var h)) 0.0;
   h
 
 let abs t ~weight nm e =
@@ -65,23 +154,181 @@ let abs t ~weight nm e =
   add_objective t (Linexpr.var ~coeff:weight a);
   a
 
+let abs_var t nm e =
+  let a = add_var t nm in
+  add_le t (Linexpr.sub e (Linexpr.var a)) 0.0;
+  add_le t (Linexpr.sub (Linexpr.neg e) (Linexpr.var a)) 0.0;
+  a
+
 let fault : status option ref = ref None
 
 let set_fault s = fault := s
 
+let last_info t = t.info
+
+let record_info info =
+  let module Tm = Sherlock_telemetry.Metrics in
+  if Tm.enabled () then begin
+    Tm.Counter.incr (Tm.counter "lp.solves");
+    Tm.Histogram.observe_int (Tm.histogram "lp.pivots") info.pivots;
+    if info.presolve_removed_rows > 0 then
+      Tm.Counter.incr
+        ~by:info.presolve_removed_rows
+        (Tm.counter "lp.presolve.removed_rows");
+    if info.presolve_fixed_vars > 0 then
+      Tm.Counter.incr ~by:info.presolve_fixed_vars
+        (Tm.counter "lp.presolve.fixed_vars");
+    if info.warm then begin
+      Tm.Counter.incr (Tm.counter "lp.warm_start.hits");
+      if info.pivots_saved > 0 then
+        Tm.Counter.incr ~by:info.pivots_saved
+          (Tm.counter "lp.warm_start.pivots_saved")
+    end
+  end
+
+let constr_list t =
+  let acc = ref [] in
+  for i = t.nconstrs - 1 downto 0 do
+    let r = t.rows.(i) in
+    acc := { Simplex.row = r.c_row; relation = r.c_rel; rhs = r.c_rhs } :: !acc
+  done;
+  !acc
+
+let finish t info outcome =
+  t.info <- info;
+  record_info info;
+  match outcome with
+  | Simplex.Optimal { objective = obj; solution } ->
+    let obj = obj +. Linexpr.constant t.objective in
+    ( Solved obj,
+      fun v ->
+        if v >= 0 && v < Array.length solution then solution.(v) else 0.0 )
+  | Simplex.Infeasible -> (Infeasible, fun _ -> 0.0)
+  | Simplex.Unbounded -> (Unbounded, fun _ -> 0.0)
+
 let solve t =
   match !fault with
   | Some s -> (s, fun _ -> 0.0)
+  | None -> (
+    let objective = Linexpr.terms t.objective in
+    let constrs = constr_list t in
+    match t.engine with
+    | Dense ->
+      let outcome, pivots =
+        Dense.solve_counted ~num_vars:t.count ~objective constrs
+      in
+      finish t { (no_info Dense) with pivots } outcome
+    | Sparse ->
+      if not t.use_presolve then begin
+        let outcome, st =
+          Simplex.solve_counted ~num_vars:t.count ~objective constrs
+        in
+        finish t { (no_info Sparse) with pivots = st.Simplex.pivots } outcome
+      end
+      else begin
+        let r = Presolve.run ~num_vars:t.count ~objective constrs in
+        let base_info =
+          {
+            (no_info Sparse) with
+            presolve_removed_rows = r.Presolve.r_stats.removed_rows;
+            presolve_fixed_vars = r.Presolve.r_stats.fixed_vars;
+          }
+        in
+        if r.Presolve.r_infeasible then
+          finish t base_info Simplex.Infeasible
+        else begin
+          let outcome, st =
+            Simplex.solve_counted ~num_vars:t.count
+              ~objective:r.Presolve.r_objective r.Presolve.r_constrs
+          in
+          let base_info = { base_info with pivots = st.Simplex.pivots } in
+          match outcome with
+          | Simplex.Optimal { objective = obj; solution } ->
+            let restore =
+              r.Presolve.r_restore (fun v ->
+                  if v >= 0 && v < Array.length solution then solution.(v)
+                  else 0.0)
+            in
+            let full = Array.init t.count restore in
+            finish t base_info
+              (Simplex.Optimal
+                 {
+                   objective = obj +. r.Presolve.r_offset;
+                   solution = full;
+                 })
+          | o -> finish t base_info o
+        end
+      end)
+
+let grow_int a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) (-1) in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let solve_incremental t =
+  match !fault with
+  | Some s -> (s, fun _ -> 0.0)
   | None ->
-  let objective = Linexpr.terms t.objective in
-  match
-    Simplex.solve ~num_vars:t.count ~objective (List.rev t.constrs)
-  with
-  | Simplex.Optimal { objective = obj; solution } ->
-    let obj = obj +. Linexpr.constant t.objective in
-    (Solved obj, fun v -> if v >= 0 && v < Array.length solution then solution.(v) else 0.0)
-  | Simplex.Infeasible -> (Infeasible, fun _ -> 0.0)
-  | Simplex.Unbounded -> (Unbounded, fun _ -> 0.0)
+    let s =
+      match t.istate with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            sx = Simplex.create ();
+            vars_pushed = 0;
+            rows_pushed = 0;
+            col_of_var = Array.make 64 (-1);
+            row_ids = Array.make 64 (-1);
+          }
+        in
+        t.istate <- Some s;
+        s
+    in
+    (* Push whatever accumulated since the previous solve. *)
+    s.col_of_var <- grow_int s.col_of_var t.count;
+    for v = s.vars_pushed to t.count - 1 do
+      s.col_of_var.(v) <- Simplex.add_col s.sx
+    done;
+    s.vars_pushed <- t.count;
+    s.row_ids <- grow_int s.row_ids t.nconstrs;
+    for i = s.rows_pushed to t.nconstrs - 1 do
+      let r = t.rows.(i) in
+      let entries = List.map (fun (v, k) -> (s.col_of_var.(v), k)) r.c_row in
+      s.row_ids.(i) <- Simplex.add_row s.sx entries r.c_rel r.c_rhs
+    done;
+    s.rows_pushed <- t.nconstrs;
+    Simplex.set_objective s.sx
+      (List.map (fun (v, k) -> (s.col_of_var.(v), k)) (Linexpr.terms t.objective));
+    let result = Simplex.reoptimize s.sx in
+    let st = Simplex.last_stats s.sx in
+    let info =
+      {
+        (no_info Sparse) with
+        pivots = st.Simplex.pivots;
+        warm = st.Simplex.warm;
+        pivots_saved = st.Simplex.reused_basis;
+        cold_restarts = st.Simplex.cold_restarts;
+      }
+    in
+    t.info <- info;
+    record_info info;
+    (match result with
+    | `Optimal obj ->
+      let obj = obj +. Linexpr.constant t.objective in
+      (* Snapshot: the solver state stays live inside [t] (later rhs
+         edits move its basic solution), but the assignment handed out
+         must keep describing THIS solve. *)
+      let snap =
+        Array.init t.count (fun v -> Simplex.value s.sx s.col_of_var.(v))
+      in
+      ( Solved obj,
+        fun v -> if v >= 0 && v < Array.length snap then snap.(v) else 0.0 )
+    | `Infeasible -> (Infeasible, fun _ -> 0.0)
+    | `Unbounded -> (Unbounded, fun _ -> 0.0))
 
 let pp_stats ppf t =
   Format.fprintf ppf "lp: %d vars, %d constraints" t.count t.nconstrs

@@ -9,18 +9,53 @@
     - {!abs} — [|e|], for the Mostly-Paired terms (Equations 6 and 7).
 
     All variables are bounded below by 0, matching their reading as
-    probabilities or penalties. *)
+    probabilities or penalties.
+
+    Two solve paths share the builder.  {!solve} is one-shot: the program
+    is presolved ({!Presolve}) and handed to the selected engine — the
+    sparse revised simplex by default, the seed dense tableau ({!Dense})
+    for reference runs.  {!solve_incremental} keeps a live {!Simplex.t}
+    inside the problem: each call pushes only the variables, constraints,
+    right-hand-side edits, and objective accumulated since the previous
+    call and reoptimizes from the previous basis — the engine of the
+    encoder's cross-round warm starts. *)
 
 type t
 
 type var = int
+
+type row_id = int
 
 type status =
   | Solved of float  (** optimal objective value *)
   | Infeasible
   | Unbounded
 
+(** Which simplex implementation {!solve} uses. *)
+type engine =
+  | Dense  (** seed two-phase dense tableau ({!Dense}) *)
+  | Sparse  (** revised simplex over {!Sparse} (the default) *)
+
+(** Statistics from the most recent solve of a problem. *)
+type solve_info = {
+  engine : engine;
+  pivots : int;
+  warm : bool;  (** started from a previous basis (incremental path) *)
+  pivots_saved : int;
+      (** structural basis columns inherited at a warm start *)
+  presolve_removed_rows : int;
+  presolve_fixed_vars : int;
+  cold_restarts : int;  (** warm attempts that fell back to a cold build *)
+}
+
 val create : unit -> t
+
+val set_engine : t -> engine -> unit
+
+val engine : t -> engine
+
+val set_presolve : t -> bool -> unit
+(** Toggle the {!Presolve} pass on the one-shot path (on by default). *)
 
 val add_var : t -> ?ub:float -> string -> var
 (** [add_var t name] declares a variable in [\[0, inf)]; [~ub] caps it
@@ -38,30 +73,60 @@ val add_ge : t -> Linexpr.t -> float -> unit
 
 val add_eq : t -> Linexpr.t -> float -> unit
 
+val add_ge_row : t -> Linexpr.t -> float -> row_id
+(** {!add_ge} returning the constraint's id, for later {!set_row_rhs}
+    (how rounding pins are later relaxed). *)
+
+val set_row_rhs : t -> row_id -> float -> unit
+(** Replace a constraint's right-hand side (the stored one — any constant
+    folded out of the expression at creation stays folded). *)
+
 val add_objective : t -> Linexpr.t -> unit
 (** Accumulate a term into the minimization objective. *)
+
+val set_objective : t -> Linexpr.t -> unit
+(** Replace the whole objective (incremental encoders rebuild it each
+    round with recomputed weights). *)
 
 val hinge : t -> weight:float -> string -> Linexpr.t -> var
 (** [hinge t ~weight name e] adds a fresh variable [h >= max(0, e)] and the
     objective term [weight * h]; at the optimum [h = max(0, e)] because [h]
     is minimized.  Returns [h]. *)
 
+val hinge_var : t -> string -> Linexpr.t -> var
+(** {!hinge} without the objective term, for callers that set the whole
+    objective via {!set_objective}. *)
+
 val abs : t -> weight:float -> string -> Linexpr.t -> var
 (** [abs t ~weight name e] adds a fresh [a >= |e|] with objective term
     [weight * a]; at the optimum [a = |e|].  Returns [a]. *)
 
+val abs_var : t -> string -> Linexpr.t -> var
+(** {!abs} without the objective term. *)
+
 val solve : t -> status * (var -> float)
-(** Solve the accumulated program.  The assignment function returns 0 for
-    every variable when the program is not [Solved]. *)
+(** Solve the accumulated program one-shot (presolve + selected engine).
+    The assignment function returns 0 for every variable when the program
+    is not [Solved]. *)
+
+val solve_incremental : t -> status * (var -> float)
+(** Solve keeping live solver state inside [t]: subsequent calls push
+    only the delta since the previous call and warm-start from its basis.
+    Semantically equivalent to {!solve} (same optimal value; possibly a
+    different optimal vertex when ties exist). *)
+
+val last_info : t -> solve_info
+(** Statistics of the most recent {!solve} / {!solve_incremental}. *)
 
 val set_fault : status option -> unit
-(** Fault-injection seam: while [Some s] is installed, {!solve} skips the
-    simplex entirely and reports [s] with the all-zero assignment.  Used
-    by tests and the bench robustness gate to exercise the pipeline's
-    graceful-degradation path (an organically infeasible program cannot
-    arise from the SherLock encoding, whose constraints are all
-    satisfiable at zero).  [set_fault None] restores normal solving.
-    Global, not domain-local: install only around single-domain runs. *)
+(** Fault-injection seam: while [Some s] is installed, {!solve} and
+    {!solve_incremental} skip the simplex entirely and report [s] with
+    the all-zero assignment.  Used by tests and the bench robustness
+    gate to exercise the pipeline's graceful-degradation path (an
+    organically infeasible program cannot arise from the SherLock
+    encoding, whose constraints are all satisfiable at zero).
+    [set_fault None] restores normal solving.  Global, not domain-local:
+    install only around single-domain runs. *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** One-line size summary (variables / constraints), for logs. *)

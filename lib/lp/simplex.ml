@@ -14,145 +14,327 @@ type outcome =
   | Unbounded
   | Infeasible
 
-let eps = 1e-9
-
-(* Tableau layout: columns [0, num_vars) are structural, then one slack or
-   surplus column per inequality, then one artificial column per Ge/Eq row,
-   and finally the right-hand side.  [basis.(i)] is the column currently
-   basic in row [i].  The tableau is kept canonical: basic columns are unit
-   vectors, so reduced costs can be recomputed from any cost vector. *)
-type tableau = {
-  t : float array array;      (* m rows, ncols + 1 entries; last is rhs *)
-  basis : int array;
-  ncols : int;
-  first_artificial : int;     (* columns >= this are artificial *)
-  mutable pivots : int;       (* pivot operations performed, for telemetry *)
+type stats = {
+  pivots : int;
+  warm : bool;
+  reused_basis : int;
+  cold_restarts : int;
 }
 
-let build num_vars constrs =
-  let m = List.length constrs in
-  (* Normalize to rhs >= 0. *)
-  let normalized =
-    List.map
-      (fun c ->
-        if c.rhs < 0.0 then
-          {
-            row = List.map (fun (v, k) -> (v, -.k)) c.row;
-            relation = (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
-            rhs = -.c.rhs;
-          }
-        else c)
-      constrs
-  in
-  let num_slack =
-    List.length (List.filter (fun c -> c.relation <> Eq) normalized)
-  in
-  let num_artificial =
-    List.length (List.filter (fun c -> c.relation <> Le) normalized)
-  in
-  let ncols = num_vars + num_slack + num_artificial in
-  let t = Array.make_matrix m (ncols + 1) 0.0 in
-  let basis = Array.make m 0 in
-  let next_slack = ref num_vars in
-  let next_art = ref (num_vars + num_slack) in
-  List.iteri
-    (fun i c ->
-      List.iter (fun (v, k) -> t.(i).(v) <- t.(i).(v) +. k) c.row;
-      t.(i).(ncols) <- c.rhs;
-      (match c.relation with
-      | Le ->
-        t.(i).(!next_slack) <- 1.0;
-        basis.(i) <- !next_slack;
-        incr next_slack
-      | Ge ->
-        t.(i).(!next_slack) <- -1.0;
-        incr next_slack;
-        t.(i).(!next_art) <- 1.0;
-        basis.(i) <- !next_art;
-        incr next_art
-      | Eq ->
-        t.(i).(!next_art) <- 1.0;
-        basis.(i) <- !next_art;
-        incr next_art))
-    normalized;
-  { t; basis; ncols; first_artificial = num_vars + num_slack; pivots = 0 }
+let eps = 1e-9
 
-let pivot tab ~row ~col =
-  tab.pivots <- tab.pivots + 1;
-  let t = tab.t in
-  let m = Array.length t in
-  let width = tab.ncols + 1 in
-  let pr = t.(row) in
-  let inv = 1.0 /. pr.(col) in
-  for j = 0 to width - 1 do
-    pr.(j) <- pr.(j) *. inv
-  done;
-  pr.(col) <- 1.0;
-  for i = 0 to m - 1 do
-    if i <> row then begin
-      let factor = t.(i).(col) in
-      if factor <> 0.0 then begin
-        let ri = t.(i) in
-        for j = 0 to width - 1 do
-          ri.(j) <- ri.(j) -. (factor *. pr.(j))
-        done;
-        ri.(col) <- 0.0
-      end
-    end
-  done;
-  tab.basis.(row) <- col
+let feas_tol = 1e-7
 
-(* Reduced-cost row for the current basis under cost vector [cost]
-   (length ncols).  Returns (d, obj) with d_j = c_j - c_B B^-1 A_j. *)
-let reduced_costs tab cost =
-  let m = Array.length tab.t in
-  let d = Array.make tab.ncols 0.0 in
-  Array.blit cost 0 d 0 tab.ncols;
+(* Revised simplex over the sparse matrix in {!Sparse}.  Only the working
+   basis is dense: [binv] holds B^-1 (m x m) and [xb] the basic values;
+   pricing and ratio tests walk sparse column occurrence lists against
+   them.  The state is incremental: columns and rows append, appended
+   rows border-extend the factorization (their slack or a fresh
+   artificial becomes basic, B^-1 grows by one bordered row, no
+   refactorization), right-hand sides may change in place, and the next
+   [reoptimize] starts from the previous basis — primal if still
+   feasible, dual repair against the last optimal cost vector if not,
+   and a cold two-phase rebuild as the fallback of last resort. *)
+
+type kind =
+  | Structural
+  | Slack
+  | Artificial
+
+type mstats = {
+  mutable m_pivots : int;
+  mutable m_warm : bool;
+  mutable m_reused : int;
+  mutable m_colds : int;
+}
+
+type t = {
+  mat : Sparse.t;
+  (* per column *)
+  mutable kind : kind array;
+  mutable cost : float array;
+  mutable dead : bool array; (* retired artificials: never eligible to enter *)
+  mutable in_basis : int array; (* basic in this row, or -1 *)
+  mutable art_entry : (int * float) array; (* row of the artificial, or (-1,_) *)
+  (* per row *)
+  mutable rel : relation array;
+  mutable rhs : float array;
+  mutable slack_of : int array; (* slack/surplus column, or -1 for Eq *)
+  (* factorization *)
+  mutable have_basis : bool;
+  mutable basis : int array; (* per row: the basic column *)
+  mutable binv : float array array;
+  mutable xb : float array;
+  (* dual-repair certificate: the cost vector (and column count) the
+     current basis was last proven optimal for.  Reduced costs under it
+     stay non-negative across row appends (their basic columns are
+     cost-free) and rhs edits, which is exactly dual feasibility. *)
+  mutable have_opt : bool;
+  mutable opt_cost : float array;
+  stats : mstats;
+}
+
+let create () =
+  {
+    mat = Sparse.create ();
+    kind = Array.make 8 Structural;
+    cost = Array.make 8 0.0;
+    dead = Array.make 8 false;
+    in_basis = Array.make 8 (-1);
+    art_entry = Array.make 8 (-1, 0.0);
+    rel = Array.make 8 Le;
+    rhs = Array.make 8 0.0;
+    slack_of = Array.make 8 (-1);
+    have_basis = false;
+    basis = [||];
+    binv = [||];
+    xb = [||];
+    have_opt = false;
+    opt_cost = [||];
+    stats = { m_pivots = 0; m_warm = false; m_reused = 0; m_colds = 0 };
+  }
+
+let grow (type a) (a : a array) n (fill : a) : a array =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) fill in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let register_col t k =
+  let c = Sparse.add_col t.mat in
+  t.kind <- grow t.kind (c + 1) Structural;
+  t.cost <- grow t.cost (c + 1) 0.0;
+  t.dead <- grow t.dead (c + 1) false;
+  t.in_basis <- grow t.in_basis (c + 1) (-1);
+  t.art_entry <- grow t.art_entry (c + 1) (-1, 0.0);
+  t.kind.(c) <- k;
+  t.cost.(c) <- 0.0;
+  t.dead.(c) <- false;
+  t.in_basis.(c) <- -1;
+  t.art_entry.(c) <- (-1, 0.0);
+  c
+
+let add_col t = register_col t Structural
+
+(* Artificial columns live outside the CSR rows (a row's stored entries
+   are its real coefficients); their single entry is kept aside and every
+   column-view access goes through these two helpers. *)
+let new_artificial t ~row ~coeff =
+  let c = register_col t Artificial in
+  t.art_entry.(c) <- (row, coeff);
+  c
+
+let iter_col_entries t j f =
+  match t.kind.(j) with
+  | Artificial ->
+    let r, a = t.art_entry.(j) in
+    if r >= 0 then f r a
+  | Structural | Slack -> Sparse.iter_col t.mat j f
+
+let col_dot t j v =
+  match t.kind.(j) with
+  | Artificial ->
+    let r, a = t.art_entry.(j) in
+    if r >= 0 then a *. v.(r) else 0.0
+  | Structural | Slack -> Sparse.col_dot t.mat j v
+
+let num_rows t = Sparse.nrows t.mat
+
+let num_cols t = Sparse.ncols t.mat
+
+(* Border extension: append row [i] to the factorization with [bcol]
+   (coefficient [sigma] in row [i], zero cost) as its basic column.
+   With B' = [[B, 0], [r_B, sigma]] the inverse is
+   [[B^-1, 0], [-r_B B^-1 / sigma, 1/sigma]], and the new basic value is
+   (b_i - r_B . x_B) / sigma — no refactorization, O(m^2). *)
+let extend_basis t i ~bcol ~sigma =
+  let m = Array.length t.basis in
+  let u = Array.make (m + 1) 0.0 in
+  let v = ref t.rhs.(i) in
+  Sparse.iter_row t.mat i (fun c a ->
+      let ib = t.in_basis.(c) in
+      if ib >= 0 then begin
+        v := !v -. (a *. t.xb.(ib));
+        let bi = t.binv.(ib) in
+        for k = 0 to m - 1 do
+          u.(k) <- u.(k) +. (a *. bi.(k))
+        done
+      end);
+  let nb = Array.make (m + 1) [||] in
+  for r = 0 to m - 1 do
+    let row = Array.make (m + 1) 0.0 in
+    Array.blit t.binv.(r) 0 row 0 m;
+    nb.(r) <- row
+  done;
+  let last = Array.make (m + 1) 0.0 in
+  for k = 0 to m - 1 do
+    last.(k) <- -.u.(k) /. sigma
+  done;
+  last.(m) <- 1.0 /. sigma;
+  nb.(m) <- last;
+  t.binv <- nb;
+  let xb = Array.make (m + 1) 0.0 in
+  Array.blit t.xb 0 xb 0 m;
+  xb.(m) <- !v /. sigma;
+  t.xb <- xb;
+  let basis = Array.make (m + 1) 0 in
+  Array.blit t.basis 0 basis 0 m;
+  basis.(m) <- bcol;
+  t.basis <- basis;
+  t.in_basis.(bcol) <- m
+
+let add_row t entries relation rhs_v =
+  let slack =
+    match relation with
+    | Le -> Some (register_col t Slack, 1.0)
+    | Ge -> Some (register_col t Slack, -1.0)
+    | Eq -> None
+  in
+  let full =
+    match slack with Some (c, s) -> (c, s) :: entries | None -> entries
+  in
+  let i = Sparse.add_row t.mat full in
+  t.rel <- grow t.rel (i + 1) Le;
+  t.rhs <- grow t.rhs (i + 1) 0.0;
+  t.slack_of <- grow t.slack_of (i + 1) (-1);
+  t.rel.(i) <- relation;
+  t.rhs.(i) <- rhs_v;
+  t.slack_of.(i) <- (match slack with Some (c, _) -> c | None -> -1);
+  if t.have_basis then begin
+    match slack with
+    | Some (c, sigma) -> extend_basis t i ~bcol:c ~sigma
+    | None ->
+      let c = new_artificial t ~row:i ~coeff:1.0 in
+      extend_basis t i ~bcol:c ~sigma:1.0
+  end;
+  i
+
+let set_rhs t i v =
+  let delta = v -. t.rhs.(i) in
+  t.rhs.(i) <- v;
+  if t.have_basis && delta <> 0.0 then begin
+    (* x_B += B^-1 (delta e_i), one column of the inverse. *)
+    let m = Array.length t.basis in
+    for k = 0 to m - 1 do
+      t.xb.(k) <- t.xb.(k) +. (t.binv.(k).(i) *. delta)
+    done
+  end
+
+let set_objective t terms =
+  Array.fill t.cost 0 (Array.length t.cost) 0.0;
+  List.iter (fun (c, k) -> t.cost.(c) <- t.cost.(c) +. k) terms
+
+let value t c =
+  let i = t.in_basis.(c) in
+  if i >= 0 then t.xb.(i) else 0.0
+
+let basic_objective t cost =
   let obj = ref 0.0 in
+  for i = 0 to Array.length t.basis - 1 do
+    obj := !obj +. (cost.(t.basis.(i)) *. t.xb.(i))
+  done;
+  !obj
+
+let dual_y t cost =
+  let m = Array.length t.basis in
+  let y = Array.make m 0.0 in
   for i = 0 to m - 1 do
-    let cb = cost.(tab.basis.(i)) in
+    let cb = cost.(t.basis.(i)) in
     if cb <> 0.0 then begin
-      obj := !obj +. (cb *. tab.t.(i).(tab.ncols));
-      for j = 0 to tab.ncols - 1 do
-        d.(j) <- d.(j) -. (cb *. tab.t.(i).(j))
+      let bi = t.binv.(i) in
+      for k = 0 to m - 1 do
+        y.(k) <- y.(k) +. (cb *. bi.(k))
       done
     end
   done;
-  (d, !obj)
+  y
 
-(* Minimize [cost] over the current tableau.  [allow] filters entering
-   columns (used to forbid artificials in phase 2).  Bland's rule: the
-   entering column is the smallest-index eligible one and ties in the
-   ratio test break toward the smallest basis index, which precludes
-   cycling.  Returns [None] if unbounded. *)
-let optimize tab cost ~allow =
-  let m = Array.length tab.t in
-  let d, obj0 = reduced_costs tab cost in
-  let obj = ref obj0 in
+let compute_direction t j =
+  let m = Array.length t.basis in
+  let w = Array.make m 0.0 in
+  iter_col_entries t j (fun r a ->
+      for i = 0 to m - 1 do
+        w.(i) <- w.(i) +. (t.binv.(i).(r) *. a)
+      done);
+  w
+
+let do_pivot t ~row ~col ~w =
+  let m = Array.length t.basis in
+  let piv = w.(row) in
+  let br = t.binv.(row) in
+  let inv = 1.0 /. piv in
+  for k = 0 to m - 1 do
+    br.(k) <- br.(k) *. inv
+  done;
+  t.xb.(row) <- t.xb.(row) *. inv;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = w.(i) in
+      if abs_float f > 1e-12 then begin
+        let bi = t.binv.(i) in
+        for k = 0 to m - 1 do
+          bi.(k) <- bi.(k) -. (f *. br.(k))
+        done;
+        t.xb.(i) <- t.xb.(i) -. (f *. t.xb.(row))
+      end
+    end
+  done;
+  t.in_basis.(t.basis.(row)) <- -1;
+  t.basis.(row) <- col;
+  t.in_basis.(col) <- row;
+  t.stats.m_pivots <- t.stats.m_pivots + 1
+
+exception Iteration_limit
+
+(* Primal simplex on the current factorization, minimizing [cost].
+   Dantzig pricing (most negative reduced cost) with a permanent switch
+   to Bland's rule after a long degenerate streak, which restores the
+   termination guarantee.  Returns [None] when unbounded. *)
+let primal t ~cost ~phase1 =
+  let ncols = num_cols t in
+  let bland = ref false in
+  let degen = ref 0 in
+  let iters = ref 0 in
+  let m () = Array.length t.basis in
+  let allowed j =
+    (not t.dead.(j))
+    && t.in_basis.(j) < 0
+    && (phase1 || t.kind.(j) <> Artificial)
+  in
   let rec loop () =
-    let entering = ref (-1) in
+    incr iters;
+    if !iters > 500_000 then raise Iteration_limit;
+    let y = dual_y t cost in
+    let best_j = ref (-1) in
+    let best_d = ref (-.eps) in
     (try
-       for j = 0 to tab.ncols - 1 do
-         if allow j && d.(j) < -.eps then begin
-           entering := j;
-           raise Exit
+       for j = 0 to ncols - 1 do
+         if allowed j then begin
+           let d = cost.(j) -. col_dot t j y in
+           if d < !best_d then begin
+             best_j := j;
+             best_d := d;
+             if !bland then raise Exit
+           end
          end
        done
      with Exit -> ());
-    if !entering < 0 then Some !obj
+    if !best_j < 0 then Some (basic_objective t cost)
     else begin
-      let col = !entering in
+      let j = !best_j in
+      let w = compute_direction t j in
       let best_row = ref (-1) in
       let best_ratio = ref infinity in
-      for i = 0 to m - 1 do
-        let a = tab.t.(i).(col) in
-        if a > eps then begin
-          let ratio = tab.t.(i).(tab.ncols) /. a in
+      for i = 0 to m () - 1 do
+        if w.(i) > eps then begin
+          let ratio = t.xb.(i) /. w.(i) in
           if
             ratio < !best_ratio -. eps
             || (ratio < !best_ratio +. eps
                && !best_row >= 0
-               && tab.basis.(i) < tab.basis.(!best_row))
+               && t.basis.(i) < t.basis.(!best_row))
           then begin
             best_row := i;
             best_ratio := ratio
@@ -161,80 +343,277 @@ let optimize tab cost ~allow =
       done;
       if !best_row < 0 then None
       else begin
-        let row = !best_row in
-        pivot tab ~row ~col;
-        (* Update the reduced-cost row by the same elimination. *)
-        let dcol = d.(col) in
-        if dcol <> 0.0 then begin
-          let pr = tab.t.(row) in
-          for j = 0 to tab.ncols - 1 do
-            d.(j) <- d.(j) -. (dcol *. pr.(j))
-          done;
-          d.(col) <- 0.0;
-          obj := !obj +. (dcol *. pr.(tab.ncols))
-        end;
+        if !best_ratio <= feas_tol then begin
+          incr degen;
+          if !degen > 100 + (2 * m ()) then bland := true
+        end
+        else degen := 0;
+        do_pivot t ~row:!best_row ~col:j ~w;
         loop ()
       end
     end
   in
   loop ()
 
-(* After phase 1, pivot basic artificials out on any usable non-artificial
-   column; rows that cannot be pivoted are redundant and remain inert
-   (their every non-artificial entry is zero, so later pivots leave them
-   untouched). *)
-let expel_artificials tab =
-  let m = Array.length tab.t in
-  for i = 0 to m - 1 do
-    if tab.basis.(i) >= tab.first_artificial then begin
+(* Dual simplex under the last proven-optimal cost vector: drives the
+   basic values back to feasibility while reduced costs stay >= 0.
+   Columns added after that optimum are excluded from entering (their
+   reduced costs under the old prices are unknown), as are artificials.
+   Returns false — caller cold-restarts — when the restricted step has no
+   eligible pivot; a restricted dead end says nothing about the full
+   problem, so it must never be reported as infeasibility. *)
+let dual_repair t =
+  let nold = Array.length t.opt_cost in
+  let cost_of j = if j < nold then t.opt_cost.(j) else 0.0 in
+  let full_cost = Array.init (num_cols t) cost_of in
+  let m = Array.length t.basis in
+  let cap = 200 + (8 * m) in
+  let iters = ref 0 in
+  let rec loop () =
+    incr iters;
+    if !iters > cap then false
+    else begin
+      let r = ref (-1) in
+      let worst = ref (-.feas_tol) in
+      for i = 0 to m - 1 do
+        if t.xb.(i) < !worst then begin
+          r := i;
+          worst := t.xb.(i)
+        end
+      done;
+      if !r < 0 then true
+      else begin
+        let r = !r in
+        let y = dual_y t full_cost in
+        let br = t.binv.(r) in
+        let best_j = ref (-1) in
+        let best_ratio = ref infinity in
+        for j = 0 to nold - 1 do
+          if (not t.dead.(j)) && t.in_basis.(j) < 0 && t.kind.(j) <> Artificial
+          then begin
+            let alpha = ref 0.0 in
+            iter_col_entries t j (fun row a -> alpha := !alpha +. (br.(row) *. a));
+            if !alpha < -.eps then begin
+              let d = max 0.0 (cost_of j -. col_dot t j y) in
+              let ratio = d /. -. !alpha in
+              if ratio < !best_ratio -. 1e-12 then begin
+                best_j := j;
+                best_ratio := ratio
+              end
+            end
+          end
+        done;
+        if !best_j < 0 then false
+        else begin
+          let w = compute_direction t !best_j in
+          do_pivot t ~row:r ~col:!best_j ~w;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let primal_feasible t =
+  let ok = ref true in
+  Array.iteri
+    (fun i b ->
+      if t.xb.(i) < -.feas_tol then ok := false
+      else if t.kind.(b) = Artificial && abs_float t.xb.(i) > feas_tol then
+        ok := false)
+    t.basis;
+  !ok
+
+(* Verify the claimed optimum against the original rows; catches drift
+   accumulated by long incremental pivot sequences. *)
+let residuals_ok t =
+  let ok = ref true in
+  for i = 0 to num_rows t - 1 do
+    if !ok then begin
+      let s = ref 0.0 in
+      Sparse.iter_row t.mat i (fun c a ->
+          if t.kind.(c) = Structural then s := !s +. (a *. value t c));
+      let slack = 1e-6 *. (1.0 +. abs_float t.rhs.(i)) in
+      (match t.rel.(i) with
+      | Le -> if !s > t.rhs.(i) +. slack then ok := false
+      | Ge -> if !s < t.rhs.(i) -. slack then ok := false
+      | Eq -> if abs_float (!s -. t.rhs.(i)) > slack then ok := false)
+    end
+  done;
+  !ok
+
+(* Pivot basic artificials out after phase 1 where a live column with a
+   nonzero tableau entry exists; rows with none are redundant and the
+   artificial stays basic at zero, retired so it can never re-enter. *)
+let expel_artificials t =
+  let ncols = num_cols t in
+  for i = 0 to Array.length t.basis - 1 do
+    if t.kind.(t.basis.(i)) = Artificial then begin
+      let br = t.binv.(i) in
       let found = ref (-1) in
       (try
-         for j = 0 to tab.first_artificial - 1 do
-           if abs_float tab.t.(i).(j) > eps then begin
-             found := j;
-             raise Exit
+         for j = 0 to ncols - 1 do
+           if (not t.dead.(j)) && t.in_basis.(j) < 0 && t.kind.(j) <> Artificial
+           then begin
+             let alpha = ref 0.0 in
+             iter_col_entries t j (fun r a -> alpha := !alpha +. (br.(r) *. a));
+             if abs_float !alpha > 1e-7 then begin
+               found := j;
+               raise Exit
+             end
            end
          done
        with Exit -> ());
-      if !found >= 0 then pivot tab ~row:i ~col:!found
+      if !found >= 0 then begin
+        let w = compute_direction t !found in
+        do_pivot t ~row:i ~col:!found ~w
+      end
     end
   done
 
-let phase2 tab num_vars objective =
-  let cost2 = Array.make tab.ncols 0.0 in
-  List.iter (fun (v, k) -> cost2.(v) <- cost2.(v) +. k) objective;
-  match optimize tab cost2 ~allow:(fun j -> j < tab.first_artificial) with
-  | None -> Unbounded
-  | Some objective ->
-    let solution = Array.make num_vars 0.0 in
-    Array.iteri
-      (fun i b -> if b < num_vars then solution.(b) <- tab.t.(i).(tab.ncols))
-      tab.basis;
-    Optimal { objective; solution }
-
-let record_telemetry tab =
-  let module Tm = Sherlock_telemetry.Metrics in
-  if Tm.enabled () then begin
-    Tm.Counter.incr (Tm.counter "lp.solves");
-    Tm.Histogram.observe_int (Tm.histogram "lp.pivots") tab.pivots
-  end
-
-let solve ~num_vars ~objective constrs =
-  let tab = build num_vars constrs in
-  let outcome =
-    if tab.first_artificial = tab.ncols then phase2 tab num_vars objective
+(* Cold start: rebuild the basis from slacks where the sign works, fresh
+   artificials elsewhere, then the classic two phases. *)
+let cold_solve t =
+  (* Retire every artificial from previous starts. *)
+  for c = 0 to num_cols t - 1 do
+    if t.kind.(c) = Artificial then t.dead.(c) <- true;
+    t.in_basis.(c) <- -1
+  done;
+  let m = num_rows t in
+  t.basis <- Array.make m 0;
+  t.binv <- Array.init m (fun _ -> Array.make m 0.0);
+  t.xb <- Array.make m 0.0;
+  let nart = ref 0 in
+  for i = 0 to m - 1 do
+    let b = t.rhs.(i) in
+    let bcol, sigma =
+      match t.rel.(i) with
+      | Le when b >= 0.0 -> (t.slack_of.(i), 1.0)
+      | Ge when b <= 0.0 -> (t.slack_of.(i), -1.0)
+      | Le | Ge | Eq ->
+        incr nart;
+        let coeff = if b >= 0.0 then 1.0 else -1.0 in
+        (new_artificial t ~row:i ~coeff, coeff)
+    in
+    t.basis.(i) <- bcol;
+    t.in_basis.(bcol) <- i;
+    t.binv.(i).(i) <- 1.0 /. sigma;
+    t.xb.(i) <- b /. sigma
+  done;
+  t.have_basis <- true;
+  let phase1_ok =
+    if !nart = 0 then true
     else begin
-      let cost1 = Array.make tab.ncols 0.0 in
-      for j = tab.first_artificial to tab.ncols - 1 do
-        cost1.(j) <- 1.0
+      let cost1 = Array.make (num_cols t) 0.0 in
+      for c = 0 to num_cols t - 1 do
+        if t.kind.(c) = Artificial && not t.dead.(c) then cost1.(c) <- 1.0
       done;
-      match optimize tab cost1 ~allow:(fun _ -> true) with
+      match primal t ~cost:cost1 ~phase1:true with
       | None -> assert false (* phase-1 objective is bounded below by 0 *)
-      | Some v when v > 1e-6 -> Infeasible
+      | Some v when v > 1e-6 -> false
       | Some _ ->
-        expel_artificials tab;
-        phase2 tab num_vars objective
+        expel_artificials t;
+        for c = 0 to num_cols t - 1 do
+          if t.kind.(c) = Artificial then t.dead.(c) <- true
+        done;
+        true
     end
   in
-  record_telemetry tab;
-  outcome
+  if not phase1_ok then `Infeasible
+  else
+    match primal t ~cost:t.cost ~phase1:false with
+    | None -> `Unbounded
+    | Some obj -> `Optimal obj
+
+let count_reused t =
+  Array.fold_left
+    (fun acc b -> if t.kind.(b) = Structural then acc + 1 else acc)
+    0 t.basis
+
+let reoptimize t =
+  let s = t.stats in
+  s.m_pivots <- 0;
+  s.m_warm <- false;
+  s.m_reused <- 0;
+  s.m_colds <- 0;
+  let go_cold () =
+    s.m_colds <- s.m_colds + 1;
+    s.m_warm <- false;
+    s.m_reused <- 0;
+    cold_solve t
+  in
+  let result =
+    if not t.have_basis then begin
+      match cold_solve t with
+      | exception Iteration_limit -> raise Iteration_limit
+      | r -> r
+    end
+    else begin
+      let warm_result =
+        if primal_feasible t then begin
+          s.m_warm <- true;
+          s.m_reused <- count_reused t;
+          match primal t ~cost:t.cost ~phase1:false with
+          | None -> Some `Unbounded
+          | Some obj -> Some (`Optimal obj)
+          | exception Iteration_limit -> None
+        end
+        else if t.have_opt then begin
+          s.m_warm <- true;
+          s.m_reused <- count_reused t;
+          match dual_repair t with
+          | exception Iteration_limit -> None
+          | false -> None
+          | true ->
+            if not (primal_feasible t) then None
+            else begin
+              match primal t ~cost:t.cost ~phase1:false with
+              | None -> Some `Unbounded
+              | Some obj -> Some (`Optimal obj)
+              | exception Iteration_limit -> None
+            end
+        end
+        else None
+      in
+      match warm_result with
+      | Some (`Optimal obj) when residuals_ok t -> `Optimal obj
+      | Some (`Optimal _) -> go_cold ()
+      | Some `Unbounded -> `Unbounded
+      | None -> go_cold ()
+    end
+  in
+  (match result with
+  | `Optimal _ ->
+    t.have_opt <- true;
+    t.opt_cost <- Array.sub t.cost 0 (num_cols t)
+  | `Unbounded | `Infeasible ->
+    t.have_opt <- false;
+    t.have_basis <- false);
+  result
+
+let last_stats t =
+  {
+    pivots = t.stats.m_pivots;
+    warm = t.stats.m_warm;
+    reused_basis = t.stats.m_reused;
+    cold_restarts = t.stats.m_colds;
+  }
+
+let solve_counted ~num_vars ~objective constrs =
+  let t = create () in
+  for _ = 1 to num_vars do
+    ignore (add_col t)
+  done;
+  List.iter (fun c -> ignore (add_row t c.row c.relation c.rhs)) constrs;
+  set_objective t objective;
+  let outcome =
+    match reoptimize t with
+    | `Optimal objective ->
+      Optimal { objective; solution = Array.init num_vars (value t) }
+    | `Unbounded -> Unbounded
+    | `Infeasible -> Infeasible
+  in
+  (outcome, last_stats t)
+
+let solve ~num_vars ~objective constrs =
+  fst (solve_counted ~num_vars ~objective constrs)

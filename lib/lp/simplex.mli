@@ -1,10 +1,21 @@
-(** Two-phase dense primal simplex.
+(** Sparse revised simplex.
 
-    Solves [minimize c.x  subject to  A x (<=|>=|=) b,  x >= 0] exactly in
-    floating point, using Bland's anti-cycling rule.  This is the solver
-    behind {!Problem}; SherLock's Equation (8) instances are small (a few
-    hundred rows), so a dense tableau is the simplest adequate choice —
-    the paper's artifact similarly delegates to a generic LP package. *)
+    Solves [minimize c.x  subject to  A x (<=|>=|=) b,  x >= 0] in
+    floating point.  The constraint matrix lives in {!Sparse} (CSR rows
+    plus per-column occurrence lists); only the working basis is dense
+    (B^-1 and the basic values).  Pricing uses Dantzig's rule with a
+    permanent switch to Bland's anti-cycling rule after a long
+    degenerate streak.
+
+    Beyond the one-shot {!solve} (the drop-in replacement for the seed
+    dense tableau in {!Dense}), the module exposes an incremental state:
+    columns and rows append over time, appended rows border-extend the
+    basis inverse instead of refactorizing, right-hand sides may be
+    edited in place, and {!reoptimize} restarts from the previous
+    optimal basis — primal if it is still feasible, dual-simplex repair
+    against the last proven-optimal cost vector if not, and a cold
+    two-phase rebuild as the fallback of last resort.  This is what
+    cross-round warm starts in the encoder ride on. *)
 
 type relation =
   | Le
@@ -22,7 +33,60 @@ type outcome =
   | Unbounded
   | Infeasible
 
-val solve : num_vars:int -> objective:(int * float) list -> constr list -> outcome
+val solve :
+  num_vars:int -> objective:(int * float) list -> constr list -> outcome
 (** [solve ~num_vars ~objective constrs] minimizes over variables
     [0 .. num_vars - 1], all implicitly bounded below by 0.  The returned
     [solution] has length [num_vars]. *)
+
+type stats = {
+  pivots : int;  (** pivots performed by the last {!reoptimize} *)
+  warm : bool;  (** the last solve started from a previous basis *)
+  reused_basis : int;
+      (** structural columns inherited in the starting basis — the work
+          a cold start would have had to redo *)
+  cold_restarts : int;  (** cold rebuilds the last solve fell back to *)
+}
+
+val solve_counted :
+  num_vars:int ->
+  objective:(int * float) list ->
+  constr list ->
+  outcome * stats
+(** {!solve} plus the solve statistics. *)
+
+(** {1 Incremental state} *)
+
+type t
+
+val create : unit -> t
+
+val add_col : t -> int
+(** Append a structural column (a decision variable), returning its id. *)
+
+val add_row : t -> (int * float) list -> relation -> float -> int
+(** Append a constraint over existing columns, returning its row id.  A
+    slack/surplus column is added internally for inequalities.  If a
+    basis exists it is border-extended; feasibility is repaired at the
+    next {!reoptimize}. *)
+
+val set_rhs : t -> int -> float -> unit
+(** Change a row's right-hand side in place (e.g. relaxing a rounding
+    pin).  Basic values are updated through the basis inverse. *)
+
+val set_objective : t -> (int * float) list -> unit
+(** Replace the whole objective with the given [(column, cost)] terms. *)
+
+val reoptimize : t -> [ `Optimal of float | `Unbounded | `Infeasible ]
+(** Solve the current program, reusing the previous basis when one
+    exists.  A restricted warm path that reaches a dead end falls back
+    to a cold rebuild — it is never reported as [`Infeasible]. *)
+
+val value : t -> int -> float
+(** Value of a column at the last optimum (0 when nonbasic). *)
+
+val last_stats : t -> stats
+
+val num_rows : t -> int
+
+val num_cols : t -> int

@@ -23,6 +23,8 @@ type t = {
   max_steps : int;
   retries : int;
   fault_plan : Sherlock_sim.Fault.plan;
+  lp_engine : Sherlock_lp.Problem.engine;
+  use_warm_start : bool;
 }
 
 let default =
@@ -51,6 +53,8 @@ let default =
     max_steps = 1_000_000;
     retries = 1;
     fault_plan = Sherlock_sim.Fault.empty;
+    lp_engine = Sherlock_lp.Problem.Sparse;
+    use_warm_start = true;
   }
 
 let pp ppf t =
@@ -59,5 +63,9 @@ let pp ppf t =
      par=%d max-steps=%d retries=%d"
     t.lambda t.near t.window_cap t.delay_us t.rounds t.threshold t.seed
     t.parallelism t.max_steps t.retries;
+  (match t.lp_engine with
+  | Sherlock_lp.Problem.Sparse -> ()
+  | Sherlock_lp.Problem.Dense -> Format.fprintf ppf " lp=dense");
+  if not t.use_warm_start then Format.fprintf ppf " warm-start=off";
   if not (Sherlock_sim.Fault.is_empty t.fault_plan) then
     Format.fprintf ppf " fault=[%a]" Sherlock_sim.Fault.pp t.fault_plan

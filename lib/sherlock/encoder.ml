@@ -1,12 +1,54 @@
 open Sherlock_trace
 open Sherlock_lp
 
+(* LP-engine counters aggregated over every simplex call of one round
+   (the base solve plus each rounding-pin re-solve). *)
+type lp_stats = {
+  lp_engine : Problem.engine;
+  lp_solves : int;
+  lp_pivots : int;
+  lp_warm_solves : int;  (* solves that started from a previous basis *)
+  lp_pivots_saved : int;
+  lp_presolve_rows : int;
+  lp_presolve_vars : int;
+  lp_merged_sides : int;
+      (* window sides mapped onto an existing hinge by the incremental
+         encoder (cumulative over the state's lifetime) *)
+  lp_cold_restarts : int;
+}
+
+let zero_lp engine =
+  {
+    lp_engine = engine;
+    lp_solves = 0;
+    lp_pivots = 0;
+    lp_warm_solves = 0;
+    lp_pivots_saved = 0;
+    lp_presolve_rows = 0;
+    lp_presolve_vars = 0;
+    lp_merged_sides = 0;
+    lp_cold_restarts = 0;
+  }
+
+let fold_lp acc (i : Problem.solve_info) =
+  {
+    acc with
+    lp_solves = acc.lp_solves + 1;
+    lp_pivots = acc.lp_pivots + i.pivots;
+    lp_warm_solves = (acc.lp_warm_solves + if i.warm then 1 else 0);
+    lp_pivots_saved = acc.lp_pivots_saved + i.pivots_saved;
+    lp_presolve_rows = acc.lp_presolve_rows + i.presolve_removed_rows;
+    lp_presolve_vars = acc.lp_presolve_vars + i.presolve_fixed_vars;
+    lp_cold_restarts = acc.lp_cold_restarts + i.cold_restarts;
+  }
+
 type solve_stats = {
   num_vars : int;
   num_windows : int;
   objective : float;
   solve_s : float;
   degraded : bool;
+  lp : lp_stats;
   trace : Metrics.t;
 }
 
@@ -26,6 +68,21 @@ let feasible_roles (config : Config.t) (op : Opid.t) =
 
 let role_ok config op role = List.mem role (feasible_roles config op)
 
+let role_suffix = function Acquire -> "^acq" | Release -> "^rel"
+
+(* Deterministic symmetry breaking.  The encoding regularly has multiple
+   optimal vertices (two candidates covering the same windows at the same
+   cost); which one a simplex run lands on depends on pivot order, which
+   differs between engines and between the one-shot and incremental
+   paths.  A tiny per-variable cost keyed on the operation's identity
+   (not its variable id, which is path-dependent) makes the optimum
+   generically unique, so every path reports the same verdicts.  The
+   magnitude — at most 2e-6 per variable — is far above the solver's
+   1e-9 tolerance and far below any data-driven cost difference. *)
+let tie_cost op role =
+  let h = Hashtbl.hash (Opid.to_string op ^ role_suffix role) in
+  1e-6 *. (1.0 +. (float_of_int h /. 1073741824.0))
+
 type vars = {
   problem : Problem.t;
   table : (Opid.t * role, Problem.var) Hashtbl.t;
@@ -35,8 +92,9 @@ let var_of vars op role =
   match Hashtbl.find_opt vars.table (op, role) with
   | Some v -> v
   | None ->
-    let suffix = match role with Acquire -> "^acq" | Release -> "^rel" in
-    let v = Problem.add_var vars.problem ~ub:1.0 (Opid.to_string op ^ suffix) in
+    let v =
+      Problem.add_var vars.problem ~ub:1.0 (Opid.to_string op ^ role_suffix role)
+    in
     Hashtbl.add vars.table (op, role) v;
     v
 
@@ -51,23 +109,92 @@ let side_sum config vars side role =
       else acc)
     side Linexpr.zero
 
-let encode_protected config vars (w : Observations.merged_window) idx =
-  let weight = float_of_int w.weight in
-  let term role side tag =
-    let sum = side_sum config vars side role in
-    ignore
-      (Problem.hinge vars.problem ~weight
-         (Printf.sprintf "%s(w%d)" tag idx)
-         (Linexpr.sub (Linexpr.const 1.0) sum))
-  in
-  term Release w.rel "rel";
-  term Acquire w.acq "acq"
+(* The variable set of a side's sum (all coefficients are 1), used to
+   recognize two window sides that produce the identical hinge row. *)
+let side_key config vars side role =
+  Opid.Map.fold
+    (fun op _count acc ->
+      if role_ok config op role then var_of vars op role :: acc else acc)
+    side []
+  |> List.sort_uniq compare
 
-let solve ?(previous = []) (config : Config.t) obs =
+(* Largest fractional variable to pin to 1 during rounding.  Values
+   within 1e-6 of the maximum count as tied (different pivot sequences
+   leave different last-bit noise on the same vertex), and ties break on
+   the operation's name — stable across solve paths and engines, unlike
+   variable ids or hash-table iteration order. *)
+let pick_pin (config : Config.t) table assignment =
+  let cands = ref [] in
+  Hashtbl.iter
+    (fun (op, role) v ->
+      let p = assignment v in
+      if p > 0.15 && p < config.threshold then
+        cands := (Opid.to_string op ^ role_suffix role, p, v) :: !cands)
+    table;
+  match !cands with
+  | [] -> None
+  | l ->
+    let pmax = List.fold_left (fun acc (_, p, _) -> Float.max acc p) 0.0 l in
+    let _, p, v =
+      List.fold_left
+        (fun (bn, bp, bv) (n, p, v) ->
+          if p >= pmax -. 1e-6 && (bn = "" || n < bn) then (n, p, v)
+          else (bn, bp, bv))
+        ("", 0.0, -1) l
+    in
+    Some (v, p)
+
+let extract_verdicts (config : Config.t) table assignment =
+  Hashtbl.fold
+    (fun (op, role) v acc ->
+      let p = assignment v in
+      if p >= config.threshold then { Verdict.op; role; probability = p } :: acc
+      else acc)
+    table []
+  |> List.sort Verdict.compare
+
+(* Shared tail of both solve paths: verdicts, stats, telemetry. *)
+let finish (config : Config.t) obs problem table ~num_windows ~lp ~previous
+    ~t_start status assignment =
   let module Tspan = Sherlock_telemetry.Span in
-  Tspan.with_span ~name:"solve" @@ fun () ->
-  let t_start = Unix.gettimeofday () in
+  let objective = match status with Problem.Solved obj -> obj | _ -> nan in
+  let degraded = match status with Problem.Solved _ -> false | _ -> true in
+  let verdicts =
+    if degraded then
+      (* Infeasible / unbounded program: rather than aborting the whole
+         inference, fall back on the previous round's verdicts so the
+         perturber keeps a sensible delay plan and later rounds can
+         recover. *)
+      previous
+    else extract_verdicts config table assignment
+  in
+  let solve_s = Unix.gettimeofday () -. t_start in
+  let acc = Observations.metrics obs in
+  acc.solve_s <- acc.solve_s +. solve_s;
+  Tspan.add_attr "vars" (Tspan.Int (Problem.num_vars problem));
+  Tspan.add_attr "windows" (Tspan.Int num_windows);
+  Tspan.add_attr "verdicts" (Tspan.Int (List.length verdicts));
+  Tspan.add_attr "objective" (Tspan.Float objective);
+  Tspan.add_attr "pivots" (Tspan.Int lp.lp_pivots);
+  if degraded then Tspan.add_attr "degraded" (Tspan.Bool true);
+  ( verdicts,
+    {
+      num_vars = Problem.num_vars problem;
+      num_windows;
+      objective;
+      solve_s;
+      degraded;
+      lp;
+      trace = Metrics.copy acc;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* One-shot path: rebuild the whole LP from the observations.  Used
+   when warm starts are off and as the reference for equivalence tests. *)
+
+let solve_oneshot (config : Config.t) obs previous t_start =
   let problem = Problem.create () in
+  Problem.set_engine problem config.lp_engine;
   let vars = { problem; table = Hashtbl.create 64 } in
   let windows =
     List.filter
@@ -88,8 +215,25 @@ let solve ?(previous = []) (config : Config.t) obs =
     (fun op -> List.iter (fun role -> ignore (var_of vars op role)) (feasible_roles config op))
     !candidates;
   (* Mostly Protected (Equation 2). *)
-  if config.use_protected then List.iteri (fun i w -> encode_protected config vars w i) windows;
+  if config.use_protected then
+    List.iteri
+      (fun i (w : Observations.merged_window) ->
+        let weight = float_of_int w.weight in
+        let term role side tag =
+          let sum = side_sum config vars side role in
+          ignore
+            (Problem.hinge vars.problem ~weight
+               (Printf.sprintf "%s(w%d)" tag i)
+               (Linexpr.sub (Linexpr.const 1.0) sum))
+        in
+        term Release w.rel "rel";
+        term Acquire w.acq "acq")
+      windows;
   let lambda = config.lambda in
+  Hashtbl.iter
+    (fun (op, role) v ->
+      Problem.add_objective problem (Linexpr.var ~coeff:(tie_cost op role) v))
+    vars.table;
   (* Synchronizations are Rare (Equations 3 and 4). *)
   if config.use_rare then
     Hashtbl.iter
@@ -189,61 +333,333 @@ let solve ?(previous = []) (config : Config.t) obs =
      "variables assigned 1" reading would silently drop.  Round by
      repeatedly pinning the largest fractional variable to 1 and
      re-solving — a cheap branch-free integrality repair. *)
+  let lp = ref (zero_lp (Problem.engine problem)) in
   let rec solve_rounded budget =
     let status, assignment = Problem.solve problem in
+    lp := fold_lp !lp (Problem.last_info problem);
     let solved = match status with Problem.Solved _ -> true | _ -> false in
     if budget = 0 || not solved then (status, assignment)
-    else begin
-      let best = ref None in
-      Hashtbl.iter
-        (fun _ v ->
-          let p = assignment v in
-          if p > 0.15 && p < config.threshold then
-            match !best with
-            | Some (_, q) when q >= p -> ()
-            | _ -> best := Some (v, p))
-        vars.table;
-      match !best with
+    else
+      match pick_pin config vars.table assignment with
       | None -> (status, assignment)
       | Some (v, _) ->
         Problem.add_ge problem (Linexpr.var v) 1.0;
         solve_rounded (budget - 1)
-    end
   in
   let status, assignment = solve_rounded 25 in
-  let objective = match status with Problem.Solved obj -> obj | _ -> nan in
-  let degraded = match status with Problem.Solved _ -> false | _ -> true in
-  let verdicts =
-    if degraded then
-      (* Infeasible / unbounded program: rather than aborting the whole
-         inference, fall back on the previous round's verdicts so the
-         perturber keeps a sensible delay plan and later rounds can
-         recover. *)
-      previous
-    else
-      Hashtbl.fold
-        (fun (op, role) v acc ->
-          let p = assignment v in
-          if p >= config.threshold then
-            { Verdict.op; role; probability = p } :: acc
-          else acc)
-        vars.table []
-      |> List.sort Verdict.compare
+  finish config obs problem vars.table ~num_windows:(List.length windows)
+    ~lp:!lp ~previous ~t_start status assignment
+
+(* ------------------------------------------------------------------ *)
+(* Incremental path: a [state] keeps the LP, the variable table, and
+   per-window hinge cells alive across rounds.  Each round encodes only
+   the window suffix added since the previous round (Observations ids
+   are stable), recomputes the data-dependent weights, and reoptimizes
+   the live simplex from the previous basis.
+
+   Invariants making this sound (see DESIGN.md):
+   - window identity never changes, only its weight grows, and weights
+     appear only in the objective — so a re-observed window is an
+     objective edit, not a constraint edit;
+   - race removal zeroes a hinge's weight, leaving its rows vacuous;
+   - candidate variables appearing only in racy windows carry a strictly
+     positive rare cost and no compensating weight, so they stay 0 at
+     every optimum;
+   - rounding pins are relaxed to [x >= 0] after each round, so they
+     never constrain later rounds. *)
+
+type state = {
+  mutable s_obs : Observations.t option;  (* physical identity guard *)
+  mutable s_vars : vars;
+  mutable s_hinges : (Problem.var list, Problem.var) Hashtbl.t;
+      (* side variable-set -> its hinge; distinct window sides with the
+         same candidate variables share one hinge row (their weights
+         add), mirroring what Presolve's duplicate-row merge does for
+         the one-shot path *)
+  mutable s_whinges : (Problem.var option * Problem.var option) array;
+      (* window id -> (release hinge, acquire hinge) *)
+  mutable s_nwin : int;  (* windows encoded so far (watermark) *)
+  mutable s_merged : int;
+  mutable s_class_abs : (string, string * Problem.var) Hashtbl.t;
+      (* class -> (term signature, abs var); a new method variable
+         changes the signature and allocates a fresh abs var — the old
+         one keeps its rows but drops out of the objective *)
+  mutable s_field_abs : (string, string * Problem.var) Hashtbl.t;
+  mutable s_single : (string, Problem.var option) Hashtbl.t;
+      (* method key -> soft-mode hinge ([None] = hard constraint added) *)
+}
+
+let create_state () =
+  {
+    s_obs = None;
+    s_vars = { problem = Problem.create (); table = Hashtbl.create 64 };
+    s_hinges = Hashtbl.create 64;
+    s_whinges = [||];
+    s_nwin = 0;
+    s_merged = 0;
+    s_class_abs = Hashtbl.create 16;
+    s_field_abs = Hashtbl.create 16;
+    s_single = Hashtbl.create 16;
+  }
+
+let reset_state st (config : Config.t) =
+  let problem = Problem.create () in
+  Problem.set_engine problem config.lp_engine;
+  st.s_vars <- { problem; table = Hashtbl.create 64 };
+  st.s_hinges <- Hashtbl.create 64;
+  st.s_whinges <- [||];
+  st.s_nwin <- 0;
+  st.s_merged <- 0;
+  st.s_class_abs <- Hashtbl.create 16;
+  st.s_field_abs <- Hashtbl.create 16;
+  st.s_single <- Hashtbl.create 16
+
+let register_candidates config vars (w : Observations.merged_window) =
+  let reg side =
+    Opid.Map.iter
+      (fun op _ ->
+        List.iter (fun role -> ignore (var_of vars op role)) (feasible_roles config op))
+      side
   in
-  let solve_s = Unix.gettimeofday () -. t_start in
-  let acc = Observations.metrics obs in
-  acc.solve_s <- acc.solve_s +. solve_s;
-  Tspan.add_attr "vars" (Tspan.Int (Problem.num_vars problem));
-  Tspan.add_attr "windows" (Tspan.Int (List.length windows));
-  Tspan.add_attr "verdicts" (Tspan.Int (List.length verdicts));
-  Tspan.add_attr "objective" (Tspan.Float objective);
-  if degraded then Tspan.add_attr "degraded" (Tspan.Bool true);
-  ( verdicts,
-    {
-      num_vars = Problem.num_vars problem;
-      num_windows = List.length windows;
-      objective;
-      solve_s;
-      degraded;
-      trace = Metrics.copy acc;
-    } )
+  reg w.rel;
+  reg w.acq
+
+(* Encode the window suffix [s_nwin, window_count): candidate variables
+   plus (when Mostly Protected is on) one hinge per distinct side. *)
+let sync_windows st (config : Config.t) obs =
+  let count = Observations.window_count obs in
+  if count > Array.length st.s_whinges then begin
+    let a = Array.make (max 64 (2 * count)) (None, None) in
+    Array.blit st.s_whinges 0 a 0 st.s_nwin;
+    st.s_whinges <- a
+  end;
+  for i = st.s_nwin to count - 1 do
+    let w = Observations.window_at obs i in
+    register_candidates config st.s_vars w;
+    if config.use_protected then begin
+      let hinge_for role side tag =
+        let key = side_key config st.s_vars side role in
+        match Hashtbl.find_opt st.s_hinges key with
+        | Some h ->
+          st.s_merged <- st.s_merged + 1;
+          h
+        | None ->
+          let sum = side_sum config st.s_vars side role in
+          let h =
+            Problem.hinge_var st.s_vars.problem
+              (Printf.sprintf "%s(w%d)" tag i)
+              (Linexpr.sub (Linexpr.const 1.0) sum)
+          in
+          Hashtbl.add st.s_hinges key h;
+          h
+      in
+      let rh = hinge_for Release w.rel "rel" in
+      let ah = hinge_for Acquire w.acq "acq" in
+      st.s_whinges.(i) <- (Some rh, Some ah)
+    end
+  done;
+  st.s_nwin <- count
+
+(* Recompute every hinge's weight from the full window set, skipping
+   windows whose pair has raced.  Also counts the active (non-racy)
+   windows — the [num_windows] the one-shot path reports. *)
+let hinge_weights st (config : Config.t) obs =
+  let wt : (Problem.var, float) Hashtbl.t = Hashtbl.create 256 in
+  let active = ref 0 in
+  for i = 0 to st.s_nwin - 1 do
+    let w = Observations.window_at obs i in
+    if not (config.use_race_removal && Observations.is_racy_pair obs w.pair)
+    then begin
+      incr active;
+      let bump = function
+        | None -> ()
+        | Some h ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt wt h) in
+          Hashtbl.replace wt h (prev +. float_of_int w.weight)
+      in
+      let rh, ah = st.s_whinges.(i) in
+      bump rh;
+      bump ah
+    end
+  done;
+  (wt, !active)
+
+(* Refresh the Mostly-Paired balance terms.  The balance expressions are
+   derived from the variable table, so they only change when a round
+   introduces a new method or access variable; the signature check reuses
+   the existing abs variable otherwise. *)
+let sync_paired st =
+  let { problem; table } = st.s_vars in
+  let refresh cache name terms =
+    let terms = List.sort compare terms in
+    let sigstr =
+      String.concat ";"
+        (List.map (fun (v, s) -> Printf.sprintf "%d:%g" v s) terms)
+    in
+    match Hashtbl.find_opt cache name with
+    | Some (old_sig, _) when String.equal old_sig sigstr -> ()
+    | _ ->
+      let expr =
+        List.fold_left
+          (fun acc (v, s) -> Linexpr.add acc (Linexpr.var ~coeff:s v))
+          Linexpr.zero terms
+      in
+      let a = Problem.abs_var problem name expr in
+      Hashtbl.replace cache name (sigstr, a)
+  in
+  (* Per-class method balance. *)
+  let by_class : (string, (Problem.var * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Hashtbl.iter
+    (fun ((op : Opid.t), role) v ->
+      if Opid.is_frame op then begin
+        let signed = (v, match role with Acquire -> 1.0 | Release -> -1.0) in
+        match Hashtbl.find_opt by_class op.cls with
+        | Some r -> r := signed :: !r
+        | None -> Hashtbl.add by_class op.cls (ref [ signed ])
+      end)
+    table;
+  Hashtbl.iter
+    (fun cls r -> refresh st.s_class_abs ("pair_c(" ^ cls ^ ")") !r)
+    by_class;
+  (* Per-field read-acquire / write-release balance. *)
+  let fields = ref Opid.Set.empty in
+  Hashtbl.iter
+    (fun ((op : Opid.t), _) _ ->
+      if Opid.is_access op then
+        fields := Opid.Set.add { op with kind = Opid.Read } !fields)
+    table;
+  Opid.Set.iter
+    (fun read_op ->
+      let write_op = { read_op with kind = Opid.Write } in
+      let term op role sign acc =
+        match Hashtbl.find_opt table (op, role) with
+        | Some v -> (v, sign) :: acc
+        | None -> acc
+      in
+      let terms = term read_op Acquire 1.0 (term write_op Release (-1.0) []) in
+      refresh st.s_field_abs ("pair_f(" ^ Opid.field_key read_op ^ ")") terms)
+    !fields
+
+(* Single-Role constraints are added at most once per library method,
+   the first round both role variables exist. *)
+let sync_single st (config : Config.t) =
+  let { problem; table } = st.s_vars in
+  let methods = ref Opid.Set.empty in
+  Hashtbl.iter
+    (fun ((op : Opid.t), _) _ ->
+      if Opid.is_frame op && Opid.is_system op then
+        methods := Opid.Set.add { op with kind = Opid.Begin } !methods)
+    table;
+  Opid.Set.iter
+    (fun begin_op ->
+      let key = Opid.method_key begin_op in
+      if not (Hashtbl.mem st.s_single key) then begin
+        let end_op = { begin_op with kind = Opid.End } in
+        match
+          ( Hashtbl.find_opt table (begin_op, Acquire),
+            Hashtbl.find_opt table (end_op, Release) )
+        with
+        | Some b, Some e ->
+          let sum = Linexpr.add (Linexpr.var b) (Linexpr.var e) in
+          if config.single_role_soft then begin
+            let h =
+              Problem.hinge_var problem
+                ("single_role(" ^ key ^ ")")
+                (Linexpr.sub sum (Linexpr.const 1.0))
+            in
+            Hashtbl.add st.s_single key (Some h)
+          end
+          else begin
+            Problem.add_le problem sum 1.0;
+            Hashtbl.add st.s_single key None
+          end
+        | _ -> ()
+      end)
+    !methods
+
+(* Rebuild the whole objective from current data.  Weights, occurrence
+   averages, and duration percentiles all drift as observations
+   accumulate, so the objective is recomputed every round; only the
+   constraint matrix is incremental. *)
+let build_objective st (config : Config.t) obs wt =
+  let { problem; table } = st.s_vars in
+  let lambda = config.lambda in
+  let acc = ref Linexpr.zero in
+  let addv ?coeff v = acc := Linexpr.add !acc (Linexpr.var ?coeff v) in
+  Hashtbl.iter (fun h w -> if w > 0.0 then addv ~coeff:w h) wt;
+  Hashtbl.iter (fun (op, role) v -> addv ~coeff:(tie_cost op role) v) table;
+  if config.use_rare then
+    Hashtbl.iter
+      (fun (op, _role) v ->
+        let rare = config.rare_coeff *. Observations.avg_occurrence obs op in
+        addv ~coeff:(lambda *. (1.0 +. rare)) v)
+      table;
+  if config.use_variation then begin
+    let durs = Observations.durations obs in
+    Hashtbl.iter
+      (fun ((op : Opid.t), role) v ->
+        if role = Acquire && op.kind = Opid.Begin then begin
+          let pct = Durations.cv_percentile durs (Opid.method_key op) in
+          let coeff = lambda *. (1.0 -. pct) in
+          if coeff > 0.0 then addv ~coeff v
+        end)
+      table
+  end;
+  if config.use_paired then begin
+    Hashtbl.iter (fun _ (_, a) -> addv ~coeff:lambda a) st.s_class_abs;
+    Hashtbl.iter (fun _ (_, a) -> addv ~coeff:lambda a) st.s_field_abs
+  end;
+  if config.use_single_role && config.single_role_soft then
+    Hashtbl.iter
+      (fun _ h -> match h with Some h -> addv ~coeff:lambda h | None -> ())
+      st.s_single;
+  Problem.set_objective problem !acc
+
+let solve_warm st (config : Config.t) obs previous t_start =
+  (match st.s_obs with
+  | Some o when o == obs -> ()
+  | _ ->
+    (* Fresh observations (new inference, or accumulate off): the cached
+       encoding describes different data — start over. *)
+    reset_state st config;
+    st.s_obs <- Some obs);
+  let problem = st.s_vars.problem in
+  let table = st.s_vars.table in
+  sync_windows st config obs;
+  if config.use_paired then sync_paired st;
+  if config.use_single_role then sync_single st config;
+  let wt, num_windows = hinge_weights st config obs in
+  build_objective st config obs wt;
+  let lp = ref { (zero_lp (Problem.engine problem)) with lp_merged_sides = st.s_merged } in
+  let pins = ref [] in
+  let rec solve_rounded budget =
+    let status, assignment = Problem.solve_incremental problem in
+    lp := fold_lp !lp (Problem.last_info problem);
+    let solved = match status with Problem.Solved _ -> true | _ -> false in
+    if budget = 0 || not solved then (status, assignment)
+    else
+      match pick_pin config table assignment with
+      | None -> (status, assignment)
+      | Some (v, _) ->
+        let row = Problem.add_ge_row problem (Linexpr.var v) 1.0 in
+        pins := row :: !pins;
+        solve_rounded (budget - 1)
+  in
+  let status, assignment = solve_rounded 25 in
+  (* Pins are one round's integrality repair, not evidence: relax them to
+     the vacuous [x >= 0] so they never constrain later rounds. *)
+  List.iter (fun row -> Problem.set_row_rhs problem row 0.0) !pins;
+  finish config obs problem table ~num_windows ~lp:!lp ~previous ~t_start
+    status assignment
+
+let solve ?state ?(previous = []) (config : Config.t) obs =
+  let module Tspan = Sherlock_telemetry.Span in
+  Tspan.with_span ~name:"solve" @@ fun () ->
+  let t_start = Unix.gettimeofday () in
+  match state with
+  | Some st ->
+    Tspan.add_attr "warm" (Tspan.Bool true);
+    solve_warm st config obs previous t_start
+  | None -> solve_oneshot config obs previous t_start

@@ -18,8 +18,33 @@
       (The paper prints this constraint with the two structurally-zero
       variables; we encode the evidently intended pair — see DESIGN.md.)
 
-    All non-protected terms are scaled by [lambda] (Equation 8). *)
+    All non-protected terms are scaled by [lambda] (Equation 8).
 
+    Two equivalent solve paths.  Without [?state], each call builds the
+    LP from scratch and solves it one-shot.  With [?state], the LP lives
+    across calls: round k+1 appends only the windows added since round k
+    (hinge rows for already-seen sides are shared, with weights summed),
+    rebuilds the objective with recomputed weights, and warm-starts the
+    simplex from round k's optimal basis. *)
+
+(** LP-engine counters aggregated over one round's simplex calls (the
+    base solve plus each rounding-pin re-solve). *)
+type lp_stats = {
+  lp_engine : Sherlock_lp.Problem.engine;
+  lp_solves : int;
+  lp_pivots : int;
+  lp_warm_solves : int;
+      (** solves that started from a previous round's basis *)
+  lp_pivots_saved : int;
+      (** structural basis columns inherited at warm starts *)
+  lp_presolve_rows : int;  (** rows removed by presolve (one-shot path) *)
+  lp_presolve_vars : int;  (** variables fixed by presolve *)
+  lp_merged_sides : int;
+      (** window sides the incremental encoder mapped onto an existing
+          hinge row (cumulative over the state's lifetime) *)
+  lp_cold_restarts : int;
+      (** warm attempts that fell back to a from-scratch basis *)
+}
 
 type solve_stats = {
   num_vars : int;
@@ -29,12 +54,23 @@ type solve_stats = {
   degraded : bool;
       (** the LP came back infeasible / unbounded and the returned
           verdicts are the carried-over [previous] ones *)
+  lp : lp_stats;
   trace : Sherlock_trace.Metrics.t;
       (** snapshot of the cumulative trace metrics (runs, extraction,
           solving) at the time of this solve *)
 }
 
+type state
+(** Reusable cross-round encoder state: the live LP (with its simplex
+    basis), the operation-variable table, and per-window hinge cells.
+    A state follows one [Observations.t]: passing a physically different
+    observations value resets it transparently (so [accumulate = false],
+    which rebuilds observations per round, degrades to cold solves). *)
+
+val create_state : unit -> state
+
 val solve :
+  ?state:state ->
   ?previous:Verdict.t list ->
   Config.t ->
   Observations.t ->
@@ -43,6 +79,11 @@ val solve :
     whose variable reaches [config.threshold] become verdicts.  Windows
     whose static pair was ever observed racing are excluded from the
     protected terms when [use_race_removal] is set.
+
+    With [?state], the encode is incremental and the solve warm-starts
+    from the previous call's basis (same optimal objective; the verdict
+    set is intended to be identical and is checked by the equivalence
+    suite).
 
     If the LP comes back infeasible or unbounded the solve does not
     raise: it returns [previous] (default [\[\]] — typically the prior

@@ -17,6 +17,12 @@ end
 
 type t = {
   merged : (Key.t, merged_window ref) Hashtbl.t;
+  mutable order : merged_window ref array;
+      (* merged windows in arrival order; [0, nmerged) live.  Gives the
+         encoder a stable id per merged window, so an incremental round
+         encodes only the suffix added since its watermark (weight bumps
+         mutate existing cells in place and need no re-encoding). *)
+  mutable nmerged : int;
   mutable races : (Opid.t * Opid.t) list;
   durs : Durations.t;
   mutable nruns : int;
@@ -33,6 +39,12 @@ type extraction = {
 let create () =
   {
     merged = Hashtbl.create 64;
+    order =
+      (let z = Opid.read ~cls:"" "" in
+       Array.make 64
+         (ref
+            { pair = (z, z); field = ""; rel = Opid.Map.empty; acq = Opid.Map.empty; weight = 0 }));
+    nmerged = 0;
     races = [];
     durs = Durations.create ();
     nruns = 0;
@@ -44,8 +56,17 @@ let add_window t (w : Windows.t) =
   match Hashtbl.find_opt t.merged key with
   | Some r -> r := { !r with weight = !r.weight + 1 }
   | None ->
-    Hashtbl.add t.merged key
-      (ref { pair = w.pair; field = w.field; rel = w.rel; acq = w.acq; weight = 1 })
+    let cell =
+      ref { pair = w.pair; field = w.field; rel = w.rel; acq = w.acq; weight = 1 }
+    in
+    Hashtbl.add t.merged key cell;
+    if t.nmerged >= Array.length t.order then begin
+      let order = Array.make (2 * Array.length t.order) cell in
+      Array.blit t.order 0 order 0 t.nmerged;
+      t.order <- order
+    end;
+    t.order.(t.nmerged) <- cell;
+    t.nmerged <- t.nmerged + 1
 
 (* Pure log -> observation delta, safe to evaluate in a worker domain.
    NOTE: window caps are per static pair *within one extraction*; the
@@ -74,7 +95,22 @@ let add_extraction t x =
 let add_log t ~near ~cap ~refine log =
   add_extraction t (extract_log ~near ~cap ~refine log)
 
-let windows t = Hashtbl.fold (fun _ r acc -> !r :: acc) t.merged []
+(* Arrival order: stable across library versions (no dependence on
+   hash-bucket layout) and aligned with the incremental ids below. *)
+let windows t =
+  let acc = ref [] in
+  for i = t.nmerged - 1 downto 0 do
+    acc := !(t.order.(i)) :: !acc
+  done;
+  !acc
+
+let window_count t = t.nmerged
+
+let window_at t i =
+  if i < 0 || i >= t.nmerged then invalid_arg "Observations.window_at";
+  !(t.order.(i))
+
+let race_count t = List.length t.races
 
 let racy_pairs t = t.races
 

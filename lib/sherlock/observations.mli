@@ -39,6 +39,23 @@ val add_log : t -> near:int -> cap:int -> refine:bool -> Log.t -> unit
     Equivalent to [add_extraction t (extract_log ~near ~cap ~refine log)]. *)
 
 val windows : t -> merged_window list
+(** All merged windows, in arrival order (the same order {!window_at}
+    indexes). *)
+
+val window_count : t -> int
+(** Number of merged windows so far.  Merged windows have stable ids
+    [0 .. window_count - 1] in arrival order; an id's identity (pair and
+    candidate multisets) never changes, only its weight can grow.  An
+    incremental encoder can therefore cache per-window terms and encode
+    only ids past its previous watermark. *)
+
+val window_at : t -> int -> merged_window
+(** Current snapshot (including weight) of the merged window with the
+    given id. *)
+
+val race_count : t -> int
+(** Racy pairs recorded so far; grows monotonically, so a watermark
+    detects rounds that added races. *)
 
 val racy_pairs : t -> (Opid.t * Opid.t) list
 (** Static conflicting pairs observed to race in at least one window. *)

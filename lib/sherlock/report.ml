@@ -82,11 +82,30 @@ let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
       ~header:
         [
           "Round"; "Events"; "Pairs"; "Capped"; "Windows"; "Races"; "Inj";
-          "Failed"; "Lost"; "LP"; "Run s"; "Extract s"; "Solve s";
+          "Failed"; "Lost"; "LP"; "Pivots"; "Presolve"; "Run s"; "Extract s";
+          "Solve s";
         ]
   in
   let int_cell cum prev = Printf.sprintf "%d (+%d)" cum (cum - prev) in
   let sec_cell cum prev = Printf.sprintf "%.3f (+%.3f)" cum (cum -. prev) in
+  (* The LP cells are per-round, not cumulative: each round's
+     [stats.lp] already covers just that round's solve sequence. *)
+  let lp_cell (l : Encoder.lp_stats) =
+    let engine =
+      match l.lp_engine with
+      | Sherlock_lp.Problem.Dense -> "dense"
+      | Sherlock_lp.Problem.Sparse -> "sparse"
+    in
+    if l.lp_warm_solves > 0 then engine ^ "+warm" else engine
+  in
+  let pivots_cell (l : Encoder.lp_stats) =
+    if l.lp_pivots_saved > 0 then
+      Printf.sprintf "%d (-%d)" l.lp_pivots l.lp_pivots_saved
+    else string_of_int l.lp_pivots
+  in
+  let presolve_cell (l : Encoder.lp_stats) =
+    Printf.sprintf "r%d v%d" l.lp_presolve_rows l.lp_presolve_vars
+  in
   let prev = ref (Metrics.create ()) in
   List.iter
     (fun (r : Orchestrator.round_result) ->
@@ -102,7 +121,9 @@ let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
           string_of_int (Orchestrator.injected_faults r.run_reports);
           string_of_int (Orchestrator.failed_runs r.run_reports);
           string_of_int (Orchestrator.incomplete_runs r.run_reports);
-          (if r.stats.degraded then "degraded" else "ok");
+          (if r.stats.degraded then "degraded" else lp_cell r.stats.lp);
+          pivots_cell r.stats.lp;
+          presolve_cell r.stats.lp;
           sec_cell m.run_s p.run_s;
           sec_cell m.extract_s p.extract_s;
           sec_cell m.solve_s p.solve_s;

@@ -20,24 +20,52 @@ let check_name s =
         invalid_arg ("Trace_io: whitespace in operation name " ^ s))
     s
 
-let to_string (log : Log.t) =
+(* Serialization appends fields straight into the buffer (no per-field
+   [Printf.sprintf] round-trips): a large trace is dominated by its event
+   lines, and format interpretation plus the intermediate strings showed
+   up in profiles. *)
+let add_int buf n =
+  Buffer.add_string buf (string_of_int n)
+
+let to_buffer (log : Log.t) =
   let buf = Buffer.create (256 + (Array.length log.events * 48)) in
   Buffer.add_string buf magic;
   Buffer.add_char buf '\n';
-  Buffer.add_string buf (Printf.sprintf "duration %d\n" log.duration);
-  Buffer.add_string buf (Printf.sprintf "threads %d\n" log.threads);
+  Buffer.add_string buf "duration ";
+  add_int buf log.duration;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "threads ";
+  add_int buf log.threads;
+  Buffer.add_char buf '\n';
   Hashtbl.iter
-    (fun addr () -> Buffer.add_string buf (Printf.sprintf "volatile %d\n" addr))
+    (fun addr () ->
+      Buffer.add_string buf "volatile ";
+      add_int buf addr;
+      Buffer.add_char buf '\n')
     log.volatile_addrs;
   Array.iter
     (fun (e : Event.t) ->
       check_name e.op.cls;
       check_name e.op.member;
-      Buffer.add_string buf
-        (Printf.sprintf "e %d %d %c %d %d %s %s\n" e.time e.tid (kind_char e.op.kind)
-           e.target e.delayed_by e.op.cls e.op.member))
+      Buffer.add_string buf "e ";
+      add_int buf e.time;
+      Buffer.add_char buf ' ';
+      add_int buf e.tid;
+      Buffer.add_char buf ' ';
+      Buffer.add_char buf (kind_char e.op.kind);
+      Buffer.add_char buf ' ';
+      add_int buf e.target;
+      Buffer.add_char buf ' ';
+      add_int buf e.delayed_by;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf e.op.cls;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf e.op.member;
+      Buffer.add_char buf '\n')
     log.events;
-  Buffer.contents buf
+  buf
+
+let to_string log = Buffer.contents (to_buffer log)
 
 let of_string ?(path = "<string>") s =
   let lines = String.split_on_char '\n' s in
@@ -85,7 +113,7 @@ let save log path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string log))
+    (fun () -> Buffer.output_buffer oc (to_buffer log))
 
 let load path =
   let ic = open_in path in

@@ -129,6 +129,52 @@ let test_unsafe_api_flags () =
   check Alcotest.bool "App-7 unsafe" true (Registry.find "App-7").uses_unsafe_apis;
   check Alcotest.bool "App-2 safe" false (Registry.find "App-2").uses_unsafe_apis
 
+(* Warm starts and the sparse engine are pure optimizations: every app
+   must produce the identical verdict list (down to probabilities) with
+   warm starts on vs off and with the sparse vs the seed dense engine.
+   Compared in printed form — structural equality would be fooled by
+   last-bit float differences that the renderer rounds away. *)
+let show_verdicts vs =
+  String.concat ";" (List.map (fun v -> Format.asprintf "%a" Verdict.pp v) vs)
+
+let test_lp_paths_equivalent () =
+  List.iter
+    (fun (a : App.t) ->
+      let final config = (Orchestrator.infer ~config (App.subject a)).final in
+      let warm = final Config.default in
+      let cold = final { Config.default with use_warm_start = false } in
+      let dense =
+        final
+          {
+            Config.default with
+            use_warm_start = false;
+            lp_engine = Sherlock_lp.Problem.Dense;
+          }
+      in
+      check Alcotest.string (a.id ^ " warm = cold") (show_verdicts cold)
+        (show_verdicts warm);
+      check Alcotest.string (a.id ^ " sparse = dense") (show_verdicts dense)
+        (show_verdicts cold))
+    apps
+
+(* The ≥2x corpus-wide pivot reduction is gated in the bench ("lp"
+   section); here just assert the warm path actually reuses bases and
+   pivots strictly less on a single app. *)
+let test_warm_start_saves_pivots () =
+  let stats config =
+    let r = Orchestrator.infer ~config (Registry.find "App-1" |> App.subject) in
+    List.fold_left
+      (fun (p, s) (round : Orchestrator.round_result) ->
+        (p + round.stats.lp.lp_pivots, s + round.stats.lp.lp_pivots_saved))
+      (0, 0) r.rounds
+  in
+  let warm, saved = stats Config.default in
+  let cold, _ = stats { Config.default with use_warm_start = false } in
+  check Alcotest.bool
+    (Printf.sprintf "warm pivots %d fewer than cold %d" warm cold)
+    true (warm < cold);
+  check Alcotest.bool "bases reused" true (saved > 0)
+
 let () =
   Alcotest.run "corpus"
     [
@@ -152,5 +198,12 @@ let () =
             test_designed_misclassifications;
           Alcotest.test_case "racy declarations" `Quick test_racy_apps_declare_races;
           Alcotest.test_case "unsafe flags" `Quick test_unsafe_api_flags;
+        ] );
+      ( "lp-equivalence",
+        [
+          Alcotest.test_case "warm/cold/dense verdicts identical" `Slow
+            test_lp_paths_equivalent;
+          Alcotest.test_case "warm starts save pivots" `Slow
+            test_warm_start_saves_pivots;
         ] );
     ]

@@ -281,6 +281,147 @@ let prop_linexpr_add_commutes =
       let assign v = float_of_int (v + 1) in
       abs_float (Linexpr.eval assign a -. Linexpr.eval assign b) < 1e-9)
 
+(* --- Presolve --- *)
+
+let test_presolve_duplicate_hinge () =
+  (* Two hinges with identical bodies merge into one row whose penalty
+     column carries the summed weight; the optimum is unchanged. *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~ub:1.0 "x" in
+  let _ = Problem.hinge p ~weight:1.0 "h1" Linexpr.(sub (const 1.0) (var x)) in
+  let _ = Problem.hinge p ~weight:2.0 "h2" Linexpr.(sub (const 1.0) (var x)) in
+  Problem.add_objective p (Linexpr.var ~coeff:10.0 x);
+  match Problem.solve p with
+  | Problem.Solved obj, _ ->
+    check feq "objective" 3.0 obj;
+    check Alcotest.bool "rows merged" true
+      ((Problem.last_info p).presolve_removed_rows > 0)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_presolve_forced_fix () =
+  (* A singleton equality pins x; presolve substitutes it out and the
+     restored assignment still reports the forced value. *)
+  let p = Problem.create () in
+  let x = Problem.add_var p "x" in
+  let y = Problem.add_var p ~ub:4.0 "y" in
+  Problem.add_eq p (Linexpr.var x) 2.0;
+  Problem.add_ge p Linexpr.(add (var x) (var y)) 5.0;
+  Problem.add_objective p Linexpr.(add (var x) (var y));
+  match Problem.solve p with
+  | Problem.Solved obj, v ->
+    check feq "objective" 5.0 obj;
+    check feq "x" 2.0 (v x);
+    check feq "y" 3.0 (v y);
+    check Alcotest.bool "var fixed" true
+      ((Problem.last_info p).presolve_fixed_vars > 0)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_presolve_empty_rows () =
+  let run rhs =
+    Presolve.run ~num_vars:1 ~objective:[ (0, 1.0) ]
+      [
+        { Simplex.row = []; relation = Simplex.Le; rhs };
+        { Simplex.row = [ (0, 1.0) ]; relation = Simplex.Le; rhs = 3.0 };
+      ]
+  in
+  let ok = run 5.0 in
+  check Alcotest.bool "vacuous empty row dropped" true
+    (ok.Presolve.r_stats.removed_rows >= 1 && not ok.Presolve.r_infeasible);
+  let bad = run (-1.0) in
+  check Alcotest.bool "violated empty row is infeasible" true
+    bad.Presolve.r_infeasible
+
+(* --- Engine equivalence --- *)
+
+let gen_lp =
+  QCheck.Gen.(
+    let* nvars = int_range 1 5 in
+    let* nconstrs = int_range 1 6 in
+    let* rows =
+      list_repeat nconstrs
+        (let* coeffs = list_repeat nvars (float_range (-3.0) 3.0) in
+         let* rel = oneofl [ `Le; `Ge; `Eq ] in
+         let* rhs = float_range (-2.0) 6.0 in
+         return (coeffs, rel, rhs))
+    in
+    (* Non-negative costs keep the minimum bounded, so outcomes are
+       Solved or Infeasible (Ge/Eq rows can cut off the whole orthant). *)
+    let* obj = list_repeat nvars (float_range 0.0 2.0) in
+    return (nvars, rows, obj))
+
+let build_problem (nvars, rows, obj) =
+  let p = Problem.create () in
+  let xs =
+    Array.init nvars (fun i -> Problem.add_var p (Printf.sprintf "x%d" i))
+  in
+  List.iter
+    (fun (coeffs, rel, rhs) ->
+      let e =
+        Linexpr.sum (List.mapi (fun i c -> Linexpr.var ~coeff:c xs.(i)) coeffs)
+      in
+      match rel with
+      | `Le -> Problem.add_le p e rhs
+      | `Ge -> Problem.add_ge p e rhs
+      | `Eq -> Problem.add_eq p e rhs)
+    rows;
+  Problem.add_objective p
+    (Linexpr.sum (List.mapi (fun i c -> Linexpr.var ~coeff:c xs.(i)) obj));
+  p
+
+let same_status a b =
+  match (a, b) with
+  | Problem.Solved x, Problem.Solved y -> abs_float (x -. y) < 1e-6
+  | Problem.Infeasible, Problem.Infeasible -> true
+  | Problem.Unbounded, Problem.Unbounded -> true
+  | _ -> false
+
+(* The dense seed engine, the sparse engine (with presolve), and the
+   incremental revised simplex agree on outcome and objective. *)
+let prop_engines_agree =
+  QCheck.Test.make ~name:"dense, sparse, and incremental engines agree"
+    ~count:300 (QCheck.make gen_lp) (fun lp ->
+      let solve_with engine =
+        let p = build_problem lp in
+        Problem.set_engine p engine;
+        fst (Problem.solve p)
+      in
+      let dense = solve_with Problem.Dense in
+      let sparse = solve_with Problem.Sparse in
+      let incr = fst (Problem.solve_incremental (build_problem lp)) in
+      same_status dense sparse && same_status dense incr)
+
+(* Warm reoptimization after growing the program (new row, extra
+   objective term) lands on the same optimum as a cold one-shot solve of
+   the final program. *)
+let prop_warm_matches_oneshot =
+  let gen =
+    QCheck.Gen.(
+      let* lp = gen_lp in
+      let* extra_coeffs = list_repeat 5 (float_range (-2.0) 2.0) in
+      let* extra_rhs = float_range 0.0 4.0 in
+      return (lp, extra_coeffs, extra_rhs))
+  in
+  QCheck.Test.make ~name:"warm reoptimize matches one-shot solve" ~count:300
+    (QCheck.make gen)
+    (fun (lp, extra_coeffs, extra_rhs) ->
+      let nvars, _, _ = lp in
+      let extra_expr () =
+        Linexpr.sum
+          (List.filteri (fun i _ -> i < nvars) extra_coeffs
+          |> List.mapi (fun i c -> Linexpr.var ~coeff:c i))
+      in
+      let grow p =
+        Problem.add_le p (extra_expr ()) extra_rhs;
+        Problem.add_objective p (Linexpr.var ~coeff:0.5 0)
+      in
+      let p = build_problem lp in
+      ignore (Problem.solve_incremental p);
+      grow p;
+      let warm = fst (Problem.solve_incremental p) in
+      let q = build_problem lp in
+      grow q;
+      same_status warm (fst (Problem.solve q)))
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -313,10 +454,18 @@ let () =
           Alcotest.test_case "equality" `Quick test_problem_eq;
           Alcotest.test_case "constant folding" `Quick test_problem_constant_folding;
         ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "duplicate hinge merge" `Quick
+            test_presolve_duplicate_hinge;
+          Alcotest.test_case "forced variable fix" `Quick test_presolve_forced_fix;
+          Alcotest.test_case "empty rows" `Quick test_presolve_empty_rows;
+        ] );
       ( "properties",
         qcheck
           [
             prop_solution_feasible; prop_zero_optimum; prop_hinge_exact;
-            prop_abs_exact; prop_linexpr_add_commutes;
+            prop_abs_exact; prop_linexpr_add_commutes; prop_engines_agree;
+            prop_warm_matches_oneshot;
           ] );
     ]

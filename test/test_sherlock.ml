@@ -452,6 +452,26 @@ let test_encoder_degrades_on_infeasible_lp () =
           check Alcotest.int "nothing to fall back on" 0 (List.length vs0)))
     [ Sherlock_lp.Problem.Infeasible; Sherlock_lp.Problem.Unbounded ]
 
+(* A degraded round must not poison the reusable warm-start state: the
+   next healthy solve on the same state reproduces the healthy verdicts. *)
+let test_warm_state_survives_degraded_solve () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let obs = obs_of_logs [ log ] in
+  let state = Encoder.create_state () in
+  let healthy, hstats = Encoder.solve ~state Config.default obs in
+  check Alcotest.bool "healthy warm solve" false hstats.degraded;
+  with_lp_fault Sherlock_lp.Problem.Infeasible (fun () ->
+      let vs, stats = Encoder.solve ~state ~previous:healthy Config.default obs in
+      check Alcotest.bool "degraded under fault" true stats.degraded;
+      check Alcotest.int "previous carried" (List.length healthy) (List.length vs));
+  let again, astats = Encoder.solve ~state ~previous:healthy Config.default obs in
+  check Alcotest.bool "recovered" false astats.degraded;
+  check Alcotest.int "same verdict count" (List.length healthy) (List.length again);
+  List.iter2
+    (fun (a : Verdict.t) (b : Verdict.t) ->
+      check Alcotest.bool "same verdict" true (Verdict.compare a b = 0))
+    healthy again
+
 let test_orchestrator_survives_infeasible_lp () =
   (* Every round's LP degrades; the inference still completes all rounds
      and simply carries the (empty) previous verdicts forward. *)
@@ -631,6 +651,8 @@ let () =
             test_encoder_degrades_on_infeasible_lp;
           Alcotest.test_case "inference survives infeasible LP" `Quick
             test_orchestrator_survives_infeasible_lp;
+          Alcotest.test_case "warm state survives degraded solve" `Quick
+            test_warm_state_survives_degraded_solve;
         ] );
       ( "report",
         [
