@@ -530,6 +530,35 @@ let update_bench_sections updates =
   close_out oc;
   Printf.printf "wrote %s\n" bench_json
 
+(* Pull one numeric field out of a single-line JSON section value, e.g.
+   [json_number value "events_per_sec"].  The sections are written by
+   this file in a fixed flat shape, so a scan for ["key": <number>] is
+   enough — no general JSON parser in the bench harness. *)
+let json_number value key =
+  let pat = Printf.sprintf "%S:" key in
+  let plen = String.length pat and vlen = String.length value in
+  let is_num = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec find i =
+    if i + plen > vlen then None
+    else if String.sub value i plen = pat then begin
+      let j = ref (i + plen) in
+      while !j < vlen && value.[!j] = ' ' do
+        incr j
+      done;
+      let k = ref !j in
+      while !k < vlen && is_num value.[!k] do
+        incr k
+      done;
+      if !k > !j then float_of_string_opt (String.sub value !j (!k - !j))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
 (* [Windows.extract] throughput at the seed commit (pre-index full-scan
    implementation), measured on this machine class with the identical
    workloads and averaging reps.  The perf target reports speedups
@@ -540,6 +569,20 @@ let seed_largest_events_per_sec = 371_502.0
 
 let perf () =
   let module Log = Sherlock_trace.Log in
+  (* Baselines: the previous run's events/s from BENCH_trace.json when
+     present, so a local regression shows up against the last recorded
+     run and not only against the (much slower) seed commit; first runs
+     fall back to the seed constants. *)
+  let prior = read_bench_sections () in
+  let baseline_of section seed =
+    match List.assoc_opt section prior with
+    | None -> seed
+    | Some v -> Option.value (json_number v "events_per_sec") ~default:seed
+  in
+  let stress_baseline = baseline_of "stress" seed_stress_events_per_sec in
+  let largest_baseline =
+    baseline_of "largest_corpus_log" seed_largest_events_per_sec
+  in
   let time_extract ~reps log =
     ignore (Sherlock_trace.Windows.extract log) (* warmup *);
     let t0 = Unix.gettimeofday () in
@@ -638,14 +681,16 @@ let perf () =
   Table.add_row t
     [
       Printf.sprintf "extract %s (%d events)" largest_id largest_n;
-      Printf.sprintf "%.0f events/sec (%.1fx seed)" largest_tp
-        (largest_tp /. seed_largest_events_per_sec);
+      Printf.sprintf "%.0f events/sec (%.1fx seed, %.2fx prev)" largest_tp
+        (largest_tp /. seed_largest_events_per_sec)
+        (largest_tp /. largest_baseline);
     ];
   Table.add_row t
     [
       Printf.sprintf "extract stress (%d events)" stress_n;
-      Printf.sprintf "%.0f events/sec (%.1fx seed)" stress_tp
-        (stress_tp /. seed_stress_events_per_sec);
+      Printf.sprintf "%.0f events/sec (%.1fx seed, %.2fx prev)" stress_tp
+        (stress_tp /. seed_stress_events_per_sec)
+        (stress_tp /. stress_baseline);
     ];
   Table.add_row t
     [
@@ -666,14 +711,18 @@ let perf () =
     [
       ( "stress",
         Printf.sprintf
-          {|{"events": %d, "extract_s": %.6f, "events_per_sec": %.0f, "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f}|}
+          {|{"events": %d, "extract_s": %.6f, "events_per_sec": %.0f, "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f, "baseline_events_per_sec": %.0f, "speedup_vs_baseline": %.2f}|}
           stress_n stress_s stress_tp seed_stress_events_per_sec
-          (stress_tp /. seed_stress_events_per_sec) );
+          (stress_tp /. seed_stress_events_per_sec)
+          stress_baseline
+          (stress_tp /. stress_baseline) );
       ( "largest_corpus_log",
         Printf.sprintf
-          {|{"id": "%s", "events": %d, "extract_s": %.6f, "events_per_sec": %.0f, "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f}|}
+          {|{"id": "%s", "events": %d, "extract_s": %.6f, "events_per_sec": %.0f, "seed_events_per_sec": %.0f, "speedup_vs_seed": %.2f, "baseline_events_per_sec": %.0f, "speedup_vs_baseline": %.2f}|}
           largest_id largest_n largest_s largest_tp seed_largest_events_per_sec
-          (largest_tp /. seed_largest_events_per_sec) );
+          (largest_tp /. seed_largest_events_per_sec)
+          largest_baseline
+          (largest_tp /. largest_baseline) );
       ("table2_s", Printf.sprintf "%.3f" table2_s);
       ( "orchestrator",
         Printf.sprintf
@@ -756,6 +805,128 @@ let lp_gate () =
       "FAIL: lp gate (verdicts %s, warm pivots %d vs cold %d, need <= half)\n"
       (if identical then "identical" else "diverged")
       warm_pivots cold_pivots;
+    exit 1
+  end
+
+(* Binary-format gate (DESIGN.md "Binary trace format"): the stress log
+   saved in both formats and loaded back, with the binary loader
+   required to ingest at least 10x the text loader's events/s, and the
+   corpus verdicts required to be identical whether each test log
+   reaches the solver through a text or a binary round-trip on disk.
+   Fails the run (exit 1) otherwise, so a format-layer regression
+   cannot land silently. *)
+let format_gate () =
+  let module Log = Sherlock_trace.Log in
+  let module Trace_io = Sherlock_trace.Trace_io in
+  let stress_log =
+    Sherlock_sim.Runtime.run ~seed:7
+      ~instrument:(Sherlock_sim.Runtime.tracing ())
+      (stress ~workers:6 ~iters:3000)
+  in
+  let events = Log.length stress_log in
+  let text_file = Filename.temp_file "sherlock_bench" ".trace" in
+  let bin_file = Filename.temp_file "sherlock_bench" ".btrace" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ text_file; bin_file ])
+  @@ fun () ->
+  Trace_io.save ~format:Trace_io.Text stress_log text_file;
+  Trace_io.save ~format:Trace_io.Binary stress_log bin_file;
+  let text_bytes = (Unix.stat text_file).st_size in
+  let bin_bytes = (Unix.stat bin_file).st_size in
+  (* Bulk-ingest GC configuration: a 4 MiW minor heap keeps the decoded
+     event records out of the promotion/write-barrier path that
+     otherwise dominates both loaders equally and flattens the ratio.
+     Applied identically to both formats and restored afterwards, so
+     the other artifacts keep their default-GC comparability. *)
+  let minor_heap_words = 4 * 1024 * 1024 in
+  let saved_gc = Gc.get () in
+  let text_s, bin_s =
+    Fun.protect ~finally:(fun () -> Gc.set saved_gc) @@ fun () ->
+    Gc.set { saved_gc with Gc.minor_heap_size = minor_heap_words };
+    let time file =
+      let t0 = Unix.gettimeofday () in
+      ignore (Trace_io.load file);
+      Unix.gettimeofday () -. t0
+    in
+    ignore (time text_file) (* warmup *);
+    ignore (time bin_file);
+    (* Interleaved best-of-trials, like the telemetry comparison in
+       [perf], so drift hits both sides equally. *)
+    let text = ref infinity and bin = ref infinity in
+    for _ = 1 to 12 do
+      text := Float.min !text (time text_file);
+      bin := Float.min !bin (time bin_file)
+    done;
+    (!text, !bin)
+  in
+  let text_tp = float events /. text_s in
+  let bin_tp = float events /. bin_s in
+  let speedup = bin_tp /. text_tp in
+  (* Verdict identity: every corpus test log pushed through an on-disk
+     round-trip in each format before observation and solving. *)
+  let solve_via format =
+    List.map
+      (fun (a : App.t) ->
+        let obs = Observations.create () in
+        List.iter
+          (fun log ->
+            let file = Filename.temp_file "sherlock_roundtrip" ".trace" in
+            Fun.protect
+              ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+            @@ fun () ->
+            Trace_io.save ~format log file;
+            Observations.add_log obs ~near:Config.default.near
+              ~cap:Config.default.window_cap
+              ~refine:Config.default.use_refinement (Trace_io.load file))
+          (Orchestrator.run_test_logs (App.subject a));
+        let verdicts, _stats = Encoder.solve Config.default obs in
+        ( a.id,
+          String.concat ";"
+            (List.map (fun v -> Format.asprintf "%a" Verdict.pp v) verdicts) ))
+      apps
+  in
+  let verdicts_identical = solve_via Trace_io.Text = solve_via Trace_io.Binary in
+  let pass = verdicts_identical && speedup >= 10.0 in
+  let t =
+    Table.create ~title:"Trace format: binary vs text ingest (stress log)"
+      ~header:[ "measure"; "text"; "binary" ]
+  in
+  Table.add_row t
+    [
+      Printf.sprintf "size (%d events)" events;
+      Printf.sprintf "%d bytes" text_bytes; Printf.sprintf "%d bytes" bin_bytes;
+    ];
+  Table.add_row t
+    [
+      "load (best of 12)"; Printf.sprintf "%.4f s" text_s;
+      Printf.sprintf "%.4f s" bin_s;
+    ];
+  Table.add_row t
+    [
+      "ingest"; Printf.sprintf "%.2fM events/sec" (text_tp /. 1e6);
+      Printf.sprintf "%.2fM events/sec (%.1fx)" (bin_tp /. 1e6) speedup;
+    ];
+  Table.add_row t
+    [
+      "corpus verdicts via round-trip";
+      (if verdicts_identical then "identical" else "DIVERGED"); "";
+    ];
+  Table.print t;
+  update_bench_sections
+    [
+      ( "format",
+        Printf.sprintf
+          {|{"events": %d, "text_bytes": %d, "binary_bytes": %d, "text_load_s": %.6f, "binary_load_s": %.6f, "text_events_per_sec": %.0f, "binary_events_per_sec": %.0f, "speedup": %.2f, "minor_heap_words": %d, "verdicts_identical": %b, "pass": %b}|}
+          events text_bytes bin_bytes text_s bin_s text_tp bin_tp speedup
+          minor_heap_words verdicts_identical pass );
+    ];
+  if not pass then begin
+    Printf.printf
+      "FAIL: format gate (speedup %.2fx, need >= 10x; verdicts %s)\n" speedup
+      (if verdicts_identical then "identical" else "diverged");
     exit 1
   end
 
@@ -959,6 +1130,7 @@ let artifacts =
     ("overhead", overhead);
     ("perf", perf);
     ("lp", lp_gate);
+    ("format", format_gate);
     ("robustness", robustness);
     ("robustness-scan", robustness_scan);
     ("microbench", bechamel_suite);

@@ -26,7 +26,42 @@ type per_thread = {
 type t
 
 val build : Event.t array -> t
-(** [build events] indexes a time-sorted event array. *)
+(** [build events] indexes a time-sorted event array.  Dispatches to a
+    dense array-counter build when tids and access targets are small
+    non-negative ints (the simulator's id allocator guarantees this), and
+    to a generic hashtable build otherwise. *)
+
+val build_dense : Event.t array -> max_tid:int -> max_addr:int -> t
+(** The dense build directly, for callers that already scanned the
+    array: every [tid] must lie in [0, max_tid] and every access target
+    in [0, max_addr] — violations are undefined behaviour (the build
+    indexes plain arrays with those bounds, unchecked).  Use {!build}
+    unless the bounds are certain. *)
+
+(** Incremental dense build for deserializers: call {!Dense_builder.note}
+    once per event from inside the decode loop (in event order), then
+    {!Dense_builder.finish} on the decoded array.  This folds the
+    counting pass of {!build} into the decode loop, leaving only the
+    fill pass — one full scan of the record array less.  [finish]
+    returns [None] when the events fall outside the dense-id regime
+    (caller falls back to {!build}). *)
+module Dense_builder : sig
+  type index := t
+
+  type t
+
+  val create : events:int -> t
+  (** [events] is the total event count (known from the frame header);
+      it bounds the dense-id range exactly as {!build}'s dispatch does. *)
+
+  val note : t -> tid:int -> target:int -> delayed:bool -> is_access:bool -> unit
+  (** Must be called once per event, in array order, with that event's
+      fields. *)
+
+  val finish : t -> Event.t array -> index option
+  (** [events] must be the array whose elements were [note]d, in the
+      same order. *)
+end
 
 val lower_bound : int array -> int -> int
 (** First index whose value is [>= v] (array length if none). *)

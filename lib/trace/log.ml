@@ -21,6 +21,21 @@ let of_unsorted_array arr ~duration ~threads ~volatile_addrs =
 let create ~events ~duration ~threads ~volatile_addrs =
   of_unsorted_array (Array.of_list events) ~duration ~threads ~volatile_addrs
 
+(* Deserializers hand back the event array in the order it was written —
+   the binary format stores the time-sorted array verbatim — so the sort
+   is redundant there.  The claim is verified in one linear pass; if a
+   hand-edited or corrupt file breaks it, we fall back to sorting rather
+   than hand the analyses an out-of-order log.  [arr] is taken by
+   ownership either way. *)
+let of_sorted_array arr ~duration ~threads ~volatile_addrs =
+  let sorted = ref true in
+  for i = 1 to Array.length arr - 1 do
+    if (Array.unsafe_get arr (i - 1)).Event.time > (Array.unsafe_get arr i).Event.time
+    then sorted := false
+  done;
+  if not !sorted then of_unsorted_array arr ~duration ~threads ~volatile_addrs
+  else { events = arr; duration; threads; volatile_addrs; index = Index.build arr }
+
 (* A fresh value every call: the volatile-address table is mutable, so a
    shared [empty] would leak one caller's mutations into another's log. *)
 let empty () =

@@ -23,6 +23,14 @@ val create : events:Event.t list -> duration:int -> threads:int ->
   volatile_addrs:(int, unit) Hashtbl.t -> t
 (** Sorts the events by timestamp (stably) and builds the indices. *)
 
+val of_sorted_array : Event.t array -> duration:int -> threads:int ->
+  volatile_addrs:(int, unit) Hashtbl.t -> t
+(** Like {!create} for an array that is already time-sorted — the
+    deserializers' path: the binary trace format stores the sorted event
+    array verbatim, so only the indices need building.  Sortedness is
+    verified in one pass (with a fallback sort if it does not hold), and
+    the array is taken by ownership. *)
+
 val empty : unit -> t
 (** A fresh empty log.  This is a function: the embedded volatile-address
     table is mutable, so a single shared value would let one caller's

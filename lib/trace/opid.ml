@@ -10,7 +10,23 @@ type t = {
   kind : kind;
 }
 
-let make cls member kind = { cls; member; kind }
+(* Operation names flow into both trace formats — space-delimited text
+   lines and length-prefixed binary table entries — and into every report.
+   Whitespace or control characters would corrupt the text framing, so
+   they are rejected here, at the only point with a useful stack, instead
+   of surfacing as a serialization error long after the name was minted. *)
+let check_name s =
+  String.iter
+    (fun c ->
+      if c <= ' ' || c = '\x7f' then
+        invalid_arg
+          (Printf.sprintf "Opid: invalid character %C in operation name %S" c s))
+    s
+
+let make cls member kind =
+  check_name cls;
+  check_name member;
+  { cls; member; kind }
 
 let read ~cls member = make cls member Read
 let write ~cls member = make cls member Write

@@ -19,10 +19,18 @@ type t = {
   kind : kind;
 }
 
+val check_name : string -> unit
+(** Raises [Invalid_argument] if the name contains whitespace or control
+    characters — names like that would corrupt the space-delimited trace
+    format.  Applied by every constructor below; exposed so serializers
+    can re-check names of records built by hand (the type is concrete). *)
+
 val read : cls:string -> string -> t
 val write : cls:string -> string -> t
 val enter : cls:string -> string -> t
 val exit : cls:string -> string -> t
+(** All four constructors raise [Invalid_argument] if [cls] or the member
+    name contains whitespace or a control character (see {!check_name}). *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool

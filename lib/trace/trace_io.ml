@@ -1,3 +1,10 @@
+(* Format-dispatching front for trace files: sniffs the leading magic
+   bytes and routes to the text codec below or to [Trace_bin].  The text
+   format remains the import/debug path (and the default for [save]);
+   the binary format is the fast path for large logs. *)
+
+type format = Text | Binary
+
 let magic = "sherlock-trace 1"
 
 let kind_char = function
@@ -12,13 +19,6 @@ let kind_of_char = function
   | 'b' -> Opid.Begin
   | 'e' -> Opid.End
   | c -> failwith (Printf.sprintf "Trace_io: bad kind %C" c)
-
-let check_name s =
-  String.iter
-    (fun c ->
-      if c = ' ' || c = '\t' || c = '\n' then
-        invalid_arg ("Trace_io: whitespace in operation name " ^ s))
-    s
 
 (* Serialization appends fields straight into the buffer (no per-field
    [Printf.sprintf] round-trips): a large trace is dominated by its event
@@ -45,8 +45,12 @@ let to_buffer (log : Log.t) =
     log.volatile_addrs;
   Array.iter
     (fun (e : Event.t) ->
-      check_name e.op.cls;
-      check_name e.op.member;
+      (* Re-checked here even though the constructors validate: [Opid.t]
+         is a concrete record, so hand-built values can bypass them, and
+         a name with a space would shear the event line into extra
+         fields. *)
+      Opid.check_name e.op.cls;
+      Opid.check_name e.op.member;
       Buffer.add_string buf "e ";
       add_int buf e.time;
       Buffer.add_char buf ' ';
@@ -65,9 +69,7 @@ let to_buffer (log : Log.t) =
     log.events;
   buf
 
-let to_string log = Buffer.contents (to_buffer log)
-
-let of_string ?(path = "<string>") s =
+let of_string_text ?(path = "<string>") s =
   let lines = String.split_on_char '\n' s in
   (* Parse errors carry file:line (1-based, counting the magic line) so a
      truncated or garbled trace file points straight at the bad spot. *)
@@ -109,14 +111,48 @@ let of_string ?(path = "<string>") s =
       ~volatile_addrs
   | _ -> failwith (Printf.sprintf "%s:1: Trace_io: bad magic" path)
 
-let save log path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc (to_buffer log))
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
 
-let load path =
-  let ic = open_in path in
+let sniff s =
+  let bl = String.length Trace_bin.magic in
+  if String.length s >= bl && String.sub s 0 bl = Trace_bin.magic then Binary
+  else Text
+
+let format_of_file path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string ~path (really_input_string ic (in_channel_length ic)))
+    (fun () ->
+      let n = min (in_channel_length ic) (String.length Trace_bin.magic) in
+      sniff (really_input_string ic n))
+
+let format_name = function Text -> "text" | Binary -> "binary"
+
+let to_string ?(format = Text) log =
+  match format with
+  | Text -> Buffer.contents (to_buffer log)
+  | Binary -> Trace_bin.to_string log
+
+let of_string ?path s =
+  match sniff s with
+  | Binary -> Trace_bin.of_string ?path s
+  | Text -> of_string_text ?path s
+
+let save ?(format = Text) log path =
+  match format with
+  | Binary -> Trace_bin.save log path
+  | Text ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Buffer.output_buffer oc (to_buffer log))
+
+let load path =
+  match format_of_file path with
+  | Binary -> Trace_bin.load path
+  | Text ->
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string_text ~path (really_input_string ic (in_channel_length ic)))

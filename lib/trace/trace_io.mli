@@ -2,29 +2,48 @@
 
     The paper's pipeline writes execution logs to disk during the
     instrumented runs and solves from those files afterwards; this module
-    provides the same decoupling.  The format is a line-oriented text
-    file:
+    provides the same decoupling, in two on-disk formats behind one
+    front:
 
-    {v
-    sherlock-trace 1
-    duration <us>
-    threads <n>
-    volatile <addr>            (zero or more)
-    e <time> <tid> <kind> <target> <delayed_by> <cls> <member>
-    v}
+    - {b Text} (default for {!save}) — the line-oriented debug/import
+      format:
+      {v
+      sherlock-trace 1
+      duration <us>
+      threads <n>
+      volatile <addr>            (zero or more)
+      e <time> <tid> <kind> <target> <delayed_by> <cls> <member>
+      v}
+      where [kind] is one of [r w b e].  Class and member names must not
+      contain whitespace (C# qualified names never do).
+    - {b Binary} — the framed, interned, mmap-backed format of
+      {!Trace_bin}, for large logs.
 
-    where [kind] is one of [r w b e].  Class and member names must not
-    contain whitespace (C# qualified names never do). *)
+    Readers ({!load}, {!of_string}) never need a format argument: they
+    sniff the leading magic bytes and dispatch. *)
 
-val save : Log.t -> string -> unit
-(** Write the log to a file.  Raises [Sys_error] on IO failure and
-    [Invalid_argument] if an operation name contains whitespace. *)
+type format = Text | Binary
+
+val format_of_file : string -> format
+(** Sniff the magic bytes of the file at [path].  Files that are neither
+    format report [Text] (and then fail in the text parser with a
+    positioned message).  Raises [Sys_error] if unreadable. *)
+
+val format_name : format -> string
+(** ["text"] or ["binary"]. *)
+
+val save : ?format:format -> Log.t -> string -> unit
+(** Write the log to a file ([format] defaults to [Text]).  Raises
+    [Sys_error] on IO failure and [Invalid_argument] if an operation
+    name contains whitespace or control characters. *)
 
 val load : string -> Log.t
-(** Read a log back.  Raises [Failure] on malformed input; the message
-    starts with ["file:line:"] pointing at the offending line. *)
+(** Read a log back, auto-detecting the format.  Raises [Failure] on
+    malformed input; the message starts with ["file:line:"] (text) or
+    ["file: byte N:"] (binary) pointing at the offending input. *)
 
-val to_string : Log.t -> string
+val to_string : ?format:format -> Log.t -> string
 
 val of_string : ?path:string -> string -> Log.t
-(** [path] (default ["<string>"]) is only used to label parse errors. *)
+(** Auto-detecting decode; [path] (default ["<string>"]) is only used to
+    label parse errors. *)

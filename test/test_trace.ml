@@ -43,6 +43,39 @@ let test_opid_strings () =
   check Alcotest.string "end" "C::m-End" (Opid.to_string (Opid.exit ~cls:"C" "m"));
   check Alcotest.string "method key" "C::m" (Opid.method_key (Opid.enter ~cls:"C" "m"))
 
+let test_opid_name_validation () =
+  (* Whitespace and control characters would corrupt the space-delimited
+     text format; every constructor must reject them, naming the
+     offending character, for either component. *)
+  let expect_reject name =
+    List.iter
+      (fun ctor ->
+        match ctor () with
+        | (_ : Opid.t) -> Alcotest.failf "accepted %S" name
+        | exception Invalid_argument msg ->
+          check Alcotest.bool
+            (Printf.sprintf "%S names the module" msg)
+            true
+            (String.length msg >= 5 && String.sub msg 0 5 = "Opid:"))
+      [
+        (fun () -> Opid.read ~cls:name "f");
+        (fun () -> Opid.write ~cls:"C" name);
+        (fun () -> Opid.enter ~cls:name "m");
+        (fun () -> Opid.exit ~cls:"C" name);
+      ]
+  in
+  List.iter expect_reject
+    [ "Bad Name"; "tab\there"; "new\nline"; "nul\x00"; "del\x7f" ];
+  Alcotest.check_raises "message pinpoints the character"
+    (Invalid_argument
+       "Opid: invalid character ' ' in operation name \"Bad Name\"")
+    (fun () -> ignore (Opid.read ~cls:"Bad Name" "f"));
+  (* Punctuation-heavy but printable names are legitimate (C# generics,
+     compiler-generated members) and must pass. *)
+  List.iter
+    (fun n -> ignore (Opid.read ~cls:"N.C`1" n))
+    [ "<Main>b__0"; "op_Equality"; "f" ]
+
 let test_opid_counterpart () =
   check Alcotest.bool "read<->write" true
     (Opid.equal (Opid.counterpart (Opid.read ~cls:"C" "f")) (Opid.write ~cls:"C" "f"));
@@ -394,10 +427,120 @@ let test_trace_io_malformed_line_position () =
   expect_failure_at ~path:"<string>" 2 (List.hd lines ^ "\ne 10 0\n")
 
 let test_trace_io_rejects_spaces () =
-  let log = mklog [ ev 10 0 (Opid.read ~cls:"Bad Name" "f") ] in
-  Alcotest.check_raises "whitespace name"
-    (Invalid_argument "Trace_io: whitespace in operation name Bad Name") (fun () ->
-      ignore (Trace_io.to_string log))
+  (* The constructors reject bad names up front ([test_opid_name_validation]);
+     [Opid.t] is a concrete record, though, so a value built by hand can
+     slip past them — both writers must re-check before emitting. *)
+  let bad = { Opid.cls = "Bad Name"; member = "f"; kind = Opid.Read } in
+  let log = mklog [ ev 10 0 bad ] in
+  List.iter
+    (fun format ->
+      Alcotest.check_raises
+        (Printf.sprintf "whitespace name (%s)" (Trace_io.format_name format))
+        (Invalid_argument
+           "Opid: invalid character ' ' in operation name \"Bad Name\"")
+        (fun () -> ignore (Trace_io.to_string ~format log)))
+    [ Trace_io.Text; Trace_io.Binary ]
+
+(* --- Trace_bin --- *)
+
+let test_trace_bin_roundtrip () =
+  let o1 = Opid.read ~cls:"C" "f" and o2 = Opid.enter ~cls:"N.S" "m" in
+  let volatile_addrs = Hashtbl.create 2 in
+  Hashtbl.replace volatile_addrs 7 ();
+  Hashtbl.replace volatile_addrs 3 ();
+  let log =
+    Log.create
+      ~events:[ ev ~target:7 10 0 o1; ev ~target:3 ~delayed_by:100 20 1 o2 ]
+      ~duration:999 ~threads:3 ~volatile_addrs
+  in
+  let s = Trace_bin.to_string log in
+  check Alcotest.string "frame starts with the magic" Trace_bin.magic
+    (String.sub s 0 (String.length Trace_bin.magic));
+  (* [Trace_io.of_string] must sniff the magic and route to the binary
+     decoder on its own. *)
+  let log' = Trace_io.of_string s in
+  check Alcotest.int "duration" log.duration log'.duration;
+  check Alcotest.int "threads" log.threads log'.threads;
+  check Alcotest.int "volatiles" 2 (Hashtbl.length log'.volatile_addrs);
+  check Alcotest.bool "volatile membership" true
+    (Hashtbl.mem log'.volatile_addrs 7 && Hashtbl.mem log'.volatile_addrs 3);
+  check Alcotest.int "events" (Log.length log) (Log.length log');
+  Array.iter2
+    (fun (a : Event.t) (b : Event.t) ->
+      check Alcotest.bool "op" true (Opid.equal a.op b.op);
+      check Alcotest.int "time" a.time b.time;
+      check Alcotest.int "tid" a.tid b.tid;
+      check Alcotest.int "target" a.target b.target;
+      check Alcotest.int "delay" a.delayed_by b.delayed_by)
+    log.events log'.events
+
+let test_trace_bin_file_autodetect () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let path = Filename.temp_file "sherlock" ".btrace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save ~format:Trace_io.Binary log path;
+      check Alcotest.bool "sniffed as binary" true
+        (Trace_io.format_of_file path = Trace_io.Binary);
+      let log' = Trace_io.load path in
+      check Alcotest.int "events" 2 (Log.length log');
+      (* Converting back to text through the same front door. *)
+      Trace_io.save ~format:Trace_io.Text log' path;
+      check Alcotest.bool "sniffed as text" true
+        (Trace_io.format_of_file path = Trace_io.Text);
+      check Alcotest.int "events after convert" 2 (Log.length (Trace_io.load path)))
+
+let expect_positioned_binary_failure ~path ~what s =
+  match Trace_bin.of_string ~path s with
+  | (_ : Log.t) -> Alcotest.failf "%s parsed" what
+  | exception Failure msg ->
+    (* Binary errors are positioned as "<path>: byte <off>: Trace_bin: ...". *)
+    let prefix = path ^ ": byte " in
+    check Alcotest.bool
+      (Printf.sprintf "%s: %S carries a byte offset" what msg)
+      true
+      (String.length msg >= String.length prefix
+      && String.sub msg 0 (String.length prefix) = prefix)
+
+let test_trace_bin_truncation_positioned () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf; ev 90 0 wf ] in
+  let s = Trace_bin.to_string log in
+  (* Every proper prefix — mid-magic, mid-header, mid-op-table, mid-column,
+     mid-footer — must be rejected with a byte-positioned error. *)
+  for len = 0 to String.length s - 1 do
+    expect_positioned_binary_failure ~path:"t.btrace"
+      ~what:(Printf.sprintf "%d-byte prefix" len)
+      (String.sub s 0 len)
+  done
+
+let test_trace_bin_corruption_positioned () =
+  let volatile_addrs = Hashtbl.create 1 in
+  Hashtbl.replace volatile_addrs 1 ();
+  let log =
+    Log.create
+      ~events:[ ev 10 0 wf; ev ~delayed_by:3 50 1 rf; ev 90 0 wf ]
+      ~duration:1_000 ~threads:2 ~volatile_addrs
+  in
+  let s = Trace_bin.to_string log in
+  (* Flip every byte in turn: each corrupted frame must either still
+     decode to some log (flips in event payloads are data, not
+     structure) or fail with a byte-positioned error — never escape as
+     another exception or a crash. *)
+  for pos = 0 to String.length s - 1 do
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+    let corrupted = Bytes.to_string b in
+    match Trace_bin.of_string ~path:"c.btrace" corrupted with
+    | (_ : Log.t) -> ()
+    | exception Failure msg ->
+      let prefix = "c.btrace: byte " in
+      check Alcotest.bool
+        (Printf.sprintf "flip at %d: %S carries a byte offset" pos msg)
+        true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix)
+  done
 
 let prop_trace_io_roundtrip =
   QCheck.Test.make ~name:"trace_io roundtrip on random logs" ~count:100
@@ -420,6 +563,51 @@ let prop_trace_io_roundtrip =
              && List.length (Log.events_of_thread log tid)
                 = List.length (Log.events_of_thread log' tid))
            [ 0; 1; 2 ])
+
+(* Random logs with volatile-address annotations, for the cross-format
+   property: both serializers must carry the whole log header, not just
+   the event array. *)
+let gen_log_inputs =
+  QCheck.Gen.(
+    let* events = gen_ops_for_io in
+    let* volatiles = list_size (int_range 0 4) (int_range 1 6) in
+    let* duration = int_range 0 1_000_000 in
+    let* threads = int_range 0 8 in
+    return (events, volatiles, duration, threads))
+
+let prop_trace_formats_roundtrip =
+  QCheck.Test.make ~name:"binary<->text<->binary preserves logs" ~count:100
+    (QCheck.make gen_log_inputs)
+    (fun (events, volatiles, duration, threads) ->
+      let volatile_addrs = Hashtbl.create 4 in
+      List.iter (fun a -> Hashtbl.replace volatile_addrs a ()) volatiles;
+      let log = Log.create ~events ~duration ~threads ~volatile_addrs in
+      let via format (l : Log.t) =
+        Trace_io.of_string (Trace_io.to_string ~format l)
+      in
+      let via_bin = via Trace_io.Binary log in
+      let via_text = via Trace_io.Text via_bin in
+      let back = via Trace_io.Binary via_text in
+      let vols (l : Log.t) =
+        List.sort compare
+          (Hashtbl.fold (fun k () acc -> k :: acc) l.volatile_addrs [])
+      in
+      let same (a : Log.t) (b : Log.t) =
+        a.duration = b.duration && a.threads = b.threads
+        && Log.length a = Log.length b
+        && Array.for_all2
+             (fun (x : Event.t) (y : Event.t) ->
+               Opid.equal x.op y.op && x.time = y.time && x.tid = y.tid
+               && x.target = y.target && x.delayed_by = y.delayed_by)
+             a.events b.events
+        && vols a = vols b
+      in
+      same log via_bin && same log via_text && same log back
+      (* The binary encoding is canonical (interning in first-appearance
+         order, volatile addresses sorted): re-encoding a log that made
+         it through both formats is byte-identical. *)
+      && Trace_io.to_string ~format:Trace_io.Binary log
+         = Trace_io.to_string ~format:Trace_io.Binary back)
 
 (* --- Reference window extraction --- *)
 
@@ -714,6 +902,7 @@ let () =
           Alcotest.test_case "identity" `Quick test_opid_identity;
           Alcotest.test_case "kinds" `Quick test_opid_kinds;
           Alcotest.test_case "system classification" `Quick test_opid_system;
+          Alcotest.test_case "name validation" `Quick test_opid_name_validation;
           Alcotest.test_case "rendering" `Quick test_opid_strings;
           Alcotest.test_case "counterpart" `Quick test_opid_counterpart;
         ] );
@@ -761,8 +950,18 @@ let () =
             test_trace_io_malformed_line_position;
           Alcotest.test_case "rejects spaces" `Quick test_trace_io_rejects_spaces;
         ] );
+      ( "trace_bin",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_bin_roundtrip;
+          Alcotest.test_case "file autodetect" `Quick test_trace_bin_file_autodetect;
+          Alcotest.test_case "truncation positioned" `Quick
+            test_trace_bin_truncation_positioned;
+          Alcotest.test_case "corruption positioned" `Quick
+            test_trace_bin_corruption_positioned;
+        ] );
       ( "properties",
         qcheck
           [ prop_windows_no_crash; prop_window_sides_nonempty; prop_log_sorted;
-            prop_trace_io_roundtrip; prop_extract_matches_reference ] );
+            prop_trace_io_roundtrip; prop_trace_formats_roundtrip;
+            prop_extract_matches_reference ] );
     ]
