@@ -1069,6 +1069,107 @@ let robustness () =
     exit 1
   end
 
+(* Provenance gate: capture must be free when off and harmless when on.
+   The whole corpus is inferred with capture off and on (interleaved
+   best-of-trials so clock drift hits both sides): the verdicts must be
+   identical — capture only reads duals after the pivot sequence is done
+   — every captured verdict must carry evidence windows, and the
+   disabled-capture wall-clock must stay within 2% of the previous
+   recorded run (self-seeding on the first run, like the perf
+   baselines). *)
+let provenance_gate () =
+  let show (r : Orchestrator.result) =
+    String.concat ";"
+      (List.map (fun v -> Format.asprintf "%a" Verdict.pp v) r.final)
+  in
+  let config = { Config.default with parallelism = 1 } in
+  let measure provenance =
+    let config = { config with provenance } in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      List.map (fun (a : App.t) -> Orchestrator.infer ~config (App.subject a)) apps
+    in
+    (Unix.gettimeofday () -. t0, results)
+  in
+  let trials = 3 in
+  let off_s = ref infinity and on_s = ref infinity in
+  let off_results = ref [] and on_results = ref [] in
+  for _ = 1 to trials do
+    let s, r = measure false in
+    if s < !off_s then begin
+      off_s := s;
+      off_results := r
+    end;
+    let s, r = measure true in
+    if s < !on_s then begin
+      on_s := s;
+      on_results := r
+    end
+  done;
+  let identical = List.map show !off_results = List.map show !on_results in
+  let module P = Sherlock_provenance.Provenance in
+  let verdicts_with_evidence, verdicts_total =
+    List.fold_left
+      (fun (withe, total) (r : Orchestrator.result) ->
+        match r.provenance with
+        | None -> (withe, total + List.length r.final)
+        | Some prov ->
+          ( withe
+            + List.length
+                (List.filter
+                   (fun (v : P.verdict_evidence) -> v.P.v_windows <> [])
+                   prov.P.p_verdicts),
+            total + List.length prov.P.p_verdicts ))
+      (0, 0) !on_results
+  in
+  let prior = read_bench_sections () in
+  let baseline =
+    match List.assoc_opt "provenance" prior with
+    | None -> !off_s
+    | Some v -> Option.value (json_number v "off_s") ~default:!off_s
+  in
+  let overhead_pct = (!off_s -. baseline) /. baseline *. 100.0 in
+  let t =
+    Table.create ~title:"Provenance capture: off vs on (8-app corpus)"
+      ~header:[ "measure"; "off"; "on" ]
+  in
+  Table.add_row t
+    [
+      "corpus infer"; Printf.sprintf "%.3f s" !off_s;
+      Printf.sprintf "%.3f s" !on_s;
+    ];
+  Table.add_row t
+    [
+      "verdicts"; (if identical then "identical" else "DIVERGED");
+      Printf.sprintf "%d/%d with evidence" verdicts_with_evidence verdicts_total;
+    ];
+  Table.add_row t
+    [
+      "off overhead vs baseline"; Printf.sprintf "%.2f%%" overhead_pct;
+      "(budget 2%)";
+    ];
+  Table.print t;
+  let pass =
+    identical && verdicts_with_evidence = verdicts_total && verdicts_total > 0
+    && overhead_pct < 2.0
+  in
+  update_bench_sections
+    [
+      ( "provenance",
+        Printf.sprintf
+          {|{"off_s": %.3f, "on_s": %.3f, "baseline_off_s": %.3f, "overhead_pct": %.2f, "verdicts_identical": %b, "verdicts_total": %d, "verdicts_with_evidence": %d, "pass": %b}|}
+          !off_s !on_s baseline overhead_pct identical verdicts_total
+          verdicts_with_evidence pass );
+    ];
+  if not pass then begin
+    Printf.printf
+      "FAIL: provenance gate (verdicts %s, %d/%d with evidence, disabled \
+       overhead %.2f%%, budget 2%%)\n"
+      (if identical then "identical" else "diverged")
+      verdicts_with_evidence verdicts_total overhead_pct;
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let bechamel_suite () =
@@ -1131,6 +1232,7 @@ let artifacts =
     ("perf", perf);
     ("lp", lp_gate);
     ("format", format_gate);
+    ("provenance", provenance_gate);
     ("robustness", robustness);
     ("robustness-scan", robustness_scan);
     ("microbench", bechamel_suite);

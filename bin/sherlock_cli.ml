@@ -139,7 +139,16 @@ let with_telemetry out f =
         Telemetry.Metrics.set_enabled false)
       (fun () ->
         let r = f () in
-        Telemetry.Perfetto.write path (Telemetry.Perfetto.of_spans collector);
+        (* Spans plus the per-round counter samples: without the samples a
+           counter appears in Perfetto as a single end-of-run value instead
+           of a track progressing round by round. *)
+        let events =
+          Telemetry.Perfetto.of_spans collector
+          @ Telemetry.Perfetto.of_samples
+              ~epoch:(Telemetry.Span.epoch collector)
+              (Telemetry.Metrics.samples ())
+        in
+        Telemetry.Perfetto.write path events;
         Printf.printf "wrote %d telemetry spans to %s\n"
           (Telemetry.Span.span_count collector)
           path;
@@ -150,11 +159,36 @@ let trace_format_enum =
     [ ("text", Sherlock_trace.Trace_io.Text);
       ("binary", Sherlock_trace.Trace_io.Binary) ]
 
+let provenance_out_arg =
+  let doc =
+    "Capture end-to-end verdict provenance (evidence windows, LP rows with \
+     duals, confidence margins, per-round traces) and write it as a JSON \
+     sidecar to $(docv).  Verdicts are identical with or without capture."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "provenance-out" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run config app_name verbose dump_dir trace_format telemetry_out =
+  let run config app_name verbose dump_dir trace_format telemetry_out
+      provenance_out =
+    let config =
+      if provenance_out <> None then { config with Config.provenance = true }
+      else config
+    in
     let app, result =
       with_telemetry telemetry_out (fun () -> infer_run config app_name)
     in
+    (match (provenance_out, result.Orchestrator.provenance) with
+    | Some path, Some prov ->
+      Sherlock_provenance.Provenance.save path prov;
+      Printf.printf "wrote provenance for %d verdicts to %s\n"
+        (List.length prov.Sherlock_provenance.Provenance.p_verdicts)
+        path
+    | Some path, None ->
+      Printf.eprintf "provenance capture produced nothing; %s not written\n" path
+    | None, _ -> ());
     (match dump_dir with
     | None -> ()
     | Some dir ->
@@ -233,7 +267,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Infer synchronizations for one application (3 rounds by default).")
     Term.(
       const run $ config_term $ app_arg $ verbose $ dump_dir $ trace_format
-      $ telemetry_out_arg)
+      $ telemetry_out_arg $ provenance_out_arg)
 
 let race_cmd =
   let run config app_name model_name =
@@ -451,10 +485,127 @@ let convert_cmd =
           that reads traces accepts either format.")
     Term.(const run $ in_pos $ out_pos $ to_format)
 
+let explain_cmd =
+  let module Prov = Sherlock_provenance.Provenance in
+  let run config app_name op_query all from_file json_out flows_out =
+    let prov =
+      match from_file with
+      | Some path -> (
+        match Prov.load path with
+        | Ok prov -> prov
+        | Error msg ->
+          Printf.eprintf "cannot read provenance %s: %s\n" path msg;
+          exit 2)
+      | None -> (
+        match app_name with
+        | None ->
+          Printf.eprintf
+            "explain needs an application (-a APP) or a sidecar (--from FILE)\n";
+          exit 2
+        | Some app_name ->
+          let config = { config with Config.provenance = true } in
+          let _app, result = infer_run config app_name in
+          (match result.Orchestrator.provenance with
+          | Some prov -> prov
+          | None ->
+            Printf.eprintf "inference produced no provenance\n";
+            exit 1))
+    in
+    (match json_out with
+    | Some path ->
+      Prov.save path prov;
+      Printf.printf "wrote provenance JSON to %s\n" path
+    | None -> ());
+    (match flows_out with
+    | Some path ->
+      let events = Timeline.evidence_flows prov in
+      Telemetry.Perfetto.write path events;
+      Printf.printf "wrote %d evidence-flow events to %s\n" (List.length events)
+        path
+    | None -> ());
+    match (op_query, all) with
+    | Some q, _ -> (
+      match Prov.find prov q with
+      | [] ->
+        Printf.eprintf "no verdict matches %S (of %d verdicts)\n" q
+          (List.length prov.Prov.p_verdicts);
+        exit 1
+      | matches ->
+        List.iter (Format.printf "%a@." Prov.pp_verdict) matches)
+    | None, _ ->
+      (* With no operation argument the whole tree is the useful default,
+         so --all is implied. *)
+      Format.printf "%a@." Prov.pp prov
+  in
+  let app_opt =
+    let doc = "Application to analyze (omit when reading --from a sidecar)." in
+    Arg.(value & opt (some string) None & info [ "a"; "app" ] ~docv:"APP" ~doc)
+  in
+  let op_query =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "Operation to explain (substring of the static op name, e.g. \
+             $(b,write:Queue.head)).  Omitted: explain every verdict.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Explain every verdict (the default when $(i,OP) is omitted).")
+  in
+  let from_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Read provenance from a sidecar written by $(b,run \
+             --provenance-out) instead of re-running inference.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Also write the provenance JSON sidecar to $(docv).")
+  in
+  let flows_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flows" ] ~docv:"FILE"
+          ~doc:
+            "Also write Perfetto flow-arrow annotations linking each \
+             verdict's evidence windows into the virtual-time timeline \
+             (load together with the $(b,timeline) export).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain inferred verdicts: render the evidence tree (windows -> \
+          LP constraints with duals -> rounds) behind each \
+          acquire/release verdict, from a fresh provenance-capturing run \
+          or a saved sidecar.")
+    Term.(
+      const run $ config_term $ app_opt $ op_query $ all $ from_file $ json_out
+      $ flows_out)
+
 let main =
   let doc = "unsupervised synchronization-operation inference (ASPLOS'21 reproduction)" in
   Cmd.group
     (Cmd.info "sherlock" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; race_cmd; tsvd_cmd; solve_trace_cmd; convert_cmd; timeline_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      race_cmd;
+      tsvd_cmd;
+      solve_trace_cmd;
+      convert_cmd;
+      timeline_cmd;
+      explain_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

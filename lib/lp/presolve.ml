@@ -27,6 +27,13 @@ type result = {
   r_infeasible : bool;
   r_restore : (int -> float) -> int -> float;
       (* reduced-solution lookup -> original variable -> value *)
+  r_row_map : int array;
+      (* original constraint index -> index in r_constrs; duplicates map
+         to the surviving representative, other removed rows to -1 *)
+  r_var_map : int array;
+      (* original variable -> variable carrying its reduced cost in the
+         reduced problem (itself, or the kept penalty twin); -1 when the
+         variable was fixed and substituted out *)
 }
 
 let tol = 1e-9
@@ -122,6 +129,9 @@ let run ~num_vars ~objective constrs =
         end)
       rows
   done;
+  (* Representative of a row dropped as a duplicate (original index of
+     the kept row), for mapping duals back to every original row. *)
+  let rep = Array.make (max 1 (Array.length rows)) (-1) in
   if not !infeasible then begin
     (* Occurrence counts over the surviving rows, to spot penalty
        columns: a positive-cost variable used by exactly one row, with a
@@ -140,8 +150,8 @@ let run ~num_vars ~objective constrs =
           r.terms
     in
     let tbl = Hashtbl.create 64 in
-    Array.iter
-      (fun r ->
+    Array.iteri
+      (fun i r ->
         if r.live then begin
           match penalty_of r with
           | Some (h, hk) ->
@@ -149,21 +159,22 @@ let run ~num_vars ~objective constrs =
               `Hinge (List.filter (fun (v, _) -> v <> h) r.terms, hk, r.b)
             in
             (match Hashtbl.find_opt tbl key with
-            | None -> Hashtbl.add tbl key (r, h)
-            | Some (_, h0) ->
+            | None -> Hashtbl.add tbl key (i, r, h)
+            | Some (i0, _, h0) ->
               (* Same body, same penalty shape: fold this row's weight
                  onto the kept penalty variable and drop the row. *)
               cost.(h0) <- cost.(h0) +. cost.(h);
               cost.(h) <- 0.0;
               copy_of.(h) <- h0;
               r.live <- false;
+              rep.(i) <- i0;
               incr removed;
               incr merged)
           | None ->
             let key = `Plain (r.terms, r.rel) in
             (match Hashtbl.find_opt tbl key with
-            | None -> Hashtbl.add tbl key (r, -1)
-            | Some (r0, _) ->
+            | None -> Hashtbl.add tbl key (i, r, -1)
+            | Some (i0, r0, _) ->
               (* Duplicate body: keep the tighter right-hand side. *)
               let drop =
                 match r.rel with
@@ -179,6 +190,7 @@ let run ~num_vars ~objective constrs =
               in
               if drop then begin
                 r.live <- false;
+                rep.(i) <- i0;
                 incr removed
               end)
         end)
@@ -212,6 +224,27 @@ let run ~num_vars ~objective constrs =
     | Some value -> value
     | None -> if copy_of.(v) >= 0 then base copy_of.(v) else base v
   in
+  let r_row_map =
+    let surv = Array.make (max 1 (Array.length rows)) (-1) in
+    let next = ref 0 in
+    Array.iteri
+      (fun i r ->
+        if r.live then begin
+          surv.(i) <- !next;
+          incr next
+        end)
+      rows;
+    Array.init (Array.length rows) (fun i ->
+        if rows.(i).live then surv.(i)
+        else if rep.(i) >= 0 then surv.(rep.(i))
+        else -1)
+  in
+  let r_var_map =
+    Array.init (max 1 num_vars) (fun v ->
+        if fixed.(v) <> None then -1
+        else if copy_of.(v) >= 0 then copy_of.(v)
+        else v)
+  in
   {
     r_constrs;
     r_objective;
@@ -220,4 +253,6 @@ let run ~num_vars ~objective constrs =
       { removed_rows = !removed; fixed_vars = !nfixed; merged_hinges = !merged };
     r_infeasible = !infeasible;
     r_restore;
+    r_row_map;
+    r_var_map;
   }

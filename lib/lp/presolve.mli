@@ -24,6 +24,16 @@ type result = {
   r_restore : (int -> float) -> int -> float;
       (** [r_restore reduced v]: value of original variable [v] given a
           lookup into the reduced problem's solution *)
+  r_row_map : int array;
+      (** original constraint index -> row index in [r_constrs].  Rows
+          dropped as duplicates (plain or hinge) map to their surviving
+          representative, so their duals can be read off it; rows removed
+          outright (empty after substitution, singleton bounds absorbed
+          into a variable fix) map to [-1]. *)
+  r_var_map : int array;
+      (** original variable -> the variable carrying its reduced cost in
+          the reduced problem: itself normally, the kept penalty twin
+          after a hinge merge, [-1] when fixed and substituted out. *)
 }
 
 val run :

@@ -36,6 +36,19 @@ type crow = {
   c_row : (int * float) list;
   c_rel : Simplex.relation;
   mutable c_rhs : float;
+  c_tag : string;
+}
+
+type row_info = {
+  ri_tag : string;
+  ri_terms : (var * float) list;
+  ri_rel : Simplex.relation;
+  ri_rhs : float;
+}
+
+type duals = {
+  d_rows : float array;
+  d_vars : float array;
 }
 
 (* Incremental-solve state: a live {!Simplex.t} plus watermarks tracking
@@ -55,24 +68,31 @@ type t = {
   mutable count : int;
   mutable rows : crow array; (* growable; [0, nconstrs) live *)
   mutable nconstrs : int;
+  mutable ub_rows : int array; (* growable; per var, its ub row or -1 *)
   mutable objective : Linexpr.t;
   mutable engine : engine;
   mutable use_presolve : bool;
   mutable istate : istate option;
   mutable info : solve_info;
+  mutable capture_duals : bool;
+  mutable duals : duals option;
 }
 
 let create () =
   {
     names = [];
     count = 0;
-    rows = Array.make 16 { c_row = []; c_rel = Simplex.Le; c_rhs = 0.0 };
+    rows =
+      Array.make 16 { c_row = []; c_rel = Simplex.Le; c_rhs = 0.0; c_tag = "" };
     nconstrs = 0;
+    ub_rows = Array.make 16 (-1);
     objective = Linexpr.zero;
     engine = Sparse;
     use_presolve = true;
     istate = None;
     info = no_info Sparse;
+    capture_duals = false;
+    duals = None;
   }
 
 let set_engine t e = t.engine <- e
@@ -80,6 +100,14 @@ let set_engine t e = t.engine <- e
 let engine t = t.engine
 
 let set_presolve t b = t.use_presolve <- b
+
+let grow_int a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) (-1) in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
 
 let push_constr t c =
   if t.nconstrs >= Array.length t.rows then begin
@@ -91,22 +119,31 @@ let push_constr t c =
   t.nconstrs <- t.nconstrs + 1;
   t.nconstrs - 1
 
-let add_constr t expr relation rhs =
+let add_constr ?(tag = "") t expr relation rhs =
   push_constr t
     {
       c_row = Linexpr.terms expr;
       c_rel = relation;
       c_rhs = rhs -. Linexpr.constant expr;
+      c_tag = tag;
     }
 
 let add_var t ?ub name =
   let v = t.count in
   t.count <- v + 1;
   t.names <- name :: t.names;
+  t.ub_rows <- grow_int t.ub_rows (v + 1);
+  t.ub_rows.(v) <- -1;
   (match ub with
-  | Some u -> ignore (add_constr t (Linexpr.var v) Simplex.Le u)
+  | Some u ->
+    t.ub_rows.(v) <-
+      add_constr ~tag:("ub:" ^ name) t (Linexpr.var v) Simplex.Le u
   | None -> ());
   v
+
+let ub_row t v =
+  if v >= 0 && v < t.count && t.ub_rows.(v) >= 0 then Some t.ub_rows.(v)
+  else None
 
 let name t v =
   let arr = Array.of_list (List.rev t.names) in
@@ -114,13 +151,22 @@ let name t v =
 
 let num_vars t = t.count
 
-let add_le t e rhs = ignore (add_constr t e Simplex.Le rhs)
+let num_rows t = t.nconstrs
 
-let add_ge t e rhs = ignore (add_constr t e Simplex.Ge rhs)
+let row_info t i =
+  let r = t.rows.(i) in
+  { ri_tag = r.c_tag; ri_terms = r.c_row; ri_rel = r.c_rel; ri_rhs = r.c_rhs }
 
-let add_eq t e rhs = ignore (add_constr t e Simplex.Eq rhs)
+let row_activity t i assign =
+  List.fold_left (fun s (v, k) -> s +. (k *. assign v)) 0.0 t.rows.(i).c_row
 
-let add_ge_row t e rhs = add_constr t e Simplex.Ge rhs
+let add_le ?tag t e rhs = ignore (add_constr ?tag t e Simplex.Le rhs)
+
+let add_ge ?tag t e rhs = ignore (add_constr ?tag t e Simplex.Ge rhs)
+
+let add_eq ?tag t e rhs = ignore (add_constr ?tag t e Simplex.Eq rhs)
+
+let add_ge_row ?tag t e rhs = add_constr ?tag t e Simplex.Ge rhs
 
 let set_row_rhs t id rhs =
   t.rows.(id).c_rhs <- rhs;
@@ -135,7 +181,7 @@ let set_objective t e = t.objective <- e
 let hinge t ~weight nm e =
   let h = add_var t nm in
   (* h >= e, i.e. e - h <= 0; h >= 0 is implicit. *)
-  add_le t (Linexpr.sub e (Linexpr.var h)) 0.0;
+  add_le ~tag:nm t (Linexpr.sub e (Linexpr.var h)) 0.0;
   add_objective t (Linexpr.var ~coeff:weight h);
   h
 
@@ -144,20 +190,20 @@ let hinge_var t nm e =
      callers (the incremental encoder) that rebuild the objective each
      round with recomputed weights. *)
   let h = add_var t nm in
-  add_le t (Linexpr.sub e (Linexpr.var h)) 0.0;
+  add_le ~tag:nm t (Linexpr.sub e (Linexpr.var h)) 0.0;
   h
 
 let abs t ~weight nm e =
   let a = add_var t nm in
-  add_le t (Linexpr.sub e (Linexpr.var a)) 0.0;
-  add_le t (Linexpr.sub (Linexpr.neg e) (Linexpr.var a)) 0.0;
+  add_le ~tag:nm t (Linexpr.sub e (Linexpr.var a)) 0.0;
+  add_le ~tag:nm t (Linexpr.sub (Linexpr.neg e) (Linexpr.var a)) 0.0;
   add_objective t (Linexpr.var ~coeff:weight a);
   a
 
 let abs_var t nm e =
   let a = add_var t nm in
-  add_le t (Linexpr.sub e (Linexpr.var a)) 0.0;
-  add_le t (Linexpr.sub (Linexpr.neg e) (Linexpr.var a)) 0.0;
+  add_le ~tag:nm t (Linexpr.sub e (Linexpr.var a)) 0.0;
+  add_le ~tag:nm t (Linexpr.sub (Linexpr.neg e) (Linexpr.var a)) 0.0;
   a
 
 let fault : status option ref = ref None
@@ -165,6 +211,10 @@ let fault : status option ref = ref None
 let set_fault s = fault := s
 
 let last_info t = t.info
+
+let set_capture_duals t b = t.capture_duals <- b
+
+let last_duals t = t.duals
 
 let record_info info =
   let module Tm = Sherlock_telemetry.Metrics in
@@ -206,7 +256,28 @@ let finish t info outcome =
   | Simplex.Infeasible -> (Infeasible, fun _ -> 0.0)
   | Simplex.Unbounded -> (Unbounded, fun _ -> 0.0)
 
+(* Duals of the one-shot sparse solve, read off the returned solver
+   state.  [solve_tableau] pushes rows in list order, so without presolve
+   simplex row [i] is constraint [i]; with presolve the two Presolve maps
+   route each original row/variable to whatever carries its multiplier in
+   the reduced program (or to 0 when it was removed outright). *)
+let capture_oneshot t sx ~row_map ~var_map =
+  let rd = Simplex.row_duals sx in
+  let rc = Simplex.reduced_costs sx in
+  let d_rows =
+    Array.init t.nconstrs (fun i ->
+        let m = row_map i in
+        if m >= 0 && m < Array.length rd then rd.(m) else 0.0)
+  in
+  let d_vars =
+    Array.init t.count (fun v ->
+        let m = var_map v in
+        if m >= 0 && m < Array.length rc then rc.(m) else 0.0)
+  in
+  t.duals <- Some { d_rows; d_vars }
+
 let solve t =
+  t.duals <- None;
   match !fault with
   | Some s -> (s, fun _ -> 0.0)
   | None -> (
@@ -220,9 +291,14 @@ let solve t =
       finish t { (no_info Dense) with pivots } outcome
     | Sparse ->
       if not t.use_presolve then begin
-        let outcome, st =
-          Simplex.solve_counted ~num_vars:t.count ~objective constrs
+        let outcome, st, sx =
+          Simplex.solve_tableau ~num_vars:t.count ~objective constrs
         in
+        if t.capture_duals then
+          (match outcome with
+          | Simplex.Optimal _ ->
+            capture_oneshot t sx ~row_map:(fun i -> i) ~var_map:(fun v -> v)
+          | _ -> ());
         finish t { (no_info Sparse) with pivots = st.Simplex.pivots } outcome
       end
       else begin
@@ -237,10 +313,17 @@ let solve t =
         if r.Presolve.r_infeasible then
           finish t base_info Simplex.Infeasible
         else begin
-          let outcome, st =
-            Simplex.solve_counted ~num_vars:t.count
+          let outcome, st, sx =
+            Simplex.solve_tableau ~num_vars:t.count
               ~objective:r.Presolve.r_objective r.Presolve.r_constrs
           in
+          if t.capture_duals then
+            (match outcome with
+            | Simplex.Optimal _ ->
+              capture_oneshot t sx
+                ~row_map:(fun i -> r.Presolve.r_row_map.(i))
+                ~var_map:(fun v -> r.Presolve.r_var_map.(v))
+            | _ -> ());
           let base_info = { base_info with pivots = st.Simplex.pivots } in
           match outcome with
           | Simplex.Optimal { objective = obj; solution } ->
@@ -260,15 +343,8 @@ let solve t =
         end
       end)
 
-let grow_int a n =
-  if Array.length a >= n then a
-  else begin
-    let b = Array.make (max n (2 * Array.length a)) (-1) in
-    Array.blit a 0 b 0 (Array.length a);
-    b
-  end
-
 let solve_incremental t =
+  t.duals <- None;
   match !fault with
   | Some s -> (s, fun _ -> 0.0)
   | None ->
@@ -318,6 +394,20 @@ let solve_incremental t =
     record_info info;
     (match result with
     | `Optimal obj ->
+      if t.capture_duals then begin
+        (* Exact multipliers of the live state: [row_ids]/[col_of_var]
+           translate problem row/var indices to solver ids.  Reading
+           them never perturbs the basis, so verdicts are bitwise
+           identical with capture on or off. *)
+        let rd = Simplex.row_duals s.sx in
+        let rc = Simplex.reduced_costs s.sx in
+        t.duals <-
+          Some
+            {
+              d_rows = Array.init t.nconstrs (fun i -> rd.(s.row_ids.(i)));
+              d_vars = Array.init t.count (fun v -> rc.(s.col_of_var.(v)));
+            }
+      end;
       let obj = obj +. Linexpr.constant t.objective in
       (* Snapshot: the solver state stays live inside [t] (later rhs
          edits move its basic solution), but the assignment handed out

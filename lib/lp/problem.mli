@@ -60,20 +60,42 @@ val set_presolve : t -> bool -> unit
 val add_var : t -> ?ub:float -> string -> var
 (** [add_var t name] declares a variable in [\[0, inf)]; [~ub] caps it
     (probability variables use [~ub:1.0]).  Names are for diagnostics and
-    need not be unique. *)
+    need not be unique.  The cap, when present, is a real constraint row
+    tagged ["ub:" ^ name]; {!ub_row} retrieves its id. *)
 
 val name : t -> var -> string
 
 val num_vars : t -> int
 
-val add_le : t -> Linexpr.t -> float -> unit
-(** Constraint [e <= rhs] (any constant inside [e] is folded into [rhs]). *)
+val num_rows : t -> int
 
-val add_ge : t -> Linexpr.t -> float -> unit
+(** A constraint as stored, for provenance reporting. *)
+type row_info = {
+  ri_tag : string;  (** source tag given at creation ("" when untagged) *)
+  ri_terms : (var * float) list;
+  ri_rel : Simplex.relation;
+  ri_rhs : float;
+}
 
-val add_eq : t -> Linexpr.t -> float -> unit
+val row_info : t -> row_id -> row_info
 
-val add_ge_row : t -> Linexpr.t -> float -> row_id
+val row_activity : t -> row_id -> (var -> float) -> float
+(** Left-hand-side value of a row under an assignment. *)
+
+val ub_row : t -> var -> row_id option
+(** The row id of the variable's upper-bound cap, if it was declared with
+    [~ub].  Its dual at a minimum is [<= 0] when binding; the negation is
+    the confidence margin provenance reports per verdict. *)
+
+val add_le : ?tag:string -> t -> Linexpr.t -> float -> unit
+(** Constraint [e <= rhs] (any constant inside [e] is folded into [rhs]).
+    [~tag] names the row's source for provenance ("" by default). *)
+
+val add_ge : ?tag:string -> t -> Linexpr.t -> float -> unit
+
+val add_eq : ?tag:string -> t -> Linexpr.t -> float -> unit
+
+val add_ge_row : ?tag:string -> t -> Linexpr.t -> float -> row_id
 (** {!add_ge} returning the constraint's id, for later {!set_row_rhs}
     (how rounding pins are later relaxed). *)
 
@@ -117,6 +139,29 @@ val solve_incremental : t -> status * (var -> float)
 
 val last_info : t -> solve_info
 (** Statistics of the most recent {!solve} / {!solve_incremental}. *)
+
+(** Simplex multipliers of the last optimum, in problem coordinates. *)
+type duals = {
+  d_rows : float array;
+      (** per constraint (by {!row_id}): its dual value.  For a binding
+          [<=] row at a minimum the dual is [<= 0].  0 for rows presolve
+          removed outright. *)
+  d_vars : float array;
+      (** per variable: its reduced cost (0 when basic, or when presolve
+          substituted the variable out). *)
+}
+
+val set_capture_duals : t -> bool -> unit
+(** When on, {!solve} and {!solve_incremental} snapshot the dual values
+    and reduced costs of each optimal solve for {!last_duals}.  Off by
+    default; when off neither path allocates anything extra.  Capture
+    never changes the pivot sequence, so assignments and objectives are
+    bitwise identical either way.  The [Dense] engine and fault-injected
+    solves never capture. *)
+
+val last_duals : t -> duals option
+(** Duals of the most recent solve; [None] when capture was off, the
+    solve was not optimal, or the path does not support capture. *)
 
 val set_fault : status option -> unit
 (** Fault-injection seam: while [Some s] is installed, {!solve} and

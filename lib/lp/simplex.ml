@@ -599,7 +599,19 @@ let last_stats t =
     cold_restarts = t.stats.m_colds;
   }
 
-let solve_counted ~num_vars ~objective constrs =
+let row_duals t =
+  if t.have_basis && t.have_opt then dual_y t t.cost
+  else Array.make (num_rows t) 0.0
+
+let reduced_costs t =
+  if not (t.have_basis && t.have_opt) then Array.make (num_cols t) 0.0
+  else begin
+    let y = dual_y t t.cost in
+    Array.init (num_cols t) (fun j ->
+        if t.in_basis.(j) >= 0 then 0.0 else t.cost.(j) -. col_dot t j y)
+  end
+
+let solve_tableau ~num_vars ~objective constrs =
   let t = create () in
   for _ = 1 to num_vars do
     ignore (add_col t)
@@ -613,7 +625,11 @@ let solve_counted ~num_vars ~objective constrs =
     | `Unbounded -> Unbounded
     | `Infeasible -> Infeasible
   in
-  (outcome, last_stats t)
+  (outcome, last_stats t, t)
+
+let solve_counted ~num_vars ~objective constrs =
+  let outcome, stats, _ = solve_tableau ~num_vars ~objective constrs in
+  (outcome, stats)
 
 let solve ~num_vars ~objective constrs =
   fst (solve_counted ~num_vars ~objective constrs)

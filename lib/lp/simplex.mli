@@ -85,8 +85,30 @@ val reoptimize : t -> [ `Optimal of float | `Unbounded | `Infeasible ]
 val value : t -> int -> float
 (** Value of a column at the last optimum (0 when nonbasic). *)
 
+val row_duals : t -> float array
+(** Simplex multipliers y = c_B B^-1 of the last optimum, indexed by row
+    id.  For a binding [<=] row at a minimum the dual is [<= 0]; its
+    negation is the rate at which the objective would rise per unit of
+    rhs tightening.  All zeros when the state holds no proven optimum
+    (after [`Unbounded]/[`Infeasible] or before the first solve). *)
+
+val reduced_costs : t -> float array
+(** Reduced costs d_j = c_j - y . A_j of the last optimum, indexed by
+    column id; 0 for basic columns.  All zeros when the state holds no
+    proven optimum. *)
+
 val last_stats : t -> stats
 
 val num_rows : t -> int
 
 val num_cols : t -> int
+
+val solve_tableau :
+  num_vars:int ->
+  objective:(int * float) list ->
+  constr list ->
+  outcome * stats * t
+(** {!solve_counted}, additionally returning the solver state the
+    optimum was computed on, so callers can read {!row_duals} and
+    {!reduced_costs} off it.  Row [i] of the state is [List.nth constrs i]
+    (rows are pushed in list order). *)

@@ -1,0 +1,112 @@
+(** Verdict provenance: the evidence behind every inferred verdict.
+
+    SherLock's answer is a set of acquire/release verdicts; this module
+    is the record of {e why} — which merged windows (with their trace
+    coordinates) mention the op, which LP rows touch its variable and
+    how tight they are at the optimum (activities, dual values, reduced
+    costs), what the delay plan of each round injected, and at which
+    round the verdict stabilized.  The dual value of a verdict
+    variable's upper-bound row doubles as a confidence margin: at a
+    minimum a binding [p <= 1] cap has a non-positive dual, and its
+    negation is the objective cost of forcing the probability any lower
+    — 0 means the verdict is at a degenerate optimum and could move
+    freely; large means the encoding pushes hard against the cap.
+
+    Everything here is plain data with string operation names, so the
+    library depends only on the standard library and both the CLI and
+    external tooling can consume the JSON sidecar without linking the
+    pipeline. *)
+
+type coord = {
+  c_time1 : int;  (** virtual time of the first conflicting access *)
+  c_tid1 : int;
+  c_time2 : int;
+  c_tid2 : int;
+}
+(** Trace coordinates of one dynamic window, stable across the text and
+    binary trace formats (both preserve times and thread ids exactly). *)
+
+type window_evidence = {
+  w_id : int;  (** stable merged-window id (arrival order) *)
+  w_first : string;  (** first conflicting access (static op name) *)
+  w_second : string;
+  w_field : string;  (** conflicting field *)
+  w_side : string;  (** which side mentions the op: "rel" or "acq" *)
+  w_count : int;  (** dynamic occurrences of the op in this window *)
+  w_weight : int;  (** identical dynamic windows merged into this one *)
+  w_round : int;  (** round whose runs first observed the window (1-based) *)
+  w_coords : coord list;  (** sampled trace coordinates (capped) *)
+}
+
+type constraint_evidence = {
+  c_tag : string;  (** source tag of the LP row *)
+  c_rel : string;  (** "<=" | ">=" | "=" *)
+  c_rhs : float;
+  c_activity : float;  (** left-hand side at the optimum *)
+  c_coeff : float;  (** coefficient of the verdict's variable in the row *)
+  c_dual : float;  (** simplex multiplier of the row at the optimum *)
+  c_binding : bool;  (** activity meets rhs (within tolerance) *)
+}
+
+type verdict_evidence = {
+  v_op : string;  (** static operation name *)
+  v_role : string;  (** "acquire" | "release" *)
+  v_probability : float;
+  v_margin : float;
+      (** confidence margin: negated dual of the [p <= 1] cap *)
+  v_reduced_cost : float;  (** reduced cost of the verdict variable *)
+  v_first_round : int;  (** first round the verdict appeared (1-based) *)
+  v_stable_round : int;
+      (** round from which the verdict held through the final round *)
+  v_windows : window_evidence list;
+  v_constraints : constraint_evidence list;
+}
+
+type round_trace = {
+  r_round : int;  (** 1-based *)
+  r_windows_after : int;  (** merged-window count after this round's runs *)
+  r_objective : float;  (** LP objective (nan when the solve degraded) *)
+  r_degraded : bool;
+  r_verdicts : (string * string) list;  (** (op, role) after this round *)
+  r_delays : (string * int) list;
+      (** delay plan injected during this round's runs: op -> microseconds *)
+}
+
+type t = {
+  p_app : string;
+  p_seed : int;
+  p_rounds : round_trace list;
+  p_verdicts : verdict_evidence list;
+}
+
+val equal : t -> t -> bool
+(** Structural equality, treating [nan] as equal to itself (so a decoded
+    degraded round compares equal to the one that was encoded). *)
+
+(** {1 JSON codec} *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+(** Write the JSON sidecar (single line, trailing newline). *)
+
+val load : string -> (t, string) result
+
+(** {1 Queries and rendering} *)
+
+val find : t -> string -> verdict_evidence list
+(** Verdicts whose operation name contains the query as a substring
+    (exact matches first). *)
+
+val pp_verdict : Format.formatter -> verdict_evidence -> unit
+(** Render one verdict's evidence tree:
+    windows -> constraints (with duals) -> rounds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Header plus every verdict's evidence tree. *)

@@ -25,6 +25,7 @@ type t = {
   fault_plan : Sherlock_sim.Fault.plan;
   lp_engine : Sherlock_lp.Problem.engine;
   use_warm_start : bool;
+  provenance : bool;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     fault_plan = Sherlock_sim.Fault.empty;
     lp_engine = Sherlock_lp.Problem.Sparse;
     use_warm_start = true;
+    provenance = false;
   }
 
 let pp ppf t =
@@ -67,5 +69,6 @@ let pp ppf t =
   | Sherlock_lp.Problem.Sparse -> ()
   | Sherlock_lp.Problem.Dense -> Format.fprintf ppf " lp=dense");
   if not t.use_warm_start then Format.fprintf ppf " warm-start=off";
+  if t.provenance then Format.fprintf ppf " provenance=on";
   if not (Sherlock_sim.Fault.is_empty t.fault_plan) then
     Format.fprintf ppf " fault=[%a]" Sherlock_sim.Fault.pp t.fault_plan

@@ -57,6 +57,12 @@ type t = {
           only new observations and restarts the simplex from round k's
           basis.  Off forces a from-scratch encode + solve per round
           (verdicts are intended to be identical either way). *)
+  provenance : bool;
+      (** capture per-verdict evidence (windows, LP rows with duals,
+          delay plans, stabilization rounds) for the provenance sidecar
+          and [sherlock explain].  Off by default; when off the pipeline
+          allocates nothing for it, and capture never changes verdicts
+          either way. *)
 }
 
 val default : t

@@ -50,6 +50,7 @@ type solve_stats = {
   degraded : bool;
   lp : lp_stats;
   trace : Metrics.t;
+  evidence : Sherlock_provenance.Provenance.verdict_evidence list;
 }
 
 type role = Verdict.role =
@@ -153,6 +154,135 @@ let extract_verdicts (config : Config.t) table assignment =
     table []
   |> List.sort Verdict.compare
 
+(* Per-verdict evidence for the provenance sidecar: the windows whose
+   relevant side mentions the op, every LP row touching its variable
+   (with activity, coefficient, and dual), and the confidence margin —
+   the negated dual of the variable's [p <= 1] cap.  Round attribution
+   ([w_round], [v_first_round], [v_stable_round]) belongs to the
+   orchestrator, which patches the 0 placeholders written here. *)
+let capture_evidence (config : Config.t) obs problem table verdicts assignment
+    =
+  let module P = Sherlock_provenance.Provenance in
+  let duals = Problem.last_duals problem in
+  let dual_of_row i =
+    match duals with
+    | Some d when i < Array.length d.Problem.d_rows -> d.Problem.d_rows.(i)
+    | _ -> 0.0
+  in
+  let rc_of_var v =
+    match duals with
+    | Some d when v < Array.length d.Problem.d_vars -> d.Problem.d_vars.(v)
+    | _ -> 0.0
+  in
+  (* One pass over the rows builds var -> rows-mentioning-it for exactly
+     the verdict variables. *)
+  let verdict_vars : (Problem.var, (int * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (v : Verdict.t) ->
+      match Hashtbl.find_opt table (v.op, v.role) with
+      | Some var ->
+        if not (Hashtbl.mem verdict_vars var) then
+          Hashtbl.add verdict_vars var (ref [])
+      | None -> ())
+    verdicts;
+  for i = 0 to Problem.num_rows problem - 1 do
+    let ri = Problem.row_info problem i in
+    List.iter
+      (fun (v, k) ->
+        match Hashtbl.find_opt verdict_vars v with
+        | Some rows -> rows := (i, k) :: !rows
+        | None -> ())
+      ri.Problem.ri_terms
+  done;
+  let coord_of (c : Windows.coord) =
+    {
+      P.c_time1 = c.first_time;
+      c_tid1 = c.first_tid;
+      c_time2 = c.second_time;
+      c_tid2 = c.second_tid;
+    }
+  in
+  let windows_for op role =
+    let side_name = match role with Release -> "rel" | Acquire -> "acq" in
+    let acc = ref [] in
+    for i = Observations.window_count obs - 1 downto 0 do
+      let w = Observations.window_at obs i in
+      if
+        not (config.use_race_removal && Observations.is_racy_pair obs w.pair)
+      then begin
+        let side = match role with Release -> w.rel | Acquire -> w.acq in
+        match Opid.Map.find_opt op side with
+        | Some count ->
+          acc :=
+            {
+              P.w_id = i;
+              w_first = Opid.to_string (fst w.pair);
+              w_second = Opid.to_string (snd w.pair);
+              w_field = w.field;
+              w_side = side_name;
+              w_count = count;
+              w_weight = w.weight;
+              w_round = 0;
+              w_coords = List.map coord_of w.coords;
+            }
+            :: !acc
+        | None -> ()
+      end
+    done;
+    !acc
+  in
+  let rel_name = function
+    | Simplex.Le -> "<="
+    | Simplex.Ge -> ">="
+    | Simplex.Eq -> "="
+  in
+  let constraints_for var =
+    match Hashtbl.find_opt verdict_vars var with
+    | None -> []
+    | Some rows ->
+      List.rev_map
+        (fun (i, coeff) ->
+          let ri = Problem.row_info problem i in
+          let activity = Problem.row_activity problem i assignment in
+          {
+            P.c_tag = ri.Problem.ri_tag;
+            c_rel = rel_name ri.Problem.ri_rel;
+            c_rhs = ri.Problem.ri_rhs;
+            c_activity = activity;
+            c_coeff = coeff;
+            c_dual = dual_of_row i;
+            c_binding =
+              abs_float (activity -. ri.Problem.ri_rhs)
+              <= 1e-6 *. (1.0 +. abs_float ri.Problem.ri_rhs);
+          })
+        !rows
+  in
+  List.filter_map
+    (fun (v : Verdict.t) ->
+      match Hashtbl.find_opt table (v.op, v.role) with
+      | None -> None
+      | Some var ->
+        let margin =
+          match Problem.ub_row problem var with
+          | Some row -> -.dual_of_row row
+          | None -> 0.0
+        in
+        Some
+          {
+            P.v_op = Opid.to_string v.op;
+            v_role = Verdict.role_name v.role;
+            v_probability = v.probability;
+            v_margin = margin;
+            v_reduced_cost = rc_of_var var;
+            v_first_round = 0;
+            v_stable_round = 0;
+            v_windows = windows_for v.op v.role;
+            v_constraints = constraints_for var;
+          })
+    verdicts
+
 (* Shared tail of both solve paths: verdicts, stats, telemetry. *)
 let finish (config : Config.t) obs problem table ~num_windows ~lp ~previous
     ~t_start status assignment =
@@ -167,6 +297,11 @@ let finish (config : Config.t) obs problem table ~num_windows ~lp ~previous
          recover. *)
       previous
     else extract_verdicts config table assignment
+  in
+  let evidence =
+    if config.provenance && not degraded then
+      capture_evidence config obs problem table verdicts assignment
+    else []
   in
   let solve_s = Unix.gettimeofday () -. t_start in
   let acc = Observations.metrics obs in
@@ -186,6 +321,7 @@ let finish (config : Config.t) obs problem table ~num_windows ~lp ~previous
       degraded;
       lp;
       trace = Metrics.copy acc;
+      evidence;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -195,6 +331,7 @@ let finish (config : Config.t) obs problem table ~num_windows ~lp ~previous
 let solve_oneshot (config : Config.t) obs previous t_start =
   let problem = Problem.create () in
   Problem.set_engine problem config.lp_engine;
+  Problem.set_capture_duals problem config.provenance;
   let vars = { problem; table = Hashtbl.create 64 } in
   let windows =
     List.filter
@@ -343,7 +480,7 @@ let solve_oneshot (config : Config.t) obs previous t_start =
       match pick_pin config vars.table assignment with
       | None -> (status, assignment)
       | Some (v, _) ->
-        Problem.add_ge problem (Linexpr.var v) 1.0;
+        Problem.add_ge ~tag:"pin" problem (Linexpr.var v) 1.0;
         solve_rounded (budget - 1)
   in
   let status, assignment = solve_rounded 25 in
@@ -627,6 +764,7 @@ let solve_warm st (config : Config.t) obs previous t_start =
     st.s_obs <- Some obs);
   let problem = st.s_vars.problem in
   let table = st.s_vars.table in
+  Problem.set_capture_duals problem config.provenance;
   sync_windows st config obs;
   if config.use_paired then sync_paired st;
   if config.use_single_role then sync_single st config;
@@ -643,7 +781,7 @@ let solve_warm st (config : Config.t) obs previous t_start =
       match pick_pin config table assignment with
       | None -> (status, assignment)
       | Some (v, _) ->
-        let row = Problem.add_ge_row problem (Linexpr.var v) 1.0 in
+        let row = Problem.add_ge_row ~tag:"pin" problem (Linexpr.var v) 1.0 in
         pins := row :: !pins;
         solve_rounded (budget - 1)
   in

@@ -58,6 +58,14 @@ type solve_stats = {
   trace : Sherlock_trace.Metrics.t;
       (** snapshot of the cumulative trace metrics (runs, extraction,
           solving) at the time of this solve *)
+  evidence : Sherlock_provenance.Provenance.verdict_evidence list;
+      (** per-verdict evidence (windows, LP rows with duals and
+          activities, confidence margins), one entry per returned
+          verdict in verdict order.  Captured only when
+          [config.provenance] is set and the solve did not degrade;
+          [[]] otherwise.  Round attribution fields ([w_round],
+          [v_first_round], [v_stable_round]) are 0 placeholders here —
+          the orchestrator, which owns round structure, fills them. *)
 }
 
 type state

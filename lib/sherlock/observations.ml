@@ -6,7 +6,12 @@ type merged_window = {
   rel : Windows.side;
   acq : Windows.side;
   weight : int;
+  coords : Windows.coord list;
+      (* sample of trace coordinates merged into this window, arrival
+         order, capped — provenance evidence, never part of the merge key *)
 }
+
+let max_coords = 8
 
 module Key = struct
   type t = (Opid.t * Opid.t) * (Opid.t * int) list * (Opid.t * int) list
@@ -43,7 +48,14 @@ let create () =
       (let z = Opid.read ~cls:"" "" in
        Array.make 64
          (ref
-            { pair = (z, z); field = ""; rel = Opid.Map.empty; acq = Opid.Map.empty; weight = 0 }));
+            {
+              pair = (z, z);
+              field = "";
+              rel = Opid.Map.empty;
+              acq = Opid.Map.empty;
+              weight = 0;
+              coords = [];
+            }));
     nmerged = 0;
     races = [];
     durs = Durations.create ();
@@ -54,10 +66,23 @@ let create () =
 let add_window t (w : Windows.t) =
   let key = Key.of_window w in
   match Hashtbl.find_opt t.merged key with
-  | Some r -> r := { !r with weight = !r.weight + 1 }
+  | Some r ->
+    let coords =
+      if List.length !r.coords < max_coords then !r.coords @ [ w.coord ]
+      else !r.coords
+    in
+    r := { !r with weight = !r.weight + 1; coords }
   | None ->
     let cell =
-      ref { pair = w.pair; field = w.field; rel = w.rel; acq = w.acq; weight = 1 }
+      ref
+        {
+          pair = w.pair;
+          field = w.field;
+          rel = w.rel;
+          acq = w.acq;
+          weight = 1;
+          coords = [ w.coord ];
+        }
     in
     Hashtbl.add t.merged key cell;
     if t.nmerged >= Array.length t.order then begin

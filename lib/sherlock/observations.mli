@@ -15,7 +15,14 @@ type merged_window = {
   rel : Windows.side;
   acq : Windows.side;
   weight : int;  (** how many identical dynamic windows merged into this *)
+  coords : Windows.coord list;
+      (** trace coordinates of the dynamic windows merged here, in
+          arrival order, capped at a small sample ({!max_coords}) —
+          provenance evidence only, never part of the merge identity *)
 }
+
+val max_coords : int
+(** Cap on [coords] per merged window (8). *)
 
 type t
 

@@ -32,6 +32,7 @@ type result = {
   rounds : round_result list;
   final : Verdict.t list;
   observations : Observations.t;
+  provenance : Sherlock_provenance.Provenance.t option;
 }
 
 let failure_to_string = function
@@ -317,6 +318,10 @@ let infer ?(config = Config.default) subject =
   let obs = ref (Observations.create ()) in
   let plan = ref Perturber.empty in
   let rounds = ref [] in
+  (* Per-round provenance traces, newest first; empty (and never consed
+     onto) unless [config.provenance] — the disabled path allocates
+     nothing beyond this one ref. *)
+  let prov_rounds = ref [] in
   (* One encoder state for the whole inference: round k+1's LP solve
      warm-starts from round k's basis and re-encodes only new windows. *)
   let enc_state =
@@ -371,6 +376,29 @@ let infer ?(config = Config.default) subject =
     rounds :=
       { round; verdicts; stats; delayed_ops = Perturber.size !plan; run_reports }
       :: !rounds;
+    (if config.provenance then
+       let module P = Sherlock_provenance.Provenance in
+       (* [!plan] is still the plan this round ran under: the reassignment
+          below installs the *next* round's plan. *)
+       prov_rounds :=
+         {
+           P.r_round = round;
+           r_windows_after = Observations.window_count !obs;
+           r_objective = stats.objective;
+           r_degraded = stats.degraded;
+           r_verdicts =
+             List.map
+               (fun (v : Verdict.t) ->
+                 (Sherlock_trace.Opid.to_string v.op, Verdict.role_name v.role))
+               verdicts;
+           r_delays =
+             List.map
+               (fun (op, us) -> (Sherlock_trace.Opid.to_string op, us))
+               (Perturber.bindings !plan);
+         }
+         :: !prov_rounds);
+    if Tm.enabled () then
+      Tm.sample ~label:(Printf.sprintf "round %d" round) ();
     plan :=
       (if config.use_delays then Perturber.of_verdicts ~delay_us:config.delay_us verdicts
        else Perturber.empty);
@@ -383,7 +411,102 @@ let infer ?(config = Config.default) subject =
   done;
   let rounds = List.rev !rounds in
   let final = match List.rev rounds with last :: _ -> last.verdicts | [] -> [] in
-  { rounds; final; observations = !obs }
+  let provenance =
+    if not config.provenance then None
+    else begin
+      let module P = Sherlock_provenance.Provenance in
+      let ptraces = List.rev !prov_rounds (* chronological *) in
+      let last_round =
+        match !prov_rounds with rt :: _ -> rt.P.r_round | [] -> 0
+      in
+      (* Evidence from the newest round that actually solved: a degraded
+         final round carries the previous round's verdicts, whose
+         evidence is the previous round's. *)
+      let evidence =
+        let rec newest_good = function
+          | [] -> []
+          | (r : round_result) :: rest ->
+            if r.stats.Encoder.degraded then newest_good rest
+            else r.stats.Encoder.evidence
+        in
+        newest_good (List.rev rounds)
+      in
+      (* A window with id [w] entered the observations during the first
+         round whose post-merge watermark covers it. *)
+      let round_of_window id =
+        let rec go = function
+          | [] -> last_round
+          | (rt : P.round_trace) :: rest ->
+            if id < rt.P.r_windows_after then rt.P.r_round else go rest
+        in
+        go ptraces
+      in
+      let has rt key = List.mem key rt.P.r_verdicts in
+      let first_round key =
+        match List.find_opt (fun rt -> has rt key) ptraces with
+        | Some rt -> rt.P.r_round
+        | None -> last_round
+      in
+      (* Smallest r such that the verdict held in every round r..last:
+         walk newest-to-oldest while it stays present. *)
+      let stable_round key =
+        let rec go stable = function
+          | [] -> stable
+          | rt :: rest -> if has rt key then go rt.P.r_round rest else stable
+        in
+        go last_round !prov_rounds
+      in
+      let p_verdicts =
+        List.map
+          (fun (v : Verdict.t) ->
+            let op = Sherlock_trace.Opid.to_string v.op in
+            let role = Verdict.role_name v.role in
+            let key = (op, role) in
+            let base =
+              match
+                List.find_opt
+                  (fun (e : P.verdict_evidence) -> e.P.v_op = op && e.P.v_role = role)
+                  evidence
+              with
+              | Some e -> e
+              | None ->
+                (* Verdict carried across degraded rounds with no solved
+                   evidence in any round: keep the verdict itself visible
+                   in the sidecar rather than dropping it. *)
+                {
+                  P.v_op = op;
+                  v_role = role;
+                  v_probability = v.probability;
+                  v_margin = nan;
+                  v_reduced_cost = nan;
+                  v_first_round = 0;
+                  v_stable_round = 0;
+                  v_windows = [];
+                  v_constraints = [];
+                }
+            in
+            {
+              base with
+              P.v_first_round = first_round key;
+              v_stable_round = stable_round key;
+              v_windows =
+                List.map
+                  (fun (w : P.window_evidence) ->
+                    { w with P.w_round = round_of_window w.P.w_id })
+                  base.P.v_windows;
+            })
+          final
+      in
+      Some
+        {
+          P.p_app = subject.subject_name;
+          p_seed = config.seed;
+          p_rounds = ptraces;
+          p_verdicts;
+        }
+    end
+  in
+  { rounds; final; observations = !obs; provenance }
 
 let run_test_logs ?(config = Config.default) subject =
   List.mapi

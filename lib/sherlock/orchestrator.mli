@@ -53,6 +53,14 @@ type result = {
   rounds : round_result list;  (** in round order *)
   final : Verdict.t list;
   observations : Observations.t;  (** state after the last round *)
+  provenance : Sherlock_provenance.Provenance.t option;
+      (** [Some _] iff [config.provenance]: per-round traces (windows
+          watermark, objective, verdicts, the delay plan the round ran
+          under) plus one evidence record per final verdict — its
+          contributing windows stamped with the round they first
+          appeared, the LP rows referencing its variable with duals and
+          activities, the dual-derived confidence margin, and the rounds
+          at which the verdict first appeared and stabilized. *)
 }
 
 val failure_to_string : run_failure -> string

@@ -29,4 +29,6 @@ let of_verdicts ~delay_us verdicts =
 let delay_before plan op =
   match Opid.Map.find_opt op plan with Some d -> d | None -> 0
 
+let bindings plan = Opid.Map.bindings plan
+
 let size = Opid.Map.cardinal

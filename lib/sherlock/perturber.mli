@@ -22,3 +22,7 @@ val delay_before : plan -> Opid.t -> int
 
 val size : plan -> int
 (** Number of distinct delayed operations. *)
+
+val bindings : plan -> (Opid.t * int) list
+(** The plan as (delayed op, delay in us) pairs, sorted by op — what
+    provenance records as each round's perturbation experiment. *)

@@ -175,6 +175,77 @@ let flow_events ~pid ~near ~max_flows ~next_flow_id (t : test_timeline) =
       end);
   !events
 
+(* The provenance overlay: one process of per-verdict tracks, each
+   holding a slice per evidence window spanning its first..second access
+   (virtual time, so it lines up under the per-test processes), plus flow
+   arrows from each window slice down to the access coordinates on the
+   test's frame tracks.  Flow ids live in their own range so they can
+   never collide with the conflict arrows of [export]. *)
+let evidence_pid = 1000
+
+let evidence_flow_id_base = 1_000_000
+
+let evidence_flows ?(max_flows = 256) ?(test_pid = 1)
+    (prov : Sherlock_provenance.Provenance.t) =
+  let module Pr = Sherlock_provenance.Provenance in
+  let next_id = ref evidence_flow_id_base in
+  let emitted = ref 0 in
+  let events = ref [] in
+  let meta = ref [ P.process_name ~pid:evidence_pid "sherlock evidence" ] in
+  List.iteri
+    (fun vi (v : Pr.verdict_evidence) ->
+      let track = vi in
+      meta :=
+        P.thread_name ~pid:evidence_pid ~tid:track
+          (Printf.sprintf "%s %s" v.Pr.v_op v.Pr.v_role)
+        :: P.thread_sort_index ~pid:evidence_pid ~tid:track track
+        :: !meta;
+      List.iter
+        (fun (w : Pr.window_evidence) ->
+          List.iter
+            (fun (c : Pr.coord) ->
+              if !emitted < max_flows then begin
+                let t0 = min c.Pr.c_time1 c.Pr.c_time2 in
+                let t1 = max c.Pr.c_time1 c.Pr.c_time2 in
+                let args =
+                  [
+                    ("window", P.Int w.Pr.w_id);
+                    ("field", P.Str w.Pr.w_field);
+                    ("side", P.Str w.Pr.w_side);
+                    ("round", P.Int w.Pr.w_round);
+                    ("count", P.Int w.Pr.w_count);
+                    ("weight", P.Int w.Pr.w_weight);
+                  ]
+                in
+                events :=
+                  P.complete ~cat:"evidence" ~args
+                    ~name:(Printf.sprintf "w%d %s" w.Pr.w_id w.Pr.w_field)
+                    ~ts:t0
+                    ~dur:(max 1 (t1 - t0))
+                    ~pid:evidence_pid ~tid:track ()
+                  :: !events;
+                (* One arrow per access endpoint, from the evidence slice
+                   into the test timeline's frame track. *)
+                List.iter
+                  (fun (ts, tid) ->
+                    if !emitted < max_flows then begin
+                      let id = !next_id in
+                      incr next_id;
+                      incr emitted;
+                      events :=
+                        P.flow_start ~cat:"evidence" ~name:"evidence" ~id ~ts
+                          ~pid:evidence_pid ~tid:track ()
+                        :: P.flow_end ~cat:"evidence" ~name:"evidence" ~id ~ts
+                             ~pid:test_pid ~tid:(frames_track tid) ()
+                        :: !events
+                    end)
+                  [ (c.Pr.c_time1, c.Pr.c_tid1); (c.Pr.c_time2, c.Pr.c_tid2) ]
+              end)
+            w.Pr.w_coords)
+        v.Pr.v_windows)
+    prov.Pr.p_verdicts;
+  !meta @ !events
+
 let export ?(near = Windows.default_near) ?(max_flows = 64) ~app ~plan
     timelines =
   let next_flow_id = ref 1 in

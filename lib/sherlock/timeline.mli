@@ -36,3 +36,17 @@ val export :
 (** [near] bounds the conflicting-access pair distance (default
     {!Windows.default_near}); [max_flows] caps the flow arrows per test
     (default 64, keeping the JSON loadable for event-dense traces). *)
+
+val evidence_flows :
+  ?max_flows:int ->
+  ?test_pid:int ->
+  Sherlock_provenance.Provenance.t ->
+  Sherlock_telemetry.Perfetto.event list
+(** The provenance overlay for a trace exported by {!export}: one
+    process ("sherlock evidence", pid 1000) with a track per verdict,
+    a slice per evidence window spanning its sampled access coordinates
+    (virtual time, annotated with window id / round / weight), and flow
+    arrows from each slice to the access coordinates on the frame
+    tracks of test process [test_pid] (default 1, the first test).
+    Flow ids start at 1,000,000 — disjoint from [export]'s conflict
+    arrows.  [max_flows] (default 256) caps the arrows. *)

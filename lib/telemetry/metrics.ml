@@ -93,10 +93,17 @@ module Histogram = struct
     end
 end
 
+type sample = {
+  sample_s : float;
+  sample_label : string;
+  sample_counters : (string * int) list;
+}
+
 type registry = {
   mutex : Mutex.t;
   counters : (string, Counter.t) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
+  mutable samples : sample list; (* reversed *)
 }
 
 let create () =
@@ -104,6 +111,7 @@ let create () =
     mutex = Mutex.create ();
     counters = Hashtbl.create 32;
     histograms = Hashtbl.create 32;
+    samples = [];
   }
 
 let default = create ()
@@ -135,10 +143,27 @@ let counters reg = sorted_values reg.counters Counter.name
 
 let histograms reg = sorted_values reg.histograms Histogram.name
 
+let sample ?(registry = default) ~label () =
+  let now = Unix.gettimeofday () in
+  Mutex.lock registry.mutex;
+  let sample_counters =
+    Hashtbl.fold
+      (fun name c acc -> (name, Counter.value c) :: acc)
+      registry.counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  registry.samples <-
+    { sample_s = now; sample_label = label; sample_counters }
+    :: registry.samples;
+  Mutex.unlock registry.mutex
+
+let samples ?(registry = default) () = List.rev registry.samples
+
 let reset reg =
   Mutex.lock reg.mutex;
   Hashtbl.reset reg.counters;
   Hashtbl.reset reg.histograms;
+  reg.samples <- [];
   Mutex.unlock reg.mutex
 
 let pp_summary ppf reg =
@@ -150,9 +175,12 @@ let pp_summary ppf reg =
   List.iter
     (fun h ->
       Format.fprintf ppf
-        "  %-42s n=%d mean=%.1f min=%.1f max=%.1f p50<=%.0f p90<=%.0f@,"
+        "  %-42s n=%d mean=%.1f min=%.1f max=%.1f p50<=%.0f p95<=%.0f \
+         p99<=%.0f@,"
         (Histogram.name h) (Histogram.count h) (Histogram.mean h)
         (Histogram.min_value h) (Histogram.max_value h)
-        (Histogram.percentile h 0.5) (Histogram.percentile h 0.9))
+        (Histogram.percentile h 0.5)
+        (Histogram.percentile h 0.95)
+        (Histogram.percentile h 0.99))
     (histograms reg);
   Format.fprintf ppf "@]"

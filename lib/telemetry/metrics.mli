@@ -69,9 +69,25 @@ val counters : registry -> Counter.t list
 
 val histograms : registry -> Histogram.t list
 
+type sample = {
+  sample_s : float;  (** [Unix.gettimeofday] at the snapshot *)
+  sample_label : string;  (** e.g. ["round 2"] *)
+  sample_counters : (string * int) list;  (** all counters, name-sorted *)
+}
+(** A timestamped snapshot of every counter value — what lets the
+    Perfetto export render counter tracks that progress over the run
+    instead of a single end-of-run value. *)
+
+val sample : ?registry:registry -> label:string -> unit -> unit
+(** Snapshot all counters now.  The orchestrator calls this once per
+    inference round when telemetry is enabled. *)
+
+val samples : ?registry:registry -> unit -> sample list
+(** All snapshots in chronological order. *)
+
 val reset : registry -> unit
-(** Drop every counter and histogram (bench reruns). *)
+(** Drop every counter, histogram, and sample (bench reruns). *)
 
 val pp_summary : Format.formatter -> registry -> unit
 (** Text summary: one line per counter, one per histogram with
-    count/mean/min/max/p50/p90. *)
+    count/mean/min/max/p50/p95/p99. *)

@@ -7,6 +7,7 @@ type arg = Span.value =
 type ph =
   | Complete of int
   | Instant
+  | Counter
   | Flow_start of int
   | Flow_end of int
   | Metadata
@@ -26,6 +27,9 @@ let complete ?(cat = "") ?(args = []) ~name ~ts ~dur ~pid ~tid () =
 
 let instant ?(cat = "") ?(args = []) ~name ~ts ~pid ~tid () =
   { name; cat; ph = Instant; ts; pid; tid; args }
+
+let counter ?(cat = "counter") ~name ~ts ~pid ~value () =
+  { name; cat; ph = Counter; ts; pid; tid = 0; args = [ ("value", Int value) ] }
 
 let flow_start ?(cat = "flow") ?(name = "flow") ~id ~ts ~pid ~tid () =
   { name; cat; ph = Flow_start id; ts; pid; tid; args = [] }
@@ -70,7 +74,7 @@ let prepare events =
   let clamp e =
     match e.ph with
     | Complete d when d < 0 -> { e with ph = Complete 0 }
-    | Complete _ | Instant | Flow_start _ | Flow_end _ | Metadata -> e
+    | Complete _ | Instant | Counter | Flow_start _ | Flow_end _ | Metadata -> e
   in
   let meta, rest = List.partition (fun e -> e.ph = Metadata) events in
   meta @ List.stable_sort (fun a b -> Int.compare a.ts b.ts) (List.map clamp rest)
@@ -119,6 +123,7 @@ let add_event buf e =
     match e.ph with
     | Complete dur -> ("X", [ ("dur", `I dur) ])
     | Instant -> ("i", [ ("s", `S "t") ])
+    | Counter -> ("C", [])
     | Flow_start id -> ("s", [ ("id", `I id) ])
     | Flow_end id -> ("f", [ ("id", `I id); ("bp", `S "e") ])
     | Metadata -> ("M", [])
@@ -196,3 +201,14 @@ let of_spans collector =
          tracks []
   in
   meta @ events
+
+let of_samples ~epoch samples =
+  let us t = int_of_float ((t -. epoch) *. 1e6) in
+  List.concat_map
+    (fun (s : Metrics.sample) ->
+      let ts = max 0 (us s.Metrics.sample_s) in
+      instant ~cat:"sample" ~name:s.Metrics.sample_label ~ts ~pid:0 ~tid:0 ()
+      :: List.map
+           (fun (name, v) -> counter ~name ~ts ~pid:0 ~value:v ())
+           s.Metrics.sample_counters)
+    samples

@@ -21,6 +21,7 @@ type arg = Span.value =
 type ph =
   | Complete of int    (** an [X] slice with its duration *)
   | Instant            (** an [i] thread-scoped marker *)
+  | Counter            (** a [C] counter-track point; value in [args] *)
   | Flow_start of int  (** an [s] event opening flow [id] *)
   | Flow_end of int    (** an [f] (binding-point [e]) event closing flow [id] *)
   | Metadata           (** an [M] event; [name] is the metadata kind *)
@@ -42,6 +43,11 @@ val complete :
 val instant :
   ?cat:string -> ?args:(string * arg) list ->
   name:string -> ts:int -> pid:int -> tid:int -> unit -> event
+
+val counter :
+  ?cat:string -> name:string -> ts:int -> pid:int -> value:int -> unit -> event
+(** One point on the counter track [name] — a [C] event whose [args]
+    carry [{"value": v}]. *)
 
 val flow_start :
   ?cat:string -> ?name:string -> id:int -> ts:int -> pid:int -> tid:int -> unit -> event
@@ -71,3 +77,10 @@ val of_spans : Span.collector -> event list
 (** Wall-clock export of every closed span (plus process/track naming
     metadata): timestamps are microseconds since the collector's epoch,
     one [tid] per domain. *)
+
+val of_samples : epoch:float -> Metrics.sample list -> event list
+(** Counter tracks from {!Metrics.sample} snapshots: one [C] point per
+    counter per sample (so Perfetto renders each counter progressing
+    round by round rather than as a single end-of-run value), plus one
+    instant marker per sample carrying its label.  [epoch] should be the
+    span collector's so the tracks align with {!of_spans}. *)

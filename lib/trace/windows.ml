@@ -3,11 +3,19 @@ module Tspan = Sherlock_telemetry.Span
 
 type side = int Opid.Map.t
 
+type coord = {
+  first_time : int;
+  first_tid : int;
+  second_time : int;
+  second_tid : int;
+}
+
 type t = {
   pair : Opid.t * Opid.t;
   field : string;
   rel : side;
   acq : side;
+  coord : coord;
 }
 
 type race = {
@@ -177,7 +185,15 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
       end
       else begin
         incr nwindows;
-        windows := { pair = (a.op, b.op); field; rel; acq } :: !windows
+        let coord =
+          {
+            first_time = a.time;
+            first_tid = a.tid;
+            second_time = b.time;
+            second_tid = b.tid;
+          }
+        in
+        windows := { pair = (a.op, b.op); field; rel; acq; coord } :: !windows
       end;
       match h_window_dur with
       | Some h -> Tm.Histogram.observe_int h (b.time - a.time)

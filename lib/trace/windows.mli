@@ -24,11 +24,24 @@ type side = int Opid.Map.t
 (** Candidate operations on one side of a window, with their number of
     dynamic occurrences inside this window. *)
 
+type coord = {
+  first_time : int;   (** virtual time of the first conflicting access *)
+  first_tid : int;
+  second_time : int;  (** virtual time of the second conflicting access *)
+  second_tid : int;
+}
+(** Trace coordinates of the conflicting-access pair that opened the
+    window.  Times and thread ids are preserved exactly by both the text
+    and the binary trace formats, so a coordinate identifies the same
+    window no matter which on-disk representation the run came from —
+    the stable identity provenance records. *)
+
 type t = {
   pair : Opid.t * Opid.t;  (** static ids of the conflicting accesses, first-then-second *)
   field : string;          (** field key of the conflicting variable *)
   rel : side;
   acq : side;
+  coord : coord;           (** where in the trace this window was observed *)
 }
 
 type race = {

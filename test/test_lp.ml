@@ -424,6 +424,126 @@ let prop_warm_matches_oneshot =
 
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
+(* --- Dual values / reduced costs (provenance capture) --- *)
+
+(* minimize -2x - y  s.t.  x <= 1 (ub row), x + y <= 1.5.  Optimum at
+   x = 1, y = 0.5: both rows binding.  With y basic the shared row's dual
+   is -1, and the ub cap's dual is -2 - (-1) = -1 — so the provenance
+   margin (its negation) is 1. *)
+let duals_problem () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~ub:1.0 "x" in
+  let y = Problem.add_var p "y" in
+  Problem.add_le ~tag:"cap" p Linexpr.(add (var x) (var y)) 1.5;
+  Problem.add_objective p Linexpr.(add (var ~coeff:(-2.0) x) (var ~coeff:(-1.0) y));
+  (p, x, y)
+
+let check_ub_dual p x =
+  match Problem.last_duals p with
+  | None -> Alcotest.fail "expected captured duals"
+  | Some d ->
+    let ub =
+      match Problem.ub_row p x with
+      | Some r -> r
+      | None -> Alcotest.fail "x has an ub row"
+    in
+    check feq "ub dual (margin = 1)" (-1.0) d.Problem.d_rows.(ub);
+    check Alcotest.int "one dual per row" (Problem.num_rows p)
+      (Array.length d.Problem.d_rows);
+    check Alcotest.int "one reduced cost per var" (Problem.num_vars p)
+      (Array.length d.Problem.d_vars)
+
+let test_duals_oneshot () =
+  let p, x, _ = duals_problem () in
+  Problem.set_capture_duals p true;
+  (match Problem.solve p with
+  | Problem.Solved obj, v ->
+    check feq "objective" (-2.5) obj;
+    check feq "x" 1.0 (v x)
+  | _ -> Alcotest.fail "expected solution");
+  check_ub_dual p x
+
+let test_duals_oneshot_no_presolve () =
+  let p, x, _ = duals_problem () in
+  Problem.set_presolve p false;
+  Problem.set_capture_duals p true;
+  (match Problem.solve p with
+  | Problem.Solved _, _ -> ()
+  | _ -> Alcotest.fail "expected solution");
+  check_ub_dual p x
+
+let test_duals_incremental () =
+  let p, x, _ = duals_problem () in
+  Problem.set_capture_duals p true;
+  (match Problem.solve_incremental p with
+  | Problem.Solved obj, _ -> check feq "objective" (-2.5) obj
+  | _ -> Alcotest.fail "expected solution");
+  check_ub_dual p x
+
+let test_duals_reduced_cost () =
+  (* minimize 2x + y  s.t.  x + y >= 1: the optimum takes y = 1 and
+     leaves x nonbasic at 0 with reduced cost 2 - 1 = 1 (both columns
+     hit only the shared row, so the value is convention-independent). *)
+  let p = Problem.create () in
+  let x = Problem.add_var p "x" in
+  let y = Problem.add_var p "y" in
+  Problem.add_ge p Linexpr.(add (var x) (var y)) 1.0;
+  Problem.add_objective p Linexpr.(add (var ~coeff:2.0 x) (var y));
+  Problem.set_presolve p false;
+  Problem.set_capture_duals p true;
+  (match Problem.solve p with
+  | Problem.Solved obj, v ->
+    check feq "objective" 1.0 obj;
+    check feq "x stays 0" 0.0 (v x);
+    check feq "y" 1.0 (v y)
+  | _ -> Alcotest.fail "expected solution");
+  match Problem.last_duals p with
+  | None -> Alcotest.fail "expected captured duals"
+  | Some d ->
+    check feq "reduced cost of x" 1.0 d.Problem.d_vars.(x);
+    check feq "reduced cost of basic y" 0.0 d.Problem.d_vars.(y)
+
+let test_duals_capture_off () =
+  let p, _, _ = duals_problem () in
+  (match Problem.solve p with
+  | Problem.Solved _, _ -> ()
+  | _ -> Alcotest.fail "expected solution");
+  check Alcotest.bool "no duals when capture off" true
+    (Problem.last_duals p = None)
+
+let test_duals_none_when_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~ub:1.0 "x" in
+  Problem.add_ge p (Linexpr.var x) 2.0;
+  Problem.add_objective p (Linexpr.var x);
+  Problem.set_capture_duals p true;
+  (match Problem.solve p with
+  | Problem.Infeasible, _ -> ()
+  | _ -> Alcotest.fail "expected infeasible");
+  check Alcotest.bool "no duals without an optimum" true
+    (Problem.last_duals p = None)
+
+let test_duals_incremental_matches_oneshot () =
+  let duals p solve =
+    Problem.set_capture_duals p true;
+    (match solve p with
+    | Problem.Solved _, _ -> ()
+    | _ -> Alcotest.fail "expected solution");
+    match Problem.last_duals p with
+    | Some d -> d
+    | None -> Alcotest.fail "expected captured duals"
+  in
+  let p1, _, _ = duals_problem () in
+  let p2, _, _ = duals_problem () in
+  let a = duals p1 Problem.solve in
+  let b = duals p2 Problem.solve_incremental in
+  Array.iteri
+    (fun i v -> check feq (Printf.sprintf "row dual %d" i) v b.Problem.d_rows.(i))
+    a.Problem.d_rows;
+  Array.iteri
+    (fun i v -> check feq (Printf.sprintf "reduced cost %d" i) v b.Problem.d_vars.(i))
+    a.Problem.d_vars
+
 let () =
   Alcotest.run "lp"
     [
@@ -460,6 +580,19 @@ let () =
             test_presolve_duplicate_hinge;
           Alcotest.test_case "forced variable fix" `Quick test_presolve_forced_fix;
           Alcotest.test_case "empty rows" `Quick test_presolve_empty_rows;
+        ] );
+      ( "duals",
+        [
+          Alcotest.test_case "one-shot ub margin" `Quick test_duals_oneshot;
+          Alcotest.test_case "one-shot without presolve" `Quick
+            test_duals_oneshot_no_presolve;
+          Alcotest.test_case "incremental ub margin" `Quick test_duals_incremental;
+          Alcotest.test_case "reduced cost" `Quick test_duals_reduced_cost;
+          Alcotest.test_case "capture off" `Quick test_duals_capture_off;
+          Alcotest.test_case "none when infeasible" `Quick
+            test_duals_none_when_infeasible;
+          Alcotest.test_case "incremental matches one-shot" `Quick
+            test_duals_incremental_matches_oneshot;
         ] );
       ( "properties",
         qcheck

@@ -742,7 +742,18 @@ module Naive = struct
       in
       if rel_impossible || acq_impossible then
         races := { Windows.race_pair = (a.op, b.op); race_field = field } :: !races
-      else windows := { Windows.pair = (a.op, b.op); field; rel; acq } :: !windows
+      else begin
+        let coord =
+          {
+            Windows.first_time = a.time;
+            first_tid = a.tid;
+            second_time = b.time;
+            second_tid = b.tid;
+          }
+        in
+        windows :=
+          { Windows.pair = (a.op, b.op); field; rel; acq; coord } :: !windows
+      end
     in
     let addrs = ref [] in
     let seen = Hashtbl.create 8 in
@@ -792,6 +803,7 @@ let window_eq (a : Windows.t) (b : Windows.t) =
   && a.field = b.field
   && side_bindings a.rel = side_bindings b.rel
   && side_bindings a.acq = side_bindings b.acq
+  && a.coord = b.coord
 
 let race_eq (a : Windows.race) (b : Windows.race) =
   Opid.equal (fst a.race_pair) (fst b.race_pair)

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Provenance smoke for the @smoke alias: run one app with
+# --provenance-out, then check that
+#   (a) the JSON sidecar is valid provenance that `explain --from`
+#       renders a non-empty evidence tree from,
+#   (b) every verdict section of the tree lists at least one evidence
+#       window,
+#   (c) explain round-trips the sidecar byte-identically through
+#       --json-out, and
+#   (d) the --flows export is non-trivial Perfetto JSON.
+set -eu
+
+cli=$1
+# Dune passes the executable relative to the rule's directory; qualify a
+# bare name so the shell does not search PATH for it.
+case "$cli" in
+*/*) ;;
+*) cli="./$cli" ;;
+esac
+d=$(mktemp -d)
+trap 'rm -rf "$d"' EXIT INT TERM
+
+"$cli" run -a App-2 --rounds 2 --provenance-out "$d/prov.json" >/dev/null
+
+if [ ! -s "$d/prov.json" ]; then
+  echo "smoke_explain: sidecar missing or empty" >&2
+  exit 1
+fi
+case "$(head -c 32 "$d/prov.json")" in
+*sherlock-provenance*) ;;
+*)
+  echo "smoke_explain: sidecar does not declare the provenance format" >&2
+  exit 1
+  ;;
+esac
+
+"$cli" explain --from "$d/prov.json" --json-out "$d/prov2.json" \
+  --flows "$d/flows.json" >"$d/explain.out"
+
+if ! cmp -s "$d/prov.json" "$d/prov2.json"; then
+  echo "smoke_explain: explain --json-out does not round-trip the sidecar" >&2
+  exit 1
+fi
+
+verdicts=$(grep -c "verdict:" "$d/explain.out" || true)
+if [ "$verdicts" -lt 1 ]; then
+  echo "smoke_explain: evidence tree lists no verdicts" >&2
+  exit 1
+fi
+# Every verdict section must show a non-empty windows branch: the tree
+# prints "windows (N)" per verdict, so any "windows (0)" is a failure.
+if grep -q "windows (0)" "$d/explain.out"; then
+  echo "smoke_explain: a verdict has no evidence windows" >&2
+  exit 1
+fi
+windows=$(grep -c "windows (" "$d/explain.out" || true)
+if [ "$windows" -ne "$verdicts" ]; then
+  echo "smoke_explain: $verdicts verdicts but $windows windows branches" >&2
+  exit 1
+fi
+
+# A single-op query must select a strict subset of the full tree.
+"$cli" explain --from "$d/prov.json" GetOrAdd >"$d/explain-one.out"
+one=$(grep -c "verdict:" "$d/explain-one.out" || true)
+if [ "$one" -lt 1 ] || [ "$one" -ge "$verdicts" ]; then
+  echo "smoke_explain: op query selected $one of $verdicts verdicts" >&2
+  exit 1
+fi
+
+case "$(head -c 16 "$d/flows.json")" in
+'{"traceEvents":'*) ;;
+*)
+  echo "smoke_explain: flows export is not trace-event JSON" >&2
+  exit 1
+  ;;
+esac
+if ! grep -q '"sherlock evidence"' "$d/flows.json"; then
+  echo "smoke_explain: flows export lacks the evidence process" >&2
+  exit 1
+fi
+
+echo "smoke_explain: $verdicts verdicts explained, all with evidence windows"
