@@ -740,71 +740,115 @@ let perf () =
   end
 
 (* LP engine gate: the full corpus inferred with cross-round warm starts
-   on vs off — wall-clock, total simplex pivots, and per-app verdict
-   identity.  Fails the run (exit 1) if warm starts stop at least
-   halving the pivot count or if any verdict diverges, so an LP-engine
-   regression cannot land silently. *)
+   on vs off — wall-clock, total simplex pivots, verdict identity, and
+   the factorized-basis counters (refactorizations, eta-file high-water
+   mark, cap rows the bounded-variable encoding kept out of the matrix).
+   The warm run is the Table 2 pipeline (infer + classify), so its time
+   is also gated against the previous recorded run.  Fails the run
+   (exit 1) if warm starts stop at least halving the pivot count, if any
+   verdict diverges, or if pivots/time regress past the slack against
+   the last recorded baseline, so an LP-engine regression cannot land
+   silently. *)
 let lp_gate () =
   let show (r : Orchestrator.result) =
     String.concat ";"
       (List.map (fun v -> Format.asprintf "%a" Verdict.pp v) r.final)
   in
+  let fold_lp init f results =
+    List.fold_left
+      (fun acc (r : Orchestrator.result) ->
+        List.fold_left
+          (fun acc (rr : Orchestrator.round_result) -> f acc rr.stats.lp)
+          acc r.rounds)
+      init results
+  in
   let measure config =
     let t0 = Unix.gettimeofday () in
     let results =
-      List.map (fun (a : App.t) -> Orchestrator.infer ~config (App.subject a)) apps
+      List.map
+        (fun (a : App.t) ->
+          let r = Orchestrator.infer ~config (App.subject a) in
+          ignore (Report.classify a.truth r.final);
+          r)
+        apps
     in
     let s = Unix.gettimeofday () -. t0 in
-    let pivots =
-      List.fold_left
-        (fun acc (r : Orchestrator.result) ->
-          List.fold_left
-            (fun acc (rr : Orchestrator.round_result) ->
-              acc + rr.stats.lp.lp_pivots)
-            acc r.rounds)
-        0 results
+    let pivots = fold_lp 0 (fun acc l -> acc + l.Encoder.lp_pivots) results in
+    let refactors =
+      fold_lp 0 (fun acc l -> acc + l.Encoder.lp_refactors) results
     in
-    (s, pivots, List.map show results)
+    let eta_len = fold_lp 0 (fun acc l -> max acc l.Encoder.lp_eta_len) results in
+    let bound_saved =
+      fold_lp 0 (fun acc l -> acc + l.Encoder.lp_bound_rows_saved) results
+    in
+    (s, pivots, refactors, eta_len, bound_saved, List.map show results)
   in
+  (* Baselines from the previous recorded run, with slack for timer
+     noise; absent on a first run, in which case only the structural
+     gates apply. *)
+  let prior_lp = List.assoc_opt "lp" (read_bench_sections ()) in
+  let prior_num key = Option.bind prior_lp (fun v -> json_number v key) in
   (* Sequential, so the timing compares solver work rather than domain
      scheduling. *)
   let config = { Config.default with parallelism = 1 } in
-  let warm_s, warm_pivots, warm_verdicts = measure config in
-  let cold_s, cold_pivots, cold_verdicts =
+  let warm_s, warm_pivots, refactors, eta_len, bound_saved, warm_verdicts =
+    measure config
+  in
+  let cold_s, cold_pivots, _, _, _, cold_verdicts =
     measure { config with use_warm_start = false }
   in
   let identical = warm_verdicts = cold_verdicts in
   let ratio = float cold_pivots /. float (max 1 warm_pivots) in
+  let pivots_ok =
+    match prior_num "warm_pivots" with
+    | Some b when b > 0.0 -> float warm_pivots <= (b *. 1.15) +. 16.0
+    | _ -> true
+  in
+  let time_ok =
+    match prior_num "table2_s" with
+    | Some b when b > 0.0 -> warm_s <= (b *. 1.5) +. 0.25
+    | _ -> true
+  in
   let t =
     Table.create ~title:"LP engine: warm starts vs cold solves (8-app corpus)"
       ~header:[ "measure"; "warm"; "cold" ]
   in
   Table.add_row t
     [
-      "corpus infer"; Printf.sprintf "%.3f s" warm_s;
+      "corpus infer+classify"; Printf.sprintf "%.3f s" warm_s;
       Printf.sprintf "%.3f s" cold_s;
     ];
   Table.add_row t
     [ "total pivots"; string_of_int warm_pivots; string_of_int cold_pivots ];
   Table.add_row t
     [
+      "basis engine";
+      Printf.sprintf "f%d e%d" refactors eta_len;
+      Printf.sprintf "b%d rows saved" bound_saved;
+    ];
+  Table.add_row t
+    [
       "verdicts"; (if identical then "identical" else "DIVERGED");
       Printf.sprintf "(pivot ratio %.2fx)" ratio;
     ];
   Table.print t;
-  let pass = identical && warm_pivots * 2 <= cold_pivots in
+  let pass = identical && warm_pivots * 2 <= cold_pivots && pivots_ok && time_ok in
   update_bench_sections
     [
       ( "lp",
         Printf.sprintf
-          {|{"warm_s": %.3f, "cold_s": %.3f, "warm_pivots": %d, "cold_pivots": %d, "pivot_ratio": %.2f, "verdicts_identical": %b, "pass": %b}|}
-          warm_s cold_s warm_pivots cold_pivots ratio identical pass );
+          {|{"warm_s": %.3f, "table2_s": %.3f, "cold_s": %.3f, "warm_pivots": %d, "cold_pivots": %d, "pivot_ratio": %.2f, "refactors": %d, "eta_len": %d, "bound_rows_saved": %d, "verdicts_identical": %b, "pass": %b}|}
+          warm_s warm_s cold_s warm_pivots cold_pivots ratio refactors eta_len
+          bound_saved identical pass );
     ];
   if not pass then begin
     Printf.printf
-      "FAIL: lp gate (verdicts %s, warm pivots %d vs cold %d, need <= half)\n"
+      "FAIL: lp gate (verdicts %s, warm pivots %d vs cold %d, need <= half; vs \
+       baseline: pivots %s, time %s)\n"
       (if identical then "identical" else "diverged")
-      warm_pivots cold_pivots;
+      warm_pivots cold_pivots
+      (if pivots_ok then "ok" else "REGRESSED")
+      (if time_ok then "ok" else "REGRESSED");
     exit 1
   end
 

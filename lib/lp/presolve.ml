@@ -45,7 +45,7 @@ type row = {
   mutable b : float;
 }
 
-let run ~num_vars ~objective constrs =
+let run ~num_vars ~objective ?ub constrs =
   let rows =
     Array.of_list
       (List.map
@@ -58,7 +58,12 @@ let run ~num_vars ~objective constrs =
   let fixed = Array.make (max 1 num_vars) None in
   let copy_of = Array.make (max 1 num_vars) (-1) in
   let lo = Array.make (max 1 num_vars) 0.0 in
-  let hi = Array.make (max 1 num_vars) infinity in
+  (* Variable caps seed [hi], so a rounding pin [x >= cap] still fixes
+     the variable even though caps are column bounds, not rows. *)
+  let hi =
+    Array.init (max 1 num_vars) (fun v ->
+        match ub with Some u when v < Array.length u -> u.(v) | _ -> infinity)
+  in
   let removed = ref 0 in
   let nfixed = ref 0 in
   let merged = ref 0 in

@@ -39,5 +39,11 @@ type result = {
 val run :
   num_vars:int ->
   objective:(int * float) list ->
+  ?ub:float array ->
   Simplex.constr list ->
   result
+(** [~ub], when given, seeds each variable's upper bound (the caps the
+    sparse engine enforces as column bounds rather than rows), so
+    singleton [>=] rows meeting the cap — rounding pins — still fix the
+    variable.  The caller keeps passing the same [ub] array to the
+    solver; reductions never loosen a bound. *)

@@ -6,6 +6,7 @@ type status =
   | Solved of float
   | Infeasible
   | Unbounded
+  | Aborted
 
 type engine =
   | Dense
@@ -19,6 +20,9 @@ type solve_info = {
   presolve_removed_rows : int;
   presolve_fixed_vars : int;
   cold_restarts : int;
+  refactors : int;
+  eta_len : int;
+  bound_rows_saved : int;
 }
 
 let no_info engine =
@@ -30,6 +34,9 @@ let no_info engine =
     presolve_removed_rows = 0;
     presolve_fixed_vars = 0;
     cold_restarts = 0;
+    refactors = 0;
+    eta_len = 0;
+    bound_rows_saved = 0;
   }
 
 type crow = {
@@ -37,6 +44,11 @@ type crow = {
   c_rel : Simplex.relation;
   mutable c_rhs : float;
   c_tag : string;
+  c_bound : var;
+      (* >= 0: virtual upper-bound row of that variable.  Kept in the
+         row list so ids, row_info and provenance stay stable and the
+         Dense oracle still sees a real constraint, but sparse engines
+         get a column bound instead of a row. *)
 }
 
 type row_info = {
@@ -69,6 +81,7 @@ type t = {
   mutable rows : crow array; (* growable; [0, nconstrs) live *)
   mutable nconstrs : int;
   mutable ub_rows : int array; (* growable; per var, its ub row or -1 *)
+  mutable ubs : float array; (* growable; per var, its cap or infinity *)
   mutable objective : Linexpr.t;
   mutable engine : engine;
   mutable use_presolve : bool;
@@ -83,9 +96,11 @@ let create () =
     names = [];
     count = 0;
     rows =
-      Array.make 16 { c_row = []; c_rel = Simplex.Le; c_rhs = 0.0; c_tag = "" };
+      Array.make 16
+        { c_row = []; c_rel = Simplex.Le; c_rhs = 0.0; c_tag = ""; c_bound = -1 };
     nconstrs = 0;
     ub_rows = Array.make 16 (-1);
+    ubs = Array.make 16 infinity;
     objective = Linexpr.zero;
     engine = Sparse;
     use_presolve = true;
@@ -119,14 +134,23 @@ let push_constr t c =
   t.nconstrs <- t.nconstrs + 1;
   t.nconstrs - 1
 
-let add_constr ?(tag = "") t expr relation rhs =
+let add_constr ?(tag = "") ?(bound = -1) t expr relation rhs =
   push_constr t
     {
       c_row = Linexpr.terms expr;
       c_rel = relation;
       c_rhs = rhs -. Linexpr.constant expr;
       c_tag = tag;
+      c_bound = bound;
     }
+
+let grow_float a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max n (2 * Array.length a)) infinity in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
 
 let add_var t ?ub name =
   let v = t.count in
@@ -134,10 +158,13 @@ let add_var t ?ub name =
   t.names <- name :: t.names;
   t.ub_rows <- grow_int t.ub_rows (v + 1);
   t.ub_rows.(v) <- -1;
+  t.ubs <- grow_float t.ubs (v + 1);
+  t.ubs.(v) <- infinity;
   (match ub with
   | Some u ->
+    t.ubs.(v) <- u;
     t.ub_rows.(v) <-
-      add_constr ~tag:("ub:" ^ name) t (Linexpr.var v) Simplex.Le u
+      add_constr ~tag:("ub:" ^ name) ~bound:v t (Linexpr.var v) Simplex.Le u
   | None -> ());
   v
 
@@ -171,7 +198,8 @@ let add_ge_row ?tag t e rhs = add_constr ?tag t e Simplex.Ge rhs
 let set_row_rhs t id rhs =
   t.rows.(id).c_rhs <- rhs;
   match t.istate with
-  | Some s when id < s.rows_pushed -> Simplex.set_rhs s.sx s.row_ids.(id) rhs
+  | Some s when id < s.rows_pushed && s.row_ids.(id) >= 0 ->
+    Simplex.set_rhs s.sx s.row_ids.(id) rhs
   | _ -> ()
 
 let add_objective t e = t.objective <- Linexpr.add t.objective e
@@ -228,6 +256,8 @@ let record_info info =
     if info.presolve_fixed_vars > 0 then
       Tm.Counter.incr ~by:info.presolve_fixed_vars
         (Tm.counter "lp.presolve.fixed_vars");
+    if info.refactors > 0 then
+      Tm.Counter.incr ~by:info.refactors (Tm.counter "lp.refactors");
     if info.warm then begin
       Tm.Counter.incr (Tm.counter "lp.warm_start.hits");
       if info.pivots_saved > 0 then
@@ -235,6 +265,10 @@ let record_info info =
           (Tm.counter "lp.warm_start.pivots_saved")
     end
   end
+
+let record_abort () =
+  let module Tm = Sherlock_telemetry.Metrics in
+  if Tm.enabled () then Tm.Counter.incr (Tm.counter "lp.aborted")
 
 let constr_list t =
   let acc = ref [] in
@@ -256,25 +290,80 @@ let finish t info outcome =
   | Simplex.Infeasible -> (Infeasible, fun _ -> 0.0)
   | Simplex.Unbounded -> (Unbounded, fun _ -> 0.0)
 
-(* Duals of the one-shot sparse solve, read off the returned solver
-   state.  [solve_tableau] pushes rows in list order, so without presolve
-   simplex row [i] is constraint [i]; with presolve the two Presolve maps
-   route each original row/variable to whatever carries its multiplier in
-   the reduced program (or to 0 when it was removed outright). *)
-let capture_oneshot t sx ~row_map ~var_map =
+(* Sparse engines never see the virtual bound rows: split them out,
+   remembering where each surviving constraint landed ([spos], -1 for
+   bound rows) and how many rows the bounds saved. *)
+let sparse_parts t =
+  let n = t.nconstrs in
+  let spos = Array.make (max 1 n) (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if t.rows.(i).c_bound < 0 then begin
+      spos.(i) <- !next;
+      incr next
+    end
+  done;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    let r = t.rows.(i) in
+    if r.c_bound < 0 then
+      acc := { Simplex.row = r.c_row; relation = r.c_rel; rhs = r.c_rhs } :: !acc
+  done;
+  (!acc, spos, n - !next)
+
+let ub_array t = Array.sub t.ubs 0 (max 1 t.count)
+
+(* Duals of a sparse solve, read off the live solver state and mapped
+   back to problem coordinates.  [row_map]/[var_map] translate original
+   row/variable indices to solver ids (-1: removed).  A virtual bound
+   row has no simplex row; its dual is synthesized from the bounded
+   column exactly as the explicit cap row would have carried it — the
+   variable's reduced cost when it sits at its upper bound (the cap
+   binding, rc <= 0), 0 otherwise — and the variable's own reduced cost
+   is reported 0 in that case, matching the basic variable of the
+   explicit-row formulation. *)
+let capture_sparse t sx ~row_map ~var_map =
   let rd = Simplex.row_duals sx in
   let rc = Simplex.reduced_costs sx in
+  let ncols = Simplex.num_cols sx in
+  let at_upper v =
+    let c = var_map v in
+    c >= 0 && c < ncols && Simplex.is_at_upper sx c
+  in
+  let rc_of v =
+    let c = var_map v in
+    if c >= 0 && c < Array.length rc then rc.(c) else 0.0
+  in
   let d_rows =
     Array.init t.nconstrs (fun i ->
-        let m = row_map i in
-        if m >= 0 && m < Array.length rd then rd.(m) else 0.0)
+        let b = t.rows.(i).c_bound in
+        if b >= 0 then if at_upper b then rc_of b else 0.0
+        else begin
+          let m = row_map i in
+          if m >= 0 && m < Array.length rd then rd.(m) else 0.0
+        end)
   in
   let d_vars =
-    Array.init t.count (fun v ->
-        let m = var_map v in
-        if m >= 0 && m < Array.length rc then rc.(m) else 0.0)
+    Array.init t.count (fun v -> if at_upper v then 0.0 else rc_of v)
   in
   t.duals <- Some { d_rows; d_vars }
+
+let aborted t info =
+  t.info <- info;
+  record_info info;
+  record_abort ();
+  (Aborted, fun _ -> 0.0)
+
+let stat_info base (st : Simplex.stats) =
+  {
+    base with
+    pivots = st.pivots;
+    warm = st.warm;
+    pivots_saved = st.reused_basis;
+    cold_restarts = st.cold_restarts;
+    refactors = st.refactors;
+    eta_len = st.eta_len;
+  }
 
 let solve t =
   t.duals <- None;
@@ -282,66 +371,71 @@ let solve t =
   | Some s -> (s, fun _ -> 0.0)
   | None -> (
     let objective = Linexpr.terms t.objective in
-    let constrs = constr_list t in
     match t.engine with
     | Dense ->
+      let constrs = constr_list t in
       let outcome, pivots =
         Dense.solve_counted ~num_vars:t.count ~objective constrs
       in
       finish t { (no_info Dense) with pivots } outcome
-    | Sparse ->
+    | Sparse -> (
+      let constrs, spos, saved = sparse_parts t in
+      let ub = ub_array t in
+      let base = { (no_info Sparse) with bound_rows_saved = saved } in
       if not t.use_presolve then begin
-        let outcome, st, sx =
-          Simplex.solve_tableau ~num_vars:t.count ~objective constrs
-        in
-        if t.capture_duals then
-          (match outcome with
-          | Simplex.Optimal _ ->
-            capture_oneshot t sx ~row_map:(fun i -> i) ~var_map:(fun v -> v)
-          | _ -> ());
-        finish t { (no_info Sparse) with pivots = st.Simplex.pivots } outcome
+        match Simplex.solve_tableau ~ub ~num_vars:t.count ~objective constrs with
+        | exception Simplex.Iteration_limit -> aborted t base
+        | outcome, st, sx ->
+          if t.capture_duals then
+            (match outcome with
+            | Simplex.Optimal _ ->
+              capture_sparse t sx
+                ~row_map:(fun i -> spos.(i))
+                ~var_map:(fun v -> v)
+            | _ -> ());
+          finish t (stat_info base st) outcome
       end
       else begin
-        let r = Presolve.run ~num_vars:t.count ~objective constrs in
-        let base_info =
+        let r = Presolve.run ~num_vars:t.count ~objective ~ub constrs in
+        let base =
           {
-            (no_info Sparse) with
+            base with
             presolve_removed_rows = r.Presolve.r_stats.removed_rows;
             presolve_fixed_vars = r.Presolve.r_stats.fixed_vars;
           }
         in
-        if r.Presolve.r_infeasible then
-          finish t base_info Simplex.Infeasible
+        if r.Presolve.r_infeasible then finish t base Simplex.Infeasible
         else begin
-          let outcome, st, sx =
-            Simplex.solve_tableau ~num_vars:t.count
+          match
+            Simplex.solve_tableau ~ub ~num_vars:t.count
               ~objective:r.Presolve.r_objective r.Presolve.r_constrs
-          in
-          if t.capture_duals then
-            (match outcome with
-            | Simplex.Optimal _ ->
-              capture_oneshot t sx
-                ~row_map:(fun i -> r.Presolve.r_row_map.(i))
-                ~var_map:(fun v -> r.Presolve.r_var_map.(v))
-            | _ -> ());
-          let base_info = { base_info with pivots = st.Simplex.pivots } in
-          match outcome with
-          | Simplex.Optimal { objective = obj; solution } ->
-            let restore =
-              r.Presolve.r_restore (fun v ->
-                  if v >= 0 && v < Array.length solution then solution.(v)
-                  else 0.0)
-            in
-            let full = Array.init t.count restore in
-            finish t base_info
-              (Simplex.Optimal
-                 {
-                   objective = obj +. r.Presolve.r_offset;
-                   solution = full;
-                 })
-          | o -> finish t base_info o
+          with
+          | exception Simplex.Iteration_limit -> aborted t base
+          | outcome, st, sx -> (
+            if t.capture_duals then
+              (match outcome with
+              | Simplex.Optimal _ ->
+                capture_sparse t sx
+                  ~row_map:(fun i ->
+                    if spos.(i) < 0 then -1
+                    else r.Presolve.r_row_map.(spos.(i)))
+                  ~var_map:(fun v -> r.Presolve.r_var_map.(v))
+              | _ -> ());
+            let base = stat_info base st in
+            match outcome with
+            | Simplex.Optimal { objective = obj; solution } ->
+              let restore =
+                r.Presolve.r_restore (fun v ->
+                    if v >= 0 && v < Array.length solution then solution.(v)
+                    else 0.0)
+              in
+              let full = Array.init t.count restore in
+              finish t base
+                (Simplex.Optimal
+                   { objective = obj +. r.Presolve.r_offset; solution = full })
+            | o -> finish t base o)
         end
-      end)
+      end))
 
 let solve_incremental t =
   t.duals <- None;
@@ -364,50 +458,52 @@ let solve_incremental t =
         t.istate <- Some s;
         s
     in
-    (* Push whatever accumulated since the previous solve. *)
+    (* Push whatever accumulated since the previous solve.  Virtual
+       bound rows are skipped — their variable's column carries the cap
+       directly. *)
     s.col_of_var <- grow_int s.col_of_var t.count;
     for v = s.vars_pushed to t.count - 1 do
-      s.col_of_var.(v) <- Simplex.add_col s.sx
+      s.col_of_var.(v) <- Simplex.add_col ~ub:t.ubs.(v) s.sx
     done;
     s.vars_pushed <- t.count;
     s.row_ids <- grow_int s.row_ids t.nconstrs;
+    let saved = ref 0 in
     for i = s.rows_pushed to t.nconstrs - 1 do
       let r = t.rows.(i) in
-      let entries = List.map (fun (v, k) -> (s.col_of_var.(v), k)) r.c_row in
-      s.row_ids.(i) <- Simplex.add_row s.sx entries r.c_rel r.c_rhs
+      if r.c_bound >= 0 then s.row_ids.(i) <- -1
+      else begin
+        let entries = List.map (fun (v, k) -> (s.col_of_var.(v), k)) r.c_row in
+        s.row_ids.(i) <- Simplex.add_row s.sx entries r.c_rel r.c_rhs
+      end
     done;
     s.rows_pushed <- t.nconstrs;
+    for i = 0 to t.nconstrs - 1 do
+      if s.row_ids.(i) < 0 then incr saved
+    done;
     Simplex.set_objective s.sx
       (List.map (fun (v, k) -> (s.col_of_var.(v), k)) (Linexpr.terms t.objective));
-    let result = Simplex.reoptimize s.sx in
+    match Simplex.reoptimize s.sx with
+    | exception Simplex.Iteration_limit ->
+      (* The solver invalidated itself; the warm state stays usable for
+         later rounds (the next reoptimize starts cold). *)
+      aborted t { (no_info Sparse) with bound_rows_saved = !saved }
+    | result ->
     let st = Simplex.last_stats s.sx in
     let info =
-      {
-        (no_info Sparse) with
-        pivots = st.Simplex.pivots;
-        warm = st.Simplex.warm;
-        pivots_saved = st.Simplex.reused_basis;
-        cold_restarts = st.Simplex.cold_restarts;
-      }
+      stat_info { (no_info Sparse) with bound_rows_saved = !saved } st
     in
     t.info <- info;
     record_info info;
     (match result with
     | `Optimal obj ->
-      if t.capture_duals then begin
+      if t.capture_duals then
         (* Exact multipliers of the live state: [row_ids]/[col_of_var]
            translate problem row/var indices to solver ids.  Reading
            them never perturbs the basis, so verdicts are bitwise
            identical with capture on or off. *)
-        let rd = Simplex.row_duals s.sx in
-        let rc = Simplex.reduced_costs s.sx in
-        t.duals <-
-          Some
-            {
-              d_rows = Array.init t.nconstrs (fun i -> rd.(s.row_ids.(i)));
-              d_vars = Array.init t.count (fun v -> rc.(s.col_of_var.(v)));
-            }
-      end;
+        capture_sparse t s.sx
+          ~row_map:(fun i -> s.row_ids.(i))
+          ~var_map:(fun v -> s.col_of_var.(v));
       let obj = obj +. Linexpr.constant t.objective in
       (* Snapshot: the solver state stays live inside [t] (later rhs
          edits move its basic solution), but the assignment handed out

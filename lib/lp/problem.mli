@@ -30,6 +30,10 @@ type status =
   | Solved of float  (** optimal objective value *)
   | Infeasible
   | Unbounded
+  | Aborted
+      (** the solver hit its pivot cap ({!Simplex.Iteration_limit}) and
+          gave up; treated by callers like any other non-[Solved]
+          status (the encoder degrades to its previous verdicts) *)
 
 (** Which simplex implementation {!solve} uses. *)
 type engine =
@@ -46,6 +50,11 @@ type solve_info = {
   presolve_removed_rows : int;
   presolve_fixed_vars : int;
   cold_restarts : int;  (** warm attempts that fell back to a cold build *)
+  refactors : int;  (** basis refactorizations during the solve *)
+  eta_len : int;  (** longest eta file reached before a rebuild *)
+  bound_rows_saved : int;
+      (** cap rows the bounded-variable encoding kept out of the sparse
+          matrix (0 on the Dense path, which still gets real rows) *)
 }
 
 val create : unit -> t
@@ -60,8 +69,12 @@ val set_presolve : t -> bool -> unit
 val add_var : t -> ?ub:float -> string -> var
 (** [add_var t name] declares a variable in [\[0, inf)]; [~ub] caps it
     (probability variables use [~ub:1.0]).  Names are for diagnostics and
-    need not be unique.  The cap, when present, is a real constraint row
-    tagged ["ub:" ^ name]; {!ub_row} retrieves its id. *)
+    need not be unique.  The cap, when present, is recorded as a {e
+    virtual} row tagged ["ub:" ^ name]: it keeps a stable {!row_id}
+    (retrievable via {!ub_row}, visible to {!row_info} and provenance,
+    and a real constraint on the [Dense] oracle), but sparse engines
+    enforce it as a column bound in the ratio test — no matrix row — and
+    its dual is synthesized from the bounded column's reduced cost. *)
 
 val name : t -> var -> string
 

@@ -19,22 +19,31 @@ type stats = {
   warm : bool;
   reused_basis : int;
   cold_restarts : int;
+  refactors : int;
+  eta_len : int;
 }
 
 let eps = 1e-9
 
 let feas_tol = 1e-7
 
-(* Revised simplex over the sparse matrix in {!Sparse}.  Only the working
-   basis is dense: [binv] holds B^-1 (m x m) and [xb] the basic values;
-   pricing and ratio tests walk sparse column occurrence lists against
-   them.  The state is incremental: columns and rows append, appended
-   rows border-extend the factorization (their slack or a fresh
-   artificial becomes basic, B^-1 grows by one bordered row, no
-   refactorization), right-hand sides may change in place, and the next
-   [reoptimize] starts from the previous basis — primal if still
-   feasible, dual repair against the last optimal cost vector if not,
-   and a cold two-phase rebuild as the fallback of last resort. *)
+let dual_tol = 1e-7
+
+(* Revised simplex over the sparse matrix in {!Sparse} with an
+   LU-factorized basis ({!Lu}): the basis inverse is never formed;
+   FTRAN/BTRAN against the factors (plus the product-form eta file)
+   replace every former [binv] walk.  Pivots append an eta term and the
+   factorization is rebuilt when the eta file passes a length/fill
+   threshold.  Variables carry optional upper bounds handled directly in
+   pricing and the ratio test — a nonbasic column sits at 0 or at its
+   bound ([at_upper]) and rows are never spent on caps.  The state is
+   incremental: columns and rows append (appended rows just grow the
+   basis with their slack or a fresh artificial and invalidate the
+   factorization — no O(m^2) border extension), right-hand sides may
+   change in place, and the next [reoptimize] starts from the previous
+   basis — primal if still feasible, a bounded-variable dual simplex
+   under the last optimal cost vector if not, and a cold two-phase
+   rebuild as the fallback of last resort. *)
 
 type kind =
   | Structural
@@ -46,6 +55,8 @@ type mstats = {
   mutable m_warm : bool;
   mutable m_reused : int;
   mutable m_colds : int;
+  mutable m_refactors : int;
+  mutable m_eta_max : int;
 }
 
 type t = {
@@ -53,6 +64,8 @@ type t = {
   (* per column *)
   mutable kind : kind array;
   mutable cost : float array;
+  mutable ub : float array; (* upper bound, [infinity] when none *)
+  mutable at_upper : bool array; (* nonbasic at its upper bound *)
   mutable dead : bool array; (* retired artificials: never eligible to enter *)
   mutable in_basis : int array; (* basic in this row, or -1 *)
   mutable art_entry : (int * float) array; (* row of the artificial, or (-1,_) *)
@@ -63,22 +76,41 @@ type t = {
   (* factorization *)
   mutable have_basis : bool;
   mutable basis : int array; (* per row: the basic column *)
-  mutable binv : float array array;
+  mutable factor : Lu.t option; (* [None]: needs (re)factorization *)
   mutable xb : float array;
-  (* dual-repair certificate: the cost vector (and column count) the
-     current basis was last proven optimal for.  Reduced costs under it
-     stay non-negative across row appends (their basic columns are
-     cost-free) and rhs edits, which is exactly dual feasibility. *)
+  mutable xb_valid : bool;
+  (* dual certificate: the cost vector (and column count) the current
+     basis was last proven optimal for.  Reduced costs under it keep
+     their signs across row appends (the appended basic columns are
+     cost-free) and rhs edits, which is exactly dual feasibility — the
+     dual simplex restores primal feasibility under that certificate. *)
   mutable have_opt : bool;
   mutable opt_cost : float array;
+  mutable opt_ncols : int;
   stats : mstats;
 }
+
+(* Both knobs are set only from (sequential) tests; solver domains treat
+   them as read-only configuration. *)
+let default_pivot_limit = 500_000
+
+let pivot_limit = ref default_pivot_limit
+
+let set_pivot_limit n = pivot_limit := max 1 n
+
+let default_refactor_interval = 64
+
+let refactor_interval = ref default_refactor_interval
+
+let set_refactor_interval n = refactor_interval := max 1 n
 
 let create () =
   {
     mat = Sparse.create ();
     kind = Array.make 8 Structural;
     cost = Array.make 8 0.0;
+    ub = Array.make 8 infinity;
+    at_upper = Array.make 8 false;
     dead = Array.make 8 false;
     in_basis = Array.make 8 (-1);
     art_entry = Array.make 8 (-1, 0.0);
@@ -87,11 +119,21 @@ let create () =
     slack_of = Array.make 8 (-1);
     have_basis = false;
     basis = [||];
-    binv = [||];
+    factor = None;
     xb = [||];
+    xb_valid = false;
     have_opt = false;
     opt_cost = [||];
-    stats = { m_pivots = 0; m_warm = false; m_reused = 0; m_colds = 0 };
+    opt_ncols = 0;
+    stats =
+      {
+        m_pivots = 0;
+        m_warm = false;
+        m_reused = 0;
+        m_colds = 0;
+        m_refactors = 0;
+        m_eta_max = 0;
+      };
   }
 
 let grow (type a) (a : a array) n (fill : a) : a array =
@@ -106,17 +148,24 @@ let register_col t k =
   let c = Sparse.add_col t.mat in
   t.kind <- grow t.kind (c + 1) Structural;
   t.cost <- grow t.cost (c + 1) 0.0;
+  t.ub <- grow t.ub (c + 1) infinity;
+  t.at_upper <- grow t.at_upper (c + 1) false;
   t.dead <- grow t.dead (c + 1) false;
   t.in_basis <- grow t.in_basis (c + 1) (-1);
   t.art_entry <- grow t.art_entry (c + 1) (-1, 0.0);
   t.kind.(c) <- k;
   t.cost.(c) <- 0.0;
+  t.ub.(c) <- infinity;
+  t.at_upper.(c) <- false;
   t.dead.(c) <- false;
   t.in_basis.(c) <- -1;
   t.art_entry.(c) <- (-1, 0.0);
   c
 
-let add_col t = register_col t Structural
+let add_col ?(ub = infinity) t =
+  let c = register_col t Structural in
+  t.ub.(c) <- ub;
+  c
 
 (* Artificial columns live outside the CSR rows (a row's stored entries
    are its real coefficients); their single entry is kept aside and every
@@ -144,46 +193,67 @@ let num_rows t = Sparse.nrows t.mat
 
 let num_cols t = Sparse.ncols t.mat
 
-(* Border extension: append row [i] to the factorization with [bcol]
-   (coefficient [sigma] in row [i], zero cost) as its basic column.
-   With B' = [[B, 0], [r_B, sigma]] the inverse is
-   [[B^-1, 0], [-r_B B^-1 / sigma, 1/sigma]], and the new basic value is
-   (b_i - r_B . x_B) / sigma — no refactorization, O(m^2). *)
-let extend_basis t i ~bcol ~sigma =
-  let m = Array.length t.basis in
-  let u = Array.make (m + 1) 0.0 in
-  let v = ref t.rhs.(i) in
-  Sparse.iter_row t.mat i (fun c a ->
-      let ib = t.in_basis.(c) in
-      if ib >= 0 then begin
-        v := !v -. (a *. t.xb.(ib));
-        let bi = t.binv.(ib) in
-        for k = 0 to m - 1 do
-          u.(k) <- u.(k) +. (a *. bi.(k))
-        done
-      end);
-  let nb = Array.make (m + 1) [||] in
-  for r = 0 to m - 1 do
-    let row = Array.make (m + 1) 0.0 in
-    Array.blit t.binv.(r) 0 row 0 m;
-    nb.(r) <- row
+(* An artificial's only feasible value is 0, so outside phase 1 it is a
+   bounded column with ub 0: the ratio test then refuses to let a basic
+   artificial grow (a degenerate pivot expels it instead), and the dual
+   simplex treats a nonzero one — e.g. the residual of a freshly
+   appended Eq row — as a bound violation to repair.  During phase 1 the
+   bound must be off: artificials legitimately start at |b|. *)
+let col_ub t ~phase1 j =
+  if t.kind.(j) = Artificial then if phase1 then infinity else 0.0
+  else t.ub.(j)
+
+exception Iteration_limit
+
+(* Internal: the factorization (or a pivot on it) went numerically bad.
+   Warm paths fall back to a cold rebuild; a cold rebuild that still
+   trips it gives up as {!Iteration_limit}. *)
+exception Numerical_trouble
+
+let get_factor t =
+  match t.factor with
+  | Some lu -> lu
+  | None -> invalid_arg "Simplex: no factorization"
+
+let refactor_now t =
+  let m = num_rows t in
+  match Lu.factorize ~m ~col:(fun k f -> iter_col_entries t t.basis.(k) f) with
+  | None -> raise Numerical_trouble
+  | Some lu ->
+    t.factor <- Some lu;
+    t.stats.m_refactors <- t.stats.m_refactors + 1;
+    t.xb_valid <- false
+
+(* Effective rhs: columns nonbasic at their bound contribute u_j A_j. *)
+let compute_beff t =
+  let m = num_rows t in
+  let b = Array.sub t.rhs 0 m in
+  for j = 0 to num_cols t - 1 do
+    if t.at_upper.(j) then begin
+      let u = t.ub.(j) in
+      iter_col_entries t j (fun r a -> b.(r) <- b.(r) -. (u *. a))
+    end
   done;
-  let last = Array.make (m + 1) 0.0 in
-  for k = 0 to m - 1 do
-    last.(k) <- -.u.(k) /. sigma
-  done;
-  last.(m) <- 1.0 /. sigma;
-  nb.(m) <- last;
-  t.binv <- nb;
-  let xb = Array.make (m + 1) 0.0 in
-  Array.blit t.xb 0 xb 0 m;
-  xb.(m) <- !v /. sigma;
-  t.xb <- xb;
-  let basis = Array.make (m + 1) 0 in
-  Array.blit t.basis 0 basis 0 m;
-  basis.(m) <- bcol;
-  t.basis <- basis;
-  t.in_basis.(bcol) <- m
+  b
+
+let ensure_ready t =
+  (match t.factor with
+  | Some lu when Lu.size lu = num_rows t -> ()
+  | Some _ | None -> refactor_now t);
+  if not t.xb_valid then begin
+    t.xb <- Lu.ftran (get_factor t) (compute_beff t);
+    t.xb_valid <- true
+  end
+
+let maybe_refactor t =
+  let lu = get_factor t in
+  if
+    Lu.eta_count lu >= !refactor_interval
+    || Lu.eta_nnz lu > (2 * Lu.factor_nnz lu) + num_rows t
+  then begin
+    refactor_now t;
+    ensure_ready t
+  end
 
 let add_row t entries relation rhs_v =
   let slack =
@@ -203,23 +273,29 @@ let add_row t entries relation rhs_v =
   t.rhs.(i) <- rhs_v;
   t.slack_of.(i) <- (match slack with Some (c, _) -> c | None -> -1);
   if t.have_basis then begin
-    match slack with
-    | Some (c, sigma) -> extend_basis t i ~bcol:c ~sigma
-    | None ->
-      let c = new_artificial t ~row:i ~coeff:1.0 in
-      extend_basis t i ~bcol:c ~sigma:1.0
+    (* The appended row's slack (or a fresh artificial for Eq) joins the
+       basis; the factorization is simply invalidated and rebuilt lazily
+       at the next solve — no O(m^2) border extension. *)
+    let bcol =
+      match slack with
+      | Some (c, _) -> c
+      | None -> new_artificial t ~row:i ~coeff:1.0
+    in
+    let m = Array.length t.basis in
+    let basis = Array.make (m + 1) 0 in
+    Array.blit t.basis 0 basis 0 m;
+    basis.(m) <- bcol;
+    t.basis <- basis;
+    t.in_basis.(bcol) <- m;
+    t.factor <- None;
+    t.xb_valid <- false
   end;
   i
 
 let set_rhs t i v =
-  let delta = v -. t.rhs.(i) in
-  t.rhs.(i) <- v;
-  if t.have_basis && delta <> 0.0 then begin
-    (* x_B += B^-1 (delta e_i), one column of the inverse. *)
-    let m = Array.length t.basis in
-    for k = 0 to m - 1 do
-      t.xb.(k) <- t.xb.(k) +. (t.binv.(k).(i) *. delta)
-    done
+  if v <> t.rhs.(i) then begin
+    t.rhs.(i) <- v;
+    t.xb_valid <- false
   end
 
 let set_objective t terms =
@@ -228,70 +304,73 @@ let set_objective t terms =
 
 let value t c =
   let i = t.in_basis.(c) in
-  if i >= 0 then t.xb.(i) else 0.0
+  if i >= 0 then t.xb.(i) else if t.at_upper.(c) then t.ub.(c) else 0.0
+
+let is_at_upper t c = t.at_upper.(c)
 
 let basic_objective t cost =
   let obj = ref 0.0 in
   for i = 0 to Array.length t.basis - 1 do
     obj := !obj +. (cost.(t.basis.(i)) *. t.xb.(i))
   done;
+  for j = 0 to num_cols t - 1 do
+    if t.at_upper.(j) then obj := !obj +. (cost.(j) *. t.ub.(j))
+  done;
   !obj
 
 let dual_y t cost =
   let m = Array.length t.basis in
-  let y = Array.make m 0.0 in
+  let cb = Array.make m 0.0 in
   for i = 0 to m - 1 do
-    let cb = cost.(t.basis.(i)) in
-    if cb <> 0.0 then begin
-      let bi = t.binv.(i) in
-      for k = 0 to m - 1 do
-        y.(k) <- y.(k) +. (cb *. bi.(k))
-      done
-    end
+    cb.(i) <- cost.(t.basis.(i))
   done;
-  y
+  Lu.btran (get_factor t) cb
 
 let compute_direction t j =
-  let m = Array.length t.basis in
-  let w = Array.make m 0.0 in
-  iter_col_entries t j (fun r a ->
-      for i = 0 to m - 1 do
-        w.(i) <- w.(i) +. (t.binv.(i).(r) *. a)
-      done);
-  w
+  let m = num_rows t in
+  let a = Array.make m 0.0 in
+  iter_col_entries t j (fun r v -> a.(r) <- a.(r) +. v);
+  Lu.ftran (get_factor t) a
 
-let do_pivot t ~row ~col ~w =
+(* Row [r] of B^-1 as a row-space vector: rho = B^-T e_r, so that
+   rho . A_j is entry [r] of the pivot direction for column [j]. *)
+let btran_unit t r =
   let m = Array.length t.basis in
-  let piv = w.(row) in
-  let br = t.binv.(row) in
-  let inv = 1.0 /. piv in
-  for k = 0 to m - 1 do
-    br.(k) <- br.(k) *. inv
-  done;
-  t.xb.(row) <- t.xb.(row) *. inv;
+  let e = Array.make m 0.0 in
+  e.(r) <- 1.0;
+  Lu.btran (get_factor t) e
+
+(* Basis change at position [row]: entering column [col] at value
+   [enter_value], the other basic values having moved by
+   [-. s *. delta *. w]; the leaving column lands at 0 or, when
+   [leave_upper], at its bound. *)
+let do_pivot t ~row ~col ~w ~s ~delta ~enter_value ~leave_upper =
+  let m = Array.length t.basis in
   for i = 0 to m - 1 do
-    if i <> row then begin
-      let f = w.(i) in
-      if abs_float f > 1e-12 then begin
-        let bi = t.binv.(i) in
-        for k = 0 to m - 1 do
-          bi.(k) <- bi.(k) -. (f *. br.(k))
-        done;
-        t.xb.(i) <- t.xb.(i) -. (f *. t.xb.(row))
-      end
-    end
+    if i <> row then t.xb.(i) <- t.xb.(i) -. (s *. delta *. w.(i))
   done;
-  t.in_basis.(t.basis.(row)) <- -1;
+  let leaving = t.basis.(row) in
+  t.in_basis.(leaving) <- -1;
+  t.at_upper.(leaving) <- leave_upper && t.kind.(leaving) <> Artificial;
   t.basis.(row) <- col;
   t.in_basis.(col) <- row;
-  t.stats.m_pivots <- t.stats.m_pivots + 1
+  t.at_upper.(col) <- false;
+  t.xb.(row) <- enter_value;
+  let lu = get_factor t in
+  Lu.update lu ~r:row ~w;
+  t.stats.m_pivots <- t.stats.m_pivots + 1;
+  t.stats.m_eta_max <- max t.stats.m_eta_max (Lu.eta_count lu);
+  maybe_refactor t
 
-exception Iteration_limit
-
-(* Primal simplex on the current factorization, minimizing [cost].
-   Dantzig pricing (most negative reduced cost) with a permanent switch
-   to Bland's rule after a long degenerate streak, which restores the
-   termination guarantee.  Returns [None] when unbounded. *)
+(* Primal simplex on the current factorization, minimizing [cost], with
+   bounded variables: a nonbasic column may enter rising from 0 (reduced
+   cost < 0) or falling from its bound (reduced cost > 0), and the ratio
+   test admits three events — a basic value hitting 0, a basic value
+   hitting its own bound (it leaves at the bound), or the entering
+   column traversing its whole range (a bound flip, no basis change).
+   Dantzig pricing with a permanent switch to Bland's rule after a long
+   degenerate streak, which restores the termination guarantee.  Returns
+   [None] when unbounded. *)
 let primal t ~cost ~phase1 =
   let ncols = num_cols t in
   let bland = ref false in
@@ -305,17 +384,18 @@ let primal t ~cost ~phase1 =
   in
   let rec loop () =
     incr iters;
-    if !iters > 500_000 then raise Iteration_limit;
+    if !iters > !pivot_limit then raise Iteration_limit;
     let y = dual_y t cost in
     let best_j = ref (-1) in
-    let best_d = ref (-.eps) in
+    let best_score = ref eps in
     (try
        for j = 0 to ncols - 1 do
          if allowed j then begin
            let d = cost.(j) -. col_dot t j y in
-           if d < !best_d then begin
+           let score = if t.at_upper.(j) then d else -.d in
+           if score > !best_score then begin
              best_j := j;
-             best_d := d;
+             best_score := score;
              if !bland then raise Exit
            end
          end
@@ -324,47 +404,86 @@ let primal t ~cost ~phase1 =
     if !best_j < 0 then Some (basic_objective t cost)
     else begin
       let j = !best_j in
+      let from_upper = t.at_upper.(j) in
+      let s = if from_upper then -1.0 else 1.0 in
       let w = compute_direction t j in
       let best_row = ref (-1) in
       let best_ratio = ref infinity in
+      let leave_upper = ref false in
+      let uq = col_ub t ~phase1 j in
+      if uq < infinity then best_ratio := uq (* bound flip, no basis change *);
+      let better ratio i =
+        ratio < !best_ratio -. eps
+        || ratio < !best_ratio +. eps
+           && !best_row >= 0
+           && t.basis.(i) < t.basis.(!best_row)
+      in
       for i = 0 to m () - 1 do
-        if w.(i) > eps then begin
-          let ratio = t.xb.(i) /. w.(i) in
-          if
-            ratio < !best_ratio -. eps
-            || (ratio < !best_ratio +. eps
-               && !best_row >= 0
-               && t.basis.(i) < t.basis.(!best_row))
-          then begin
+        let swi = s *. w.(i) in
+        if swi > eps then begin
+          (* basic value falling toward 0 *)
+          let ratio = t.xb.(i) /. swi in
+          if better ratio i then begin
             best_row := i;
-            best_ratio := ratio
+            best_ratio := ratio;
+            leave_upper := false
+          end
+        end
+        else if swi < -.eps then begin
+          (* basic value rising toward its own bound *)
+          let ubi = col_ub t ~phase1 t.basis.(i) in
+          if ubi < infinity then begin
+            let ratio = (ubi -. t.xb.(i)) /. -.swi in
+            if better ratio i then begin
+              best_row := i;
+              best_ratio := ratio;
+              leave_upper := true
+            end
           end
         end
       done;
-      if !best_row < 0 then None
+      if !best_ratio = infinity then None
       else begin
-        if !best_ratio <= feas_tol then begin
+        let delta = max 0.0 !best_ratio in
+        if delta <= feas_tol then begin
           incr degen;
           if !degen > 100 + (2 * m ()) then bland := true
         end
         else degen := 0;
-        do_pivot t ~row:!best_row ~col:j ~w;
+        if !best_row < 0 then begin
+          (* bound flip: x_j jumps between 0 and u_j *)
+          for i = 0 to m () - 1 do
+            t.xb.(i) <- t.xb.(i) -. (s *. delta *. w.(i))
+          done;
+          t.at_upper.(j) <- not from_upper;
+          t.stats.m_pivots <- t.stats.m_pivots + 1
+        end
+        else
+          do_pivot t ~row:!best_row ~col:j ~w ~s ~delta
+            ~enter_value:(if from_upper then uq -. delta else delta)
+            ~leave_upper:!leave_upper;
         loop ()
       end
     end
   in
   loop ()
 
-(* Dual simplex under the last proven-optimal cost vector: drives the
-   basic values back to feasibility while reduced costs stay >= 0.
+(* Bounded-variable dual simplex under the last proven-optimal cost
+   vector: picks the basic variable most outside its bounds as leaving,
+   then the entering column by the dual ratio test, so reduced costs
+   keep their certificate signs while primal feasibility is restored.
    Columns added after that optimum are excluded from entering (their
    reduced costs under the old prices are unknown), as are artificials.
+   A certificate violation beyond tolerance — a nonbasic column whose
+   reduced cost already has the wrong sign — aborts to a cold start
+   instead of entering that column at ratio 0 (the old [max 0.0] clamp
+   did exactly that and forced silent cold restarts downstream).
    Returns false — caller cold-restarts — when the restricted step has no
    eligible pivot; a restricted dead end says nothing about the full
    problem, so it must never be reported as infeasibility. *)
-let dual_repair t =
-  let nold = Array.length t.opt_cost in
-  let cost_of j = if j < nold then t.opt_cost.(j) else 0.0 in
+let dual_simplex t =
+  let nold = min t.opt_ncols (num_cols t) in
+  let cost_of j = if j < Array.length t.opt_cost then t.opt_cost.(j) else 0.0 in
   let full_cost = Array.init (num_cols t) cost_of in
   let m = Array.length t.basis in
   let cap = 200 + (8 * m) in
@@ -374,40 +493,83 @@ let dual_repair t =
     if !iters > cap then false
     else begin
       let r = ref (-1) in
-      let worst = ref (-.feas_tol) in
+      let worst = ref feas_tol in
+      let target = ref 0.0 in
+      let above = ref false in
       for i = 0 to m - 1 do
-        if t.xb.(i) < !worst then begin
+        let ubi = col_ub t ~phase1:false t.basis.(i) in
+        if -.t.xb.(i) > !worst then begin
           r := i;
-          worst := t.xb.(i)
+          worst := -.t.xb.(i);
+          target := 0.0;
+          above := false
+        end;
+        if t.xb.(i) -. ubi > !worst then begin
+          r := i;
+          worst := t.xb.(i) -. ubi;
+          target := ubi;
+          above := true
         end
       done;
       if !r < 0 then true
       else begin
         let r = !r in
+        let target = !target and above = !above in
+        let rho = btran_unit t r in
         let y = dual_y t full_cost in
-        let br = t.binv.(r) in
         let best_j = ref (-1) in
         let best_ratio = ref infinity in
+        let best_alpha = ref 0.0 in
+        let certified = ref true in
         for j = 0 to nold - 1 do
-          if (not t.dead.(j)) && t.in_basis.(j) < 0 && t.kind.(j) <> Artificial
+          if
+            !certified
+            && (not t.dead.(j))
+            && t.in_basis.(j) < 0
+            && t.kind.(j) <> Artificial
           then begin
-            let alpha = ref 0.0 in
-            iter_col_entries t j (fun row a -> alpha := !alpha +. (br.(row) *. a));
-            if !alpha < -.eps then begin
-              let d = max 0.0 (cost_of j -. col_dot t j y) in
-              let ratio = d /. -. !alpha in
-              if ratio < !best_ratio -. 1e-12 then begin
-                best_j := j;
-                best_ratio := ratio
+            let d = cost_of j -. col_dot t j y in
+            let upper = t.at_upper.(j) in
+            if (not upper) && d < -.dual_tol then certified := false
+            else if upper && d > dual_tol then certified := false
+            else begin
+              let alpha = col_dot t j rho in
+              let eligible =
+                if above then if upper then alpha < -.eps else alpha > eps
+                else if upper then alpha > eps
+                else alpha < -.eps
+              in
+              if eligible then begin
+                (* snap within-tolerance noise, never a real violation *)
+                let d = if upper then min 0.0 d else max 0.0 d in
+                let ratio = abs_float d /. abs_float alpha in
+                if
+                  ratio < !best_ratio -. 1e-12
+                  || ratio < !best_ratio +. 1e-12
+                     && abs_float alpha > abs_float !best_alpha
+                then begin
+                  best_j := j;
+                  best_ratio := ratio;
+                  best_alpha := alpha
+                end
               end
             end
           end
         done;
-        if !best_j < 0 then false
+        if (not !certified) || !best_j < 0 then false
         else begin
-          let w = compute_direction t !best_j in
-          do_pivot t ~row:r ~col:!best_j ~w;
-          loop ()
+          let q = !best_j in
+          let w = compute_direction t q in
+          let wr = w.(r) in
+          if abs_float wr < eps then false
+          else begin
+            let delta = (t.xb.(r) -. target) /. wr in
+            let from_upper = t.at_upper.(q) in
+            do_pivot t ~row:r ~col:q ~w ~s:1.0 ~delta
+              ~enter_value:((if from_upper then t.ub.(q) else 0.0) +. delta)
+              ~leave_upper:above;
+            loop ()
+          end
         end
       end
     end
@@ -418,14 +580,13 @@ let primal_feasible t =
   let ok = ref true in
   Array.iteri
     (fun i b ->
-      if t.xb.(i) < -.feas_tol then ok := false
-      else if t.kind.(b) = Artificial && abs_float t.xb.(i) > feas_tol then
-        ok := false)
+      let ubi = col_ub t ~phase1:false b in
+      if t.xb.(i) < -.feas_tol || t.xb.(i) > ubi +. feas_tol then ok := false)
     t.basis;
   !ok
 
-(* Verify the claimed optimum against the original rows; catches drift
-   accumulated by long incremental pivot sequences. *)
+(* Verify the claimed optimum against the original rows and bounds;
+   catches drift accumulated by long incremental pivot sequences. *)
 let residuals_ok t =
   let ok = ref true in
   for i = 0 to num_rows t - 1 do
@@ -434,73 +595,86 @@ let residuals_ok t =
       Sparse.iter_row t.mat i (fun c a ->
           if t.kind.(c) = Structural then s := !s +. (a *. value t c));
       let slack = 1e-6 *. (1.0 +. abs_float t.rhs.(i)) in
-      (match t.rel.(i) with
+      match t.rel.(i) with
       | Le -> if !s > t.rhs.(i) +. slack then ok := false
       | Ge -> if !s < t.rhs.(i) -. slack then ok := false
-      | Eq -> if abs_float (!s -. t.rhs.(i)) > slack then ok := false)
+      | Eq -> if abs_float (!s -. t.rhs.(i)) > slack then ok := false
     end
   done;
+  if !ok then
+    for j = 0 to num_cols t - 1 do
+      if t.kind.(j) = Structural then begin
+        let v = value t j in
+        if v < -.feas_tol || v > t.ub.(j) +. feas_tol then ok := false
+      end
+    done;
   !ok
 
 (* Pivot basic artificials out after phase 1 where a live column with a
-   nonzero tableau entry exists; rows with none are redundant and the
-   artificial stays basic at zero, retired so it can never re-enter. *)
+   nonzero tableau entry exists (a degenerate swap, the entering column
+   staying at its current activity); rows with none are redundant and
+   the artificial stays basic at zero, retired so it can never
+   re-enter. *)
 let expel_artificials t =
   let ncols = num_cols t in
   for i = 0 to Array.length t.basis - 1 do
     if t.kind.(t.basis.(i)) = Artificial then begin
-      let br = t.binv.(i) in
+      let rho = btran_unit t i in
       let found = ref (-1) in
       (try
          for j = 0 to ncols - 1 do
            if (not t.dead.(j)) && t.in_basis.(j) < 0 && t.kind.(j) <> Artificial
-           then begin
-             let alpha = ref 0.0 in
-             iter_col_entries t j (fun r a -> alpha := !alpha +. (br.(r) *. a));
-             if abs_float !alpha > 1e-7 then begin
+           then
+             if abs_float (col_dot t j rho) > 1e-7 then begin
                found := j;
                raise Exit
              end
-           end
          done
        with Exit -> ());
       if !found >= 0 then begin
-        let w = compute_direction t !found in
-        do_pivot t ~row:i ~col:!found ~w
+        let j = !found in
+        let w = compute_direction t j in
+        if abs_float w.(i) > 1e-7 then begin
+          let from_upper = t.at_upper.(j) in
+          let s = if from_upper then -1.0 else 1.0 in
+          do_pivot t ~row:i ~col:j ~w ~s ~delta:0.0
+            ~enter_value:(if from_upper then t.ub.(j) else 0.0)
+            ~leave_upper:false
+        end
       end
     end
   done
 
 (* Cold start: rebuild the basis from slacks where the sign works, fresh
-   artificials elsewhere, then the classic two phases. *)
+   artificials elsewhere, then the classic two phases.  All bounded
+   columns start at their lower bound. *)
 let cold_solve t =
-  (* Retire every artificial from previous starts. *)
   for c = 0 to num_cols t - 1 do
     if t.kind.(c) = Artificial then t.dead.(c) <- true;
-    t.in_basis.(c) <- -1
+    t.in_basis.(c) <- -1;
+    t.at_upper.(c) <- false
   done;
   let m = num_rows t in
   t.basis <- Array.make m 0;
-  t.binv <- Array.init m (fun _ -> Array.make m 0.0);
-  t.xb <- Array.make m 0.0;
   let nart = ref 0 in
   for i = 0 to m - 1 do
     let b = t.rhs.(i) in
-    let bcol, sigma =
+    let bcol =
       match t.rel.(i) with
-      | Le when b >= 0.0 -> (t.slack_of.(i), 1.0)
-      | Ge when b <= 0.0 -> (t.slack_of.(i), -1.0)
+      | Le when b >= 0.0 -> t.slack_of.(i)
+      | Ge when b <= 0.0 -> t.slack_of.(i)
       | Le | Ge | Eq ->
         incr nart;
         let coeff = if b >= 0.0 then 1.0 else -1.0 in
-        (new_artificial t ~row:i ~coeff, coeff)
+        new_artificial t ~row:i ~coeff
     in
     t.basis.(i) <- bcol;
-    t.in_basis.(bcol) <- i;
-    t.binv.(i).(i) <- 1.0 /. sigma;
-    t.xb.(i) <- b /. sigma
+    t.in_basis.(bcol) <- i
   done;
+  t.factor <- None;
+  t.xb_valid <- false;
   t.have_basis <- true;
+  ensure_ready t;
   let phase1_ok =
     if !nart = 0 then true
     else begin
@@ -536,6 +710,8 @@ let reoptimize t =
   s.m_warm <- false;
   s.m_reused <- 0;
   s.m_colds <- 0;
+  s.m_refactors <- 0;
+  s.m_eta_max <- 0;
   let go_cold () =
     s.m_colds <- s.m_colds + 1;
     s.m_warm <- false;
@@ -543,52 +719,58 @@ let reoptimize t =
     cold_solve t
   in
   let result =
-    if not t.have_basis then begin
-      match cold_solve t with
-      | exception Iteration_limit -> raise Iteration_limit
-      | r -> r
-    end
-    else begin
-      let warm_result =
-        if primal_feasible t then begin
-          s.m_warm <- true;
-          s.m_reused <- count_reused t;
-          match primal t ~cost:t.cost ~phase1:false with
-          | None -> Some `Unbounded
-          | Some obj -> Some (`Optimal obj)
-          | exception Iteration_limit -> None
-        end
-        else if t.have_opt then begin
-          s.m_warm <- true;
-          s.m_reused <- count_reused t;
-          match dual_repair t with
-          | exception Iteration_limit -> None
-          | false -> None
-          | true ->
-            if not (primal_feasible t) then None
-            else begin
+    try
+      if not t.have_basis then cold_solve t
+      else begin
+        let warm_result =
+          match
+            ensure_ready t;
+            if primal_feasible t then begin
+              s.m_warm <- true;
+              s.m_reused <- count_reused t;
               match primal t ~cost:t.cost ~phase1:false with
               | None -> Some `Unbounded
               | Some obj -> Some (`Optimal obj)
-              | exception Iteration_limit -> None
             end
-        end
-        else None
-      in
-      match warm_result with
-      | Some (`Optimal obj) when residuals_ok t -> `Optimal obj
-      | Some (`Optimal _) -> go_cold ()
-      | Some `Unbounded -> `Unbounded
-      | None -> go_cold ()
-    end
+            else if t.have_opt then begin
+              s.m_warm <- true;
+              s.m_reused <- count_reused t;
+              if dual_simplex t && primal_feasible t then begin
+                match primal t ~cost:t.cost ~phase1:false with
+                | None -> Some `Unbounded
+                | Some obj -> Some (`Optimal obj)
+              end
+              else None
+            end
+            else None
+          with
+          | r -> r
+          | exception Numerical_trouble -> None
+          | exception Iteration_limit -> None
+        in
+        match warm_result with
+        | Some (`Optimal obj) when residuals_ok t -> `Optimal obj
+        | Some (`Optimal _) -> go_cold ()
+        | Some `Unbounded -> `Unbounded
+        | None -> go_cold ()
+      end
+    with Iteration_limit | Numerical_trouble ->
+      (* the cold path gave up: leave nothing half-built behind, the
+         next solve must start from scratch *)
+      t.have_basis <- false;
+      t.have_opt <- false;
+      t.factor <- None;
+      raise Iteration_limit
   in
   (match result with
   | `Optimal _ ->
     t.have_opt <- true;
-    t.opt_cost <- Array.sub t.cost 0 (num_cols t)
+    t.opt_cost <- Array.sub t.cost 0 (num_cols t);
+    t.opt_ncols <- num_cols t
   | `Unbounded | `Infeasible ->
     t.have_opt <- false;
-    t.have_basis <- false);
+    t.have_basis <- false;
+    t.factor <- None);
   result
 
 let last_stats t =
@@ -597,24 +779,56 @@ let last_stats t =
     warm = t.stats.m_warm;
     reused_basis = t.stats.m_reused;
     cold_restarts = t.stats.m_colds;
+    refactors = t.stats.m_refactors;
+    eta_len = t.stats.m_eta_max;
   }
 
 let row_duals t =
-  if t.have_basis && t.have_opt then dual_y t t.cost
+  if t.have_basis && t.have_opt then begin
+    ensure_ready t;
+    dual_y t t.cost
+  end
   else Array.make (num_rows t) 0.0
 
 let reduced_costs t =
   if not (t.have_basis && t.have_opt) then Array.make (num_cols t) 0.0
   else begin
+    ensure_ready t;
     let y = dual_y t t.cost in
     Array.init (num_cols t) (fun j ->
         if t.in_basis.(j) >= 0 then 0.0 else t.cost.(j) -. col_dot t j y)
   end
 
-let solve_tableau ~num_vars ~objective constrs =
+let dual_feasible t =
+  if not (t.have_basis && t.have_opt) then true
+  else begin
+    ensure_ready t;
+    let cost_of j =
+      if j < Array.length t.opt_cost then t.opt_cost.(j) else 0.0
+    in
+    let full_cost = Array.init (num_cols t) cost_of in
+    let y = dual_y t full_cost in
+    let ok = ref true in
+    for j = 0 to min t.opt_ncols (num_cols t) - 1 do
+      if (not t.dead.(j)) && t.in_basis.(j) < 0 && t.kind.(j) <> Artificial
+      then begin
+        let d = cost_of j -. col_dot t j y in
+        if t.at_upper.(j) then begin
+          if d > 1e-6 then ok := false
+        end
+        else if d < -1e-6 then ok := false
+      end
+    done;
+    !ok
+  end
+
+let solve_tableau ?ub ~num_vars ~objective constrs =
   let t = create () in
-  for _ = 1 to num_vars do
-    ignore (add_col t)
+  for v = 0 to num_vars - 1 do
+    let u =
+      match ub with Some a when v < Array.length a -> a.(v) | _ -> infinity
+    in
+    ignore (add_col ~ub:u t)
   done;
   List.iter (fun c -> ignore (add_row t c.row c.relation c.rhs)) constrs;
   set_objective t objective;
@@ -627,9 +841,9 @@ let solve_tableau ~num_vars ~objective constrs =
   in
   (outcome, last_stats t, t)
 
-let solve_counted ~num_vars ~objective constrs =
-  let outcome, stats, _ = solve_tableau ~num_vars ~objective constrs in
+let solve_counted ?ub ~num_vars ~objective constrs =
+  let outcome, stats, _ = solve_tableau ?ub ~num_vars ~objective constrs in
   (outcome, stats)
 
-let solve ~num_vars ~objective constrs =
-  fst (solve_counted ~num_vars ~objective constrs)
+let solve ?ub ~num_vars ~objective constrs =
+  fst (solve_counted ?ub ~num_vars ~objective constrs)

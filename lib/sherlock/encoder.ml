@@ -15,6 +15,10 @@ type lp_stats = {
       (* window sides mapped onto an existing hinge by the incremental
          encoder (cumulative over the state's lifetime) *)
   lp_cold_restarts : int;
+  lp_refactors : int;
+  lp_eta_len : int; (* longest basis eta file any solve reached *)
+  lp_bound_rows_saved : int;
+      (* cap rows the bounded-variable encoding kept out of the matrix *)
 }
 
 let zero_lp engine =
@@ -28,6 +32,9 @@ let zero_lp engine =
     lp_presolve_vars = 0;
     lp_merged_sides = 0;
     lp_cold_restarts = 0;
+    lp_refactors = 0;
+    lp_eta_len = 0;
+    lp_bound_rows_saved = 0;
   }
 
 let fold_lp acc (i : Problem.solve_info) =
@@ -40,6 +47,9 @@ let fold_lp acc (i : Problem.solve_info) =
     lp_presolve_rows = acc.lp_presolve_rows + i.presolve_removed_rows;
     lp_presolve_vars = acc.lp_presolve_vars + i.presolve_fixed_vars;
     lp_cold_restarts = acc.lp_cold_restarts + i.cold_restarts;
+    lp_refactors = acc.lp_refactors + i.refactors;
+    lp_eta_len = max acc.lp_eta_len i.eta_len;
+    lp_bound_rows_saved = max acc.lp_bound_rows_saved i.bound_rows_saved;
   }
 
 type solve_stats = {

@@ -44,6 +44,13 @@ type lp_stats = {
           hinge row (cumulative over the state's lifetime) *)
   lp_cold_restarts : int;
       (** warm attempts that fell back to a from-scratch basis *)
+  lp_refactors : int;  (** basis refactorizations across the solves *)
+  lp_eta_len : int;
+      (** longest product-form eta file any solve reached before a
+          refactorization *)
+  lp_bound_rows_saved : int;
+      (** cap rows the bounded-variable encoding kept out of the sparse
+          matrix (each [~ub] variable would otherwise be a row) *)
 }
 
 type solve_stats = {
@@ -52,8 +59,8 @@ type solve_stats = {
   objective : float;  (** [nan] when degraded *)
   solve_s : float;  (** wall-clock of this LP build + solve *)
   degraded : bool;
-      (** the LP came back infeasible / unbounded and the returned
-          verdicts are the carried-over [previous] ones *)
+      (** the LP came back infeasible / unbounded / aborted and the
+          returned verdicts are the carried-over [previous] ones *)
   lp : lp_stats;
   trace : Sherlock_trace.Metrics.t;
       (** snapshot of the cumulative trace metrics (runs, extraction,

@@ -99,12 +99,18 @@ let print_round_metrics ppf (rounds : Orchestrator.round_result list) =
     if l.lp_warm_solves > 0 then engine ^ "+warm" else engine
   in
   let pivots_cell (l : Encoder.lp_stats) =
-    if l.lp_pivots_saved > 0 then
-      Printf.sprintf "%d (-%d)" l.lp_pivots l.lp_pivots_saved
-    else string_of_int l.lp_pivots
+    let base =
+      if l.lp_pivots_saved > 0 then
+        Printf.sprintf "%d (-%d)" l.lp_pivots l.lp_pivots_saved
+      else string_of_int l.lp_pivots
+    in
+    if l.lp_refactors > 0 then
+      Printf.sprintf "%s f%d e%d" base l.lp_refactors l.lp_eta_len
+    else base
   in
   let presolve_cell (l : Encoder.lp_stats) =
-    Printf.sprintf "r%d v%d" l.lp_presolve_rows l.lp_presolve_vars
+    Printf.sprintf "r%d v%d b%d" l.lp_presolve_rows l.lp_presolve_vars
+      l.lp_bound_rows_saved
   in
   let prev = ref (Metrics.create ()) in
   List.iter

@@ -331,28 +331,295 @@ let test_presolve_empty_rows () =
   check Alcotest.bool "violated empty row is infeasible" true
     bad.Presolve.r_infeasible
 
+(* --- LU factorization --- *)
+
+(* Dense reference basis: [cols.(k).(row)] is the column at position k. *)
+let lu_col cols k f = Array.iteri (fun row v -> if v <> 0.0 then f row v) cols.(k)
+
+let mul_b cols x =
+  let m = Array.length cols in
+  let r = Array.make m 0.0 in
+  Array.iteri
+    (fun k col ->
+      Array.iteri (fun row v -> r.(row) <- r.(row) +. (v *. x.(k))) col)
+    cols;
+  r
+
+let mul_bt cols y =
+  Array.map
+    (fun col ->
+      let s = ref 0.0 in
+      Array.iteri (fun row v -> s := !s +. (v *. y.(row))) col;
+      !s)
+    cols
+
+let max_err a b =
+  let e = ref 0.0 in
+  Array.iteri (fun i v -> e := Float.max !e (abs_float (v -. b.(i)))) a;
+  !e
+
+let test_lu_roundtrip_known () =
+  (* Zero on the leading diagonal forces a row permutation. *)
+  let cols = [| [| 0.0; 2.0; 1.0 |]; [| 1.0; 1.0; 0.0 |]; [| 0.0; 3.0; 4.0 |] |] in
+  match Lu.factorize ~m:3 ~col:(lu_col cols) with
+  | None -> Alcotest.fail "nonsingular basis must factorize"
+  | Some t ->
+    check Alcotest.int "size" 3 (Lu.size t);
+    let b = [| 1.0; -2.0; 3.0 |] in
+    check Alcotest.bool "ftran solves B x = b" true
+      (max_err (mul_b cols (Lu.ftran t b)) b < 1e-9);
+    let c = [| 0.5; 1.0; -1.5 |] in
+    check Alcotest.bool "btran solves B^T y = c" true
+      (max_err (mul_bt cols (Lu.btran t c)) c < 1e-9)
+
+let test_lu_eta_update () =
+  let cols = [| [| 4.0; 1.0; 0.0 |]; [| 0.0; 3.0; 1.0 |]; [| 2.0; 0.0; 5.0 |] |] in
+  match Lu.factorize ~m:3 ~col:(lu_col cols) with
+  | None -> Alcotest.fail "factorize"
+  | Some t ->
+    let a = [| 1.0; 2.0; -1.0 |] in
+    let w = Lu.ftran t a in
+    check Alcotest.bool "pivot direction usable" true (abs_float w.(1) > 1e-9);
+    Lu.update t ~r:1 ~w;
+    check Alcotest.int "one eta term" 1 (Lu.eta_count t);
+    let cols' = [| cols.(0); a; cols.(2) |] in
+    let b = [| -1.0; 0.5; 2.0 |] in
+    check Alcotest.bool "ftran tracks the replaced column" true
+      (max_err (mul_b cols' (Lu.ftran t b)) b < 1e-9);
+    let c = [| 2.0; -1.0; 0.25 |] in
+    check Alcotest.bool "btran tracks the replaced column" true
+      (max_err (mul_bt cols' (Lu.btran t c)) c < 1e-9)
+
+let test_lu_singular () =
+  let cols = [| [| 1.0; 0.0 |]; [| 2.0; 0.0 |] |] in
+  match Lu.factorize ~m:2 ~col:(lu_col cols) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "rank-deficient basis must not factorize"
+
+let prop_lu_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* m = int_range 1 6 in
+      let* entries = list_repeat (m * m) (float_range (-2.0) 2.0) in
+      let* b = list_repeat m (float_range (-4.0) 4.0) in
+      let* r = int_range 0 (m - 1) in
+      let* newcol = list_repeat m (float_range (-2.0) 2.0) in
+      return (m, entries, b, r, newcol))
+  in
+  QCheck.Test.make ~name:"lu ftran/btran invert random bases (incl. eta update)"
+    ~count:300 (QCheck.make gen)
+    (fun (m, entries, b, r, newcol) ->
+      let e = Array.of_list entries in
+      (* Diagonal dominance keeps the random basis far from singular. *)
+      let cols =
+        Array.init m (fun k ->
+            Array.init m (fun row ->
+                e.((k * m) + row) +. if row = k then 8.0 else 0.0))
+      in
+      let b = Array.of_list b in
+      match Lu.factorize ~m ~col:(lu_col cols) with
+      | None -> false
+      | Some t ->
+        let ok =
+          max_err (mul_b cols (Lu.ftran t b)) b < 1e-6
+          && max_err (mul_bt cols (Lu.btran t b)) b < 1e-6
+        in
+        let a =
+          Array.init m (fun row ->
+              List.nth newcol row +. if row = r then 8.0 else 0.0)
+        in
+        let w = Lu.ftran t a in
+        if abs_float w.(r) < 1e-6 then ok
+        else begin
+          Lu.update t ~r ~w;
+          let cols' = Array.mapi (fun k c -> if k = r then a else c) cols in
+          ok
+          && max_err (mul_b cols' (Lu.ftran t b)) b < 1e-6
+          && max_err (mul_bt cols' (Lu.btran t b)) b < 1e-6
+        end)
+
+(* --- Engine behavior: refactorization, pivot cap, dual repair --- *)
+
+(* min -sum x_i over a 6-cycle of pairwise caps: needs a handful of
+   pivots under any pricing order, with optimum -3 (alternate 1, 0). *)
+let pivoty_lp () =
+  let n = 6 in
+  let p = Problem.create () in
+  let xs = Array.init n (fun i -> Problem.add_var p (Printf.sprintf "x%d" i)) in
+  Array.iteri
+    (fun i x ->
+      Problem.add_le p Linexpr.(add (var x) (var xs.((i + 1) mod n))) 1.0)
+    xs;
+  Problem.add_objective p
+    (Linexpr.sum
+       (Array.to_list (Array.map (fun x -> Linexpr.var ~coeff:(-1.0) x) xs)));
+  p
+
+let test_refactor_threshold () =
+  Fun.protect
+    ~finally:(fun () ->
+      Simplex.set_refactor_interval Simplex.default_refactor_interval)
+    (fun () ->
+      Simplex.set_refactor_interval 1;
+      let p = pivoty_lp () in
+      Problem.set_engine p Problem.Sparse;
+      Problem.set_presolve p false;
+      match Problem.solve p with
+      | Problem.Solved obj, _ ->
+        check feq "optimum unchanged by refactorization" (-3.0) obj;
+        let info = Problem.last_info p in
+        check Alcotest.bool "refactorized at least once" true
+          (info.Problem.refactors >= 1);
+        check Alcotest.bool "eta file never exceeds the interval" true
+          (info.Problem.eta_len <= 1)
+      | _ -> Alcotest.fail "expected solution")
+
+(* The pivot cap surfaces as a non-raising [Aborted] status, and lifting
+   the cap fully recovers — including on a state whose warm basis was
+   invalidated by the abort. *)
+let test_pivot_cap_aborts_and_recovers () =
+  Fun.protect
+    ~finally:(fun () -> Simplex.set_pivot_limit Simplex.default_pivot_limit)
+    (fun () ->
+      Simplex.set_pivot_limit 1;
+      let p = pivoty_lp () in
+      (match Problem.solve p with
+      | Problem.Aborted, v -> check feq "aborted assignment is zero" 0.0 (v 0)
+      | _ -> Alcotest.fail "expected Aborted under a 1-pivot cap");
+      let q = pivoty_lp () in
+      (match Problem.solve_incremental q with
+      | Problem.Aborted, _ -> ()
+      | _ -> Alcotest.fail "expected Aborted (incremental)");
+      Simplex.set_pivot_limit Simplex.default_pivot_limit;
+      (match Problem.solve_incremental q with
+      | Problem.Solved obj, _ -> check feq "warm state recovered" (-3.0) obj
+      | _ -> Alcotest.fail "expected recovery after lifting the cap");
+      match Problem.solve (pivoty_lp ()) with
+      | Problem.Solved obj, _ -> check feq "one-shot recovered" (-3.0) obj
+      | _ -> Alcotest.fail "expected one-shot recovery")
+
+(* Appending a cut that chops off the optimum exercises the dual-simplex
+   repair: the reoptimize must stay warm (no cold restart) and leave the
+   basis dual-feasible under the certified cost vector. *)
+let test_dual_repair_after_cut () =
+  let outcome, _, s =
+    Simplex.solve_tableau ~num_vars:2
+      ~objective:[ (0, -1.0); (1, -1.0) ]
+      [
+        { Simplex.row = [ (0, 1.0); (1, 2.0) ]; relation = Simplex.Le; rhs = 4.0 };
+        { Simplex.row = [ (0, 3.0); (1, 1.0) ]; relation = Simplex.Le; rhs = 6.0 };
+      ]
+  in
+  (match outcome with
+  | Simplex.Optimal { objective; _ } -> check feq "initial optimum" (-2.8) objective
+  | _ -> Alcotest.fail "expected optimum");
+  ignore (Simplex.add_row s [ (0, 1.0); (1, 1.0) ] Simplex.Le 2.0);
+  (match Simplex.reoptimize s with
+  | `Optimal obj -> check feq "repaired optimum" (-2.0) obj
+  | _ -> Alcotest.fail "expected optimum after the cut");
+  let st = Simplex.last_stats s in
+  check Alcotest.bool "solved warm" true st.Simplex.warm;
+  check Alcotest.int "no cold restart" 0 st.Simplex.cold_restarts;
+  check Alcotest.bool "dual feasible under the certified costs" true
+    (Simplex.dual_feasible s)
+
+let test_dual_repair_with_bounds () =
+  let outcome, _, s =
+    Simplex.solve_tableau
+      ~ub:[| 1.0; infinity |]
+      ~num_vars:2
+      ~objective:[ (0, -2.0); (1, -1.0) ]
+      [ { Simplex.row = [ (0, 1.0); (1, 1.0) ]; relation = Simplex.Le; rhs = 1.5 } ]
+  in
+  (match outcome with
+  | Simplex.Optimal { objective; solution } ->
+    check feq "initial optimum" (-2.5) objective;
+    check feq "x at its bound" 1.0 solution.(0)
+  | _ -> Alcotest.fail "expected optimum");
+  ignore (Simplex.add_row s [ (0, 1.0); (1, 1.0) ] Simplex.Le 1.2);
+  (match Simplex.reoptimize s with
+  | `Optimal obj -> check feq "repaired optimum" (-2.2) obj
+  | _ -> Alcotest.fail "expected optimum after tightening");
+  check Alcotest.bool "dual feasible with a column at its bound" true
+    (Simplex.dual_feasible s);
+  check feq "x still at its bound" 1.0 (Simplex.value s 0);
+  check Alcotest.bool "x flagged at upper" true (Simplex.is_at_upper s 0)
+
+(* A capped variable and no other rows: the sparse engines solve it with
+   a bound flip on an empty basis; the dense oracle still sees the cap
+   as an explicit row. *)
+let test_bound_only_program () =
+  let make () =
+    let p = Problem.create () in
+    let x = Problem.add_var p ~ub:2.0 "x" in
+    Problem.add_objective p (Linexpr.var ~coeff:(-1.0) x);
+    (p, x)
+  in
+  List.iter
+    (fun engine ->
+      let p, x = make () in
+      Problem.set_engine p engine;
+      match Problem.solve p with
+      | Problem.Solved obj, v ->
+        check feq "objective" (-2.0) obj;
+        check feq "x at cap" 2.0 (v x)
+      | _ -> Alcotest.fail "expected solution")
+    [ Problem.Dense; Problem.Sparse ];
+  let p, x = make () in
+  match Problem.solve_incremental p with
+  | Problem.Solved obj, v ->
+    check feq "objective (incremental)" (-2.0) obj;
+    check feq "x at cap (incremental)" 2.0 (v x)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_bound_rows_saved () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~ub:1.0 "x" in
+  let y = Problem.add_var p "y" in
+  Problem.add_le p Linexpr.(add (var x) (var y)) 1.5;
+  Problem.add_objective p
+    Linexpr.(add (var ~coeff:(-2.0) x) (var ~coeff:(-1.0) y));
+  (match Problem.solve p with
+  | Problem.Solved _, _ -> ()
+  | _ -> Alcotest.fail "expected solution");
+  check Alcotest.int "cap kept out of the sparse matrix" 1
+    (Problem.last_info p).Problem.bound_rows_saved;
+  check Alcotest.int "but the cap is still a visible row" 2 (Problem.num_rows p)
+
 (* --- Engine equivalence --- *)
 
 let gen_lp =
   QCheck.Gen.(
     let* nvars = int_range 1 5 in
     let* nconstrs = int_range 1 6 in
+    (* Finite caps exercise the bounded-variable path: column bounds in
+       the sparse engines, explicit rows in the dense oracle. *)
+    let* ubs =
+      list_repeat nvars
+        (frequency [ (2, return infinity); (1, float_range 0.2 2.5) ])
+    in
     let* rows =
       list_repeat nconstrs
         (let* coeffs = list_repeat nvars (float_range (-3.0) 3.0) in
          let* rel = oneofl [ `Le; `Ge; `Eq ] in
-         let* rhs = float_range (-2.0) 6.0 in
+         (* The occasional zero rhs lands on degenerate bases — the
+            classic cycling trap for the ratio test. *)
+         let* rhs = frequency [ (5, float_range (-2.0) 6.0); (1, return 0.0) ] in
          return (coeffs, rel, rhs))
     in
     (* Non-negative costs keep the minimum bounded, so outcomes are
        Solved or Infeasible (Ge/Eq rows can cut off the whole orthant). *)
     let* obj = list_repeat nvars (float_range 0.0 2.0) in
-    return (nvars, rows, obj))
+    return (nvars, ubs, rows, obj))
 
-let build_problem (nvars, rows, obj) =
+let build_problem (nvars, ubs, rows, obj) =
   let p = Problem.create () in
+  let ubs = Array.of_list ubs in
   let xs =
-    Array.init nvars (fun i -> Problem.add_var p (Printf.sprintf "x%d" i))
+    Array.init nvars (fun i ->
+        let name = Printf.sprintf "x%d" i in
+        if Float.is_finite ubs.(i) then Problem.add_var p ~ub:ubs.(i) name
+        else Problem.add_var p name)
   in
   List.iter
     (fun (coeffs, rel, rhs) ->
@@ -404,7 +671,7 @@ let prop_warm_matches_oneshot =
   QCheck.Test.make ~name:"warm reoptimize matches one-shot solve" ~count:300
     (QCheck.make gen)
     (fun (lp, extra_coeffs, extra_rhs) ->
-      let nvars, _, _ = lp in
+      let nvars, _, _, _ = lp in
       let extra_expr () =
         Linexpr.sum
           (List.filteri (fun i _ -> i < nvars) extra_coeffs
@@ -580,6 +847,24 @@ let () =
             test_presolve_duplicate_hinge;
           Alcotest.test_case "forced variable fix" `Quick test_presolve_forced_fix;
           Alcotest.test_case "empty rows" `Quick test_presolve_empty_rows;
+        ] );
+      ( "lu",
+        Alcotest.test_case "ftran/btran round trip" `Quick test_lu_roundtrip_known
+        :: Alcotest.test_case "eta update" `Quick test_lu_eta_update
+        :: Alcotest.test_case "singular basis" `Quick test_lu_singular
+        :: qcheck [ prop_lu_roundtrip ] );
+      ( "engine",
+        [
+          Alcotest.test_case "refactorization threshold" `Quick
+            test_refactor_threshold;
+          Alcotest.test_case "pivot cap aborts and recovers" `Quick
+            test_pivot_cap_aborts_and_recovers;
+          Alcotest.test_case "dual repair after a cut" `Quick
+            test_dual_repair_after_cut;
+          Alcotest.test_case "dual repair with bounds" `Quick
+            test_dual_repair_with_bounds;
+          Alcotest.test_case "bound-only program" `Quick test_bound_only_program;
+          Alcotest.test_case "bound rows saved" `Quick test_bound_rows_saved;
         ] );
       ( "duals",
         [

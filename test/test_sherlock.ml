@@ -450,7 +450,38 @@ let test_encoder_degrades_on_infeasible_lp () =
           let vs0, stats0 = Encoder.solve Config.default obs in
           check Alcotest.bool "degraded too" true stats0.degraded;
           check Alcotest.int "nothing to fall back on" 0 (List.length vs0)))
-    [ Sherlock_lp.Problem.Infeasible; Sherlock_lp.Problem.Unbounded ]
+    [
+      Sherlock_lp.Problem.Infeasible; Sherlock_lp.Problem.Unbounded;
+      Sherlock_lp.Problem.Aborted;
+    ]
+
+(* Satellite of the pivot-cap fix: a *real* iteration-limit abort (not
+   an injected fault) must come back as a degraded round carrying the
+   previous verdicts, and the encoder must recover as soon as the cap
+   lifts. *)
+let test_encoder_degrades_on_pivot_cap () =
+  let log = mklog [ ev 10 0 wf; ev 50 1 rf ] in
+  let obs = obs_of_logs [ log ] in
+  let healthy, healthy_stats = Encoder.solve Config.default obs in
+  check Alcotest.bool "healthy solve infers" true (healthy <> []);
+  check Alcotest.bool "healthy not degraded" false healthy_stats.degraded;
+  Fun.protect
+    ~finally:(fun () ->
+      Sherlock_lp.Simplex.set_pivot_limit Sherlock_lp.Simplex.default_pivot_limit)
+    (fun () ->
+      Sherlock_lp.Simplex.set_pivot_limit 1;
+      let vs, stats = Encoder.solve ~previous:healthy Config.default obs in
+      check Alcotest.bool "degraded under the pivot cap" true stats.degraded;
+      check Alcotest.bool "objective is nan" true (Float.is_nan stats.objective);
+      check Alcotest.int "previous verdicts kept" (List.length healthy)
+        (List.length vs);
+      List.iter2
+        (fun (a : Verdict.t) (b : Verdict.t) ->
+          check Alcotest.bool "same verdict" true (Verdict.compare a b = 0))
+        healthy vs);
+  let again, astats = Encoder.solve ~previous:healthy Config.default obs in
+  check Alcotest.bool "recovers once the cap lifts" false astats.degraded;
+  check Alcotest.int "verdicts restored" (List.length healthy) (List.length again)
 
 (* A degraded round must not poison the reusable warm-start state: the
    next healthy solve on the same state reproduces the healthy verdicts. *)
@@ -649,6 +680,8 @@ let () =
             test_orchestrator_injected_crash_reported;
           Alcotest.test_case "encoder degrades on infeasible LP" `Quick
             test_encoder_degrades_on_infeasible_lp;
+          Alcotest.test_case "encoder degrades on pivot cap" `Quick
+            test_encoder_degrades_on_pivot_cap;
           Alcotest.test_case "inference survives infeasible LP" `Quick
             test_orchestrator_survives_infeasible_lp;
           Alcotest.test_case "warm state survives degraded solve" `Quick
