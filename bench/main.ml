@@ -1257,6 +1257,141 @@ let bechamel_suite () =
     (List.sort compare rows);
   print_newline ()
 
+(* Parallel-extraction gate: a 1M-event synthetic stress log (built on
+   the fly by [Sherlock_trace.Synth] — wired behind this bench flag
+   precisely so nothing that size is ever checked in) must extract
+   *identically* under sharded extraction — same windows, same races,
+   same cap/considered counters — and, on a multicore host, at least
+   1.8x faster with >= 2 domains than sequentially.  Single-core hosts
+   skip the speedup requirement gracefully (recorded as "cores": 1 with
+   "skipped": true), so the identity half still gates everywhere.  The
+   span-cache hit rate of the sharded run is recorded alongside. *)
+let extract_par () =
+  let module Log = Sherlock_trace.Log in
+  let module Windows = Sherlock_trace.Windows in
+  let module Tm = Sherlock_telemetry.Metrics in
+  let cores = Domain.recommended_domain_count () in
+  let events = 1_000_000 in
+  (* A [near] well under the log's span keeps windows bounded while
+     still covering many cross-thread neighbours per address. *)
+  let near = 20_000 in
+  Printf.printf "generating %d-event synthetic log...\n%!" events;
+  let log = Sherlock_trace.Synth.log ~seed:11 ~addrs:2048 ~threads:16 ~events () in
+  let n = Log.length log in
+  let pool = Sherlock_util.Pool.create () in
+  Fun.protect ~finally:(fun () -> Sherlock_util.Pool.retire pool) @@ fun () ->
+  let c_hit = Tm.counter "windows.span_cache.hit" in
+  let c_miss = Tm.counter "windows.span_cache.miss" in
+  (* Identity: sequential vs 4-way sharded.  The sharded run is forced
+     even on one core — determinism must not depend on the host. *)
+  let m_seq = Sherlock_trace.Metrics.create () in
+  let ws, rs = Windows.extract ~near ~metrics:m_seq log in
+  let hit0 = Tm.Counter.value c_hit and miss0 = Tm.Counter.value c_miss in
+  let m_par = Sherlock_trace.Metrics.create () in
+  let wp, rp = Windows.extract ~near ~metrics:m_par ~jobs:4 ~pool log in
+  let hits = Tm.Counter.value c_hit - hit0 in
+  let misses = Tm.Counter.value c_miss - miss0 in
+  let cache_rate =
+    if hits + misses = 0 then 0.0 else float hits /. float (hits + misses)
+  in
+  let side_eq a b = Opid.Map.bindings a = Opid.Map.bindings b in
+  let window_eq (a : Windows.t) (b : Windows.t) =
+    a.pair = b.pair && a.field = b.field && side_eq a.rel b.rel
+    && side_eq a.acq b.acq && a.coord = b.coord
+  in
+  let race_eq (a : Windows.race) (b : Windows.race) =
+    a.race_pair = b.race_pair && a.race_field = b.race_field
+  in
+  let counters (m : Sherlock_trace.Metrics.t) =
+    (m.events, m.pairs_considered, m.pairs_capped, m.windows, m.races)
+  in
+  let identical =
+    List.length ws = List.length wp
+    && List.length rs = List.length rp
+    && List.for_all2 window_eq ws wp
+    && List.for_all2 race_eq rs rp
+    && counters m_seq = counters m_par
+  in
+  (* Throughput at 1, 2, 4 domains, timed on every host so the recorded
+     section is always complete (on a single core the oversubscribed
+     rows document the domain + stop-the-world-GC overhead; only the
+     speedup *requirement* is core-gated).  Interleaved best-of-trials
+     so drift hits every job count equally. *)
+  let job_list = [ 1; 2; 4 ] in
+  let times = List.map (fun j -> (j, ref infinity)) job_list in
+  for _ = 1 to 2 do
+    List.iter
+      (fun (j, best) ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Windows.extract ~near ~jobs:j ~pool log);
+        best := Float.min !best (Unix.gettimeofday () -. t0))
+      times
+  done;
+  let time_of j = !(List.assoc j times) in
+  let seq_s = time_of 1 in
+  let best_par_s =
+    List.fold_left
+      (fun acc (j, best) -> if j > 1 then Float.min acc !best else acc)
+      infinity times
+  in
+  let speedup = seq_s /. best_par_s in
+  let skipped = cores < 2 in
+  let t =
+    Table.create ~title:"Parallel extraction: 1M-event synthetic log"
+      ~header:[ "measure"; "value" ]
+  in
+  Table.add_row t [ "events"; string_of_int n ];
+  Table.add_row t [ "cores"; string_of_int cores ];
+  Table.add_row t
+    [ "identical (windows/races/metrics)"; (if identical then "yes" else "NO") ];
+  List.iter
+    (fun (j, best) ->
+      Table.add_row t
+        [
+          Printf.sprintf "extract, %d job%s" j (if j = 1 then "" else "s");
+          Printf.sprintf "%.3f s (%.0f events/sec)" !best (float n /. !best);
+        ])
+    times;
+  Table.add_row t
+    [
+      "speedup vs sequential";
+      (if skipped then "skipped (single core)"
+       else Printf.sprintf "%.2fx (>= 1.80x required)" speedup);
+    ];
+  Table.add_row t
+    [
+      "span-cache hit rate (sharded run)";
+      Printf.sprintf "%.1f%% (%d hits, %d misses)" (100.0 *. cache_rate) hits
+        misses;
+    ];
+  Table.print t;
+  let jobs_json =
+    String.concat ""
+      (List.map
+         (fun (j, best) ->
+           Printf.sprintf {|, "jobs%d_events_per_sec": %.0f|} j
+             (float n /. !best))
+         times)
+  in
+  update_bench_sections
+    [
+      ( "extract_par",
+        Printf.sprintf
+          {|{"events": %d, "cores": %d, "identical": %b, "skipped": %b, "speedup": %.2f, "threshold": 1.8, "span_cache_hit_rate": %.3f%s}|}
+          n cores identical skipped
+          (if skipped then 0.0 else speedup)
+          cache_rate jobs_json );
+    ];
+  if not identical then begin
+    Printf.printf
+      "FAIL: sharded extraction diverged from the sequential extractor\n";
+    exit 1
+  end;
+  if (not skipped) && speedup < 1.8 then begin
+    Printf.printf "FAIL: extraction speedup %.2fx below the 1.8x gate\n" speedup;
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let artifacts =
@@ -1277,6 +1412,7 @@ let artifacts =
     ("lp", lp_gate);
     ("format", format_gate);
     ("provenance", provenance_gate);
+    ("extract_par", extract_par);
     ("robustness", robustness);
     ("robustness-scan", robustness_scan);
     ("microbench", bechamel_suite);

@@ -46,6 +46,18 @@ let parallelism_arg =
     & opt int Config.default.parallelism
     & info [ "j"; "parallelism" ] ~docv:"N" ~doc)
 
+let extract_jobs_arg =
+  let doc =
+    "Domains sharding window extraction within each run's log (1 = \
+     sequential). Extraction is deterministic, so results are identical \
+     either way; only applied when the test-level parallelism is not \
+     running (the two levels share one domain pool)."
+  in
+  Arg.(
+    value
+    & opt int Config.default.extract_jobs
+    & info [ "extract-jobs" ] ~docv:"N" ~doc)
+
 let fault_arg =
   let doc =
     "Inject a deterministic fault into every simulated run (repeatable). \
@@ -66,7 +78,8 @@ let retries_arg =
   Arg.(value & opt int Config.default.retries & info [ "retries" ] ~docv:"N" ~doc)
 
 let config_term =
-  let make rounds lambda near seed parallelism fault_specs max_steps retries =
+  let make rounds lambda near seed parallelism extract_jobs fault_specs
+      max_steps retries =
     let fault_plan =
       match Sherlock_sim.Fault.of_specs fault_specs with
       | Ok plan -> plan
@@ -81,6 +94,7 @@ let config_term =
       near;
       seed;
       parallelism;
+      extract_jobs;
       fault_plan;
       max_steps;
       retries;
@@ -88,7 +102,7 @@ let config_term =
   in
   Term.(
     const make $ rounds_arg $ lambda_arg $ near_arg $ seed_arg $ parallelism_arg
-    $ fault_arg $ max_steps_arg $ retries_arg)
+    $ extract_jobs_arg $ fault_arg $ max_steps_arg $ retries_arg)
 
 let list_cmd =
   let run () =

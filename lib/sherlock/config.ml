@@ -5,6 +5,7 @@ type t = {
   delay_us : int;
   rounds : int;
   parallelism : int;
+  extract_jobs : int;
   threshold : float;
   rare_coeff : float;
   seed : int;
@@ -36,6 +37,7 @@ let default =
     delay_us = 100_000;
     rounds = 3;
     parallelism = Domain.recommended_domain_count ();
+    extract_jobs = 1;
     threshold = 0.9;
     rare_coeff = 0.1;
     seed = 42;
@@ -65,6 +67,7 @@ let pp ppf t =
      par=%d max-steps=%d retries=%d"
     t.lambda t.near t.window_cap t.delay_us t.rounds t.threshold t.seed
     t.parallelism t.max_steps t.retries;
+  if t.extract_jobs > 1 then Format.fprintf ppf " extract-jobs=%d" t.extract_jobs;
   (match t.lp_engine with
   | Sherlock_lp.Problem.Sparse -> ()
   | Sherlock_lp.Problem.Dense -> Format.fprintf ppf " lp=dense");

@@ -29,6 +29,9 @@ type t = {
          mutate existing cells in place and need no re-encoding). *)
   mutable nmerged : int;
   mutable races : (Opid.t * Opid.t) list;
+  races_seen : (Opid.t * Opid.t, unit) Hashtbl.t;
+      (* membership index over [races]: dedup used to be a [List.exists]
+         per incoming race — quadratic across a large corpus *)
   durs : Durations.t;
   mutable nruns : int;
   metrics : Metrics.t;
@@ -58,6 +61,7 @@ let create () =
             }));
     nmerged = 0;
     races = [];
+    races_seen = Hashtbl.create 64;
     durs = Durations.create ();
     nruns = 0;
     metrics = Metrics.create ();
@@ -98,10 +102,10 @@ let add_window t (w : Windows.t) =
    cross-run cap state lives in [Windows.extract]'s own counters seeded
    fresh per call, so extraction commutes with other logs and folding the
    deltas in test order reproduces the sequential path exactly. *)
-let extract_log ~near ~cap ~refine log =
+let extract_log ?(jobs = 1) ?pool ~near ~cap ~refine log =
   let x_metrics = Metrics.create () in
   let x_windows, x_races =
-    Windows.extract ~near ~cap ~refine ~metrics:x_metrics log
+    Windows.extract ~near ~cap ~refine ~metrics:x_metrics ~jobs ?pool log
   in
   let x_samples = Durations.samples_of_log log in
   { x_windows; x_races; x_samples; x_metrics }
@@ -112,13 +116,15 @@ let add_extraction t x =
   List.iter (add_window t) x.x_windows;
   List.iter
     (fun (r : Windows.race) ->
-      if not (List.exists (fun p -> p = r.race_pair) t.races) then
-        t.races <- r.race_pair :: t.races)
+      if not (Hashtbl.mem t.races_seen r.race_pair) then begin
+        Hashtbl.add t.races_seen r.race_pair ();
+        t.races <- r.race_pair :: t.races
+      end)
     x.x_races;
   Metrics.merge ~into:t.metrics x.x_metrics
 
-let add_log t ~near ~cap ~refine log =
-  add_extraction t (extract_log ~near ~cap ~refine log)
+let add_log t ?jobs ?pool ~near ~cap ~refine log =
+  add_extraction t (extract_log ?jobs ?pool ~near ~cap ~refine log)
 
 (* Arrival order: stable across library versions (no dependence on
    hash-bucket layout) and aligned with the incremental ids below. *)
@@ -135,12 +141,11 @@ let window_at t i =
   if i < 0 || i >= t.nmerged then invalid_arg "Observations.window_at";
   !(t.order.(i))
 
-let race_count t = List.length t.races
+let race_count t = Hashtbl.length t.races_seen
 
 let racy_pairs t = t.races
 
-let is_racy_pair t pair =
-  List.exists (fun (a, b) -> Opid.equal a (fst pair) && Opid.equal b (snd pair)) t.races
+let is_racy_pair t pair = Hashtbl.mem t.races_seen pair
 
 let durations t = t.durs
 

@@ -84,147 +84,13 @@ let run_one ?(hooks = Runtime.no_hooks) (config : Config.t) ~round ~test_index
     ~instrument:(Runtime.tracing ~delay_before ())
     ~fault:config.fault_plan ~max_steps:config.max_steps body
 
-(* Reusable worker-domain pool, scoped to one inference.  Domain.spawn
-   costs ~100µs-1ms each (fresh minor heap, runtime registration), and
-   the orchestrator used to pay it per round per worker — enough to erase
-   the parallel speedup on the short corpus tests.  A pool spawns its
-   workers lazily on the first batch and parks them on a condition
-   variable between batches, so a multi-round inference pays the spawn
-   cost once rather than once per round.
+(* The worker-domain pool (spawn once per inference, park between
+   rounds) lives in [Sherlock_util.Pool] so window extraction can shard
+   over the same domains; see its interface for the non-reentrancy rule
+   the orchestrator must respect when handing the pool down. *)
+module Pool = Sherlock_util.Pool
 
-   The pool is deliberately NOT a process-global singleton.  An idle
-   domain is far from free: every minor collection is a stop-the-world
-   across all live domains, and measurement on a single-core host showed
-   one parked worker slowing unrelated sequential inference by ~2x.
-   Scoping the pool to an [infer] call — and joining the workers in
-   [retire] as soon as the last round completes — confines that tax to
-   the inference that asked for parallelism.
-
-   A batch hands every worker the same thunk (which internally pulls
-   indices from an atomic counter) and the submitting domain participates
-   too, so a pool of k-1 workers serves [domains = k].  Batches never
-   overlap: [run] returns only after all workers that picked up the batch
-   have finished.  Batch thunks must not raise — [parallel_map] parks
-   exceptions in its own failure slot — and must not themselves call
-   [Pool.run] on the same pool (a nested batch would deadlock waiting for
-   workers parked inside the outer one). *)
-module Pool = struct
-  type t = {
-    mutex : Mutex.t;
-    start : Condition.t; (* a new batch is published, or [stop] was set *)
-    finished : Condition.t; (* the current batch fully drained *)
-    mutable batch : unit -> unit;
-    mutable generation : int; (* bumped once per published batch *)
-    mutable remaining : int; (* workers yet to pick up the current batch *)
-    mutable running : int; (* workers inside the current batch thunk *)
-    mutable handles : unit Domain.t list;
-    mutable stop : bool;
-  }
-
-  let create () =
-    {
-      mutex = Mutex.create ();
-      start = Condition.create ();
-      finished = Condition.create ();
-      batch = ignore;
-      generation = 0;
-      remaining = 0;
-      running = 0;
-      handles = [];
-      stop = false;
-    }
-
-  let worker p () =
-    let seen = ref 0 in
-    Mutex.lock p.mutex;
-    let rec loop () =
-      if p.stop then Mutex.unlock p.mutex
-      else if p.generation > !seen && p.remaining > 0 then begin
-        seen := p.generation;
-        p.remaining <- p.remaining - 1;
-        p.running <- p.running + 1;
-        let f = p.batch in
-        Mutex.unlock p.mutex;
-        f ();
-        Mutex.lock p.mutex;
-        p.running <- p.running - 1;
-        if p.remaining = 0 && p.running = 0 then Condition.broadcast p.finished;
-        loop ()
-      end
-      else begin
-        Condition.wait p.start p.mutex;
-        loop ()
-      end
-    in
-    loop ()
-
-  (* With [p.mutex] held: grow the pool to at least [want] workers. *)
-  let ensure p want =
-    for _ = List.length p.handles + 1 to want do
-      p.handles <- Domain.spawn (worker p) :: p.handles
-    done
-
-  (* Run [f] on [workers] pool domains plus the calling domain; returns
-     once every participant is done. *)
-  let run p ~workers f =
-    Mutex.lock p.mutex;
-    ensure p workers;
-    p.batch <- f;
-    p.generation <- p.generation + 1;
-    p.remaining <- workers;
-    Condition.broadcast p.start;
-    Mutex.unlock p.mutex;
-    f ();
-    Mutex.lock p.mutex;
-    while p.remaining > 0 || p.running > 0 do
-      Condition.wait p.finished p.mutex
-    done;
-    p.batch <- ignore;
-    Mutex.unlock p.mutex
-
-  (* Join every worker.  Idempotent; the pool is dead afterwards. *)
-  let retire p =
-    Mutex.lock p.mutex;
-    p.stop <- true;
-    Condition.broadcast p.start;
-    let hs = p.handles in
-    p.handles <- [];
-    Mutex.unlock p.mutex;
-    List.iter Domain.join hs
-end
-
-(* Order-preserving map over [arr] with up to [domains] domains (pool
-   workers plus the caller) pulling indices from a shared counter.  Each
-   [f] call is independent (a fresh simulator world per test, no global
-   mutable state), so the only cross-domain traffic is the [Atomic] work
-   counter, the failure slot, and the results array, each slot written by
-   exactly one worker before the batch completes.  Workers never raise:
-   the first exception is parked in [failure], remaining work is
-   abandoned, and the exception is re-raised on the calling domain once
-   the batch has drained. *)
-let parallel_map ~pool ~domains f arr =
-  let n = Array.length arr in
-  let results = Array.make n None in
-  let next = Atomic.make 0 in
-  let failure = Atomic.make None in
-  let work () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n && Option.is_none (Atomic.get failure) then begin
-        (match f i arr.(i) with
-        | r -> results.(i) <- Some r
-        | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-        loop ()
-      end
-    in
-    loop ()
-  in
-  Pool.run pool ~workers:(min domains n - 1) work;
-  match Atomic.get failure with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-  | None -> Array.map (function Some r -> r | None -> assert false) results
+let parallel_map = Pool.parallel_map
 
 (* Run one test and extract its observations — the per-domain unit of
    work.  Returns the extraction (with the run's wall-clock) when some
@@ -235,7 +101,8 @@ let parallel_map ~pool ~domains f arr =
    every attempt fails simply contributes no observations.  The run and
    extract spans open on whichever worker domain executes the test, so a
    parallel round renders as one telemetry track per domain. *)
-let run_and_extract (config : Config.t) ~round ~plan test_index (name, body) =
+let run_and_extract (config : Config.t) ~round ~plan ?(extract_jobs = 1) ?pool
+    test_index (name, body) =
   (* Total plan sites fired across all attempts of this test: an app whose
      count stays 0 everywhere was provably untouched by the plan (the
      lookup consumes no scheduler randomness), which is what the bench
@@ -276,8 +143,8 @@ let run_and_extract (config : Config.t) ~round ~plan test_index (name, body) =
         Tspan.with_span ~name:"extract"
           ~attrs:[ ("test", Tspan.Str name); ("round", Tspan.Int round) ]
           (fun () ->
-            Observations.extract_log ~near:config.near ~cap:config.window_cap
-              ~refine:config.use_refinement log)
+            Observations.extract_log ~jobs:extract_jobs ?pool ~near:config.near
+              ~cap:config.window_cap ~refine:config.use_refinement log)
       in
       ( Some (x, run_s),
         {
@@ -336,6 +203,9 @@ let infer ?(config = Config.default) subject =
   let domains =
     max 1 (min config.parallelism (Domain.recommended_domain_count ()))
   in
+  let extract_jobs =
+    max 1 (min config.extract_jobs (Domain.recommended_domain_count ()))
+  in
   (* Workers live for the whole inference (spawned lazily by the first
      parallel round, reused by the rest) and are joined in the [finally]
      below: a finished inference must leave no parked domain behind to
@@ -348,7 +218,14 @@ let infer ?(config = Config.default) subject =
     if not config.accumulate then obs := Observations.create ();
     let results =
       if domains = 1 || Array.length tests <= 1 then
-        Array.mapi (run_and_extract config ~round ~plan:!plan) tests
+        (* Tests run sequentially on this domain, so the pool is idle and
+           window extraction may shard over it.  The test-level parallel
+           branch below must NOT do this: extraction would call
+           [Pool.run] from inside the pool's own batch thunk and
+           deadlock, and domain-starved nesting wouldn't pay anyway. *)
+        Array.mapi
+          (run_and_extract config ~round ~plan:!plan ~extract_jobs ~pool)
+          tests
       else
         parallel_map ~pool ~domains
           (run_and_extract config ~round ~plan:!plan)

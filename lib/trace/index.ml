@@ -377,3 +377,5 @@ let accesses_of_addr t addr =
 
 let iter_addr_accesses t f =
   Array.iter (fun addr -> f addr (Hashtbl.find t.accesses addr)) t.addrs_in_order
+
+let addrs_in_order t = t.addrs_in_order

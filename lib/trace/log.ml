@@ -123,6 +123,8 @@ let accesses_of_addr t addr = Index.accesses_of_addr t.index addr
 
 let iter_addr_accesses t f = Index.iter_addr_accesses t.index f
 
+let addrs_in_order t = Index.addrs_in_order t.index
+
 let pp ppf t =
   Format.fprintf ppf "log: %d events, %dus, %d threads@." (Array.length t.events)
     t.duration t.threads;

@@ -94,5 +94,10 @@ val accesses_of_addr : t -> int -> Event.t array
 val iter_addr_accesses : t -> (int -> Event.t array -> unit) -> unit
 (** Iterate per-address access arrays in address first-seen order. *)
 
+val addrs_in_order : t -> int array
+(** The canonical address order {!iter_addr_accesses} walks — the unit
+    of sharding for parallel window extraction.  Owned by the index:
+    callers must not mutate. *)
+
 val pp : Format.formatter -> t -> unit
 (** Full dump, for debugging. *)

@@ -118,12 +118,201 @@ let add_open_frames log spans side ~tid ~lo =
    the whole event array even after a match. *)
 let first_delay log ~tid ~lo ~hi = Log.first_delayed_in log ~tid ~lo ~hi
 
+let c_shards = Tm.counter "windows.shards"
+
+let c_cache_hit = Tm.counter "windows.span_cache.hit"
+
+let c_cache_miss = Tm.counter "windows.span_cache.miss"
+
+(* Memoized [side_of_span].  Candidate pairs share span endpoints
+   whenever several accesses to one address carry the same timestamp
+   (contended bursts under a coarse clock): every pair [(a_i, b)] with
+   [a_i.time] equal recomputes the same acquire span [(b.tid, t, b.time)],
+   and the refine path recomputes the same [(b.tid, r.time, b.time)] span
+   across pairs hitting one delay — so hot logs rebuild the same
+   [(tid, lo, hi)] span many times per extraction.  The function is pure
+   and the resulting maps are immutable, so a cache is observationally
+   invisible.  One cache per domain: sequential extraction keeps a single
+   cache, each shard worker owns its own (no cross-domain sharing, no
+   locks). *)
+type span_cache = {
+  tbl : (int * int * int, side) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cache_create () = { tbl = Hashtbl.create 256; hits = 0; misses = 0 }
+
+let cached_side log cache ~tid ~lo ~hi =
+  let key = (tid, lo, hi) in
+  match Hashtbl.find_opt cache.tbl key with
+  | Some s ->
+    cache.hits <- cache.hits + 1;
+    s
+  | None ->
+    cache.misses <- cache.misses + 1;
+    let s = side_of_span log ~tid ~lo ~hi in
+    Hashtbl.add cache.tbl key s;
+    s
+
+(* One accepted conflicting-access candidate, fully analyzed.  In
+   sequential mode candidates are dispatched as they are produced; in
+   parallel mode shards produce them speculatively and the deterministic
+   merge decides which survive the global caps ([c_key] is the static
+   pair the cap counters are keyed on). *)
+type outcome = Window of t | Race_out of race
+
+type candidate = { c_key : Opid.t * Opid.t; c_dur : int; c_out : outcome }
+
+(* Analyze one candidate pair: compute both sides, refine from injected
+   delays, and classify as window or observed race.  Pure in the log (the
+   span cache only memoizes), so it runs identically on any domain. *)
+let consider_one log spans cache ~refine (a : Event.t) (b : Event.t) =
+  let acq_side ~lo ~hi =
+    add_open_frames log spans (cached_side log cache ~tid:b.tid ~lo ~hi) ~tid:b.tid ~lo
+  in
+  let rel = ref (cached_side log cache ~tid:a.tid ~lo:a.time ~hi:b.time) in
+  let acq = ref (acq_side ~lo:a.time ~hi:b.time) in
+  if refine then begin
+    match first_delay log ~tid:a.tid ~lo:a.time ~hi:b.time with
+    | Some r ->
+      let delay_start = r.time - r.delayed_by in
+      (* A spin-waiting thread is logically blocked yet still emits
+         read events, so only non-read activity counts as progress. *)
+      let made_progress =
+        r.time - 1 >= delay_start
+        && Log.progress_count log ~tid:b.tid ~lo:delay_start ~hi:(r.time - 1) > 0
+      in
+      let stalled = not made_progress in
+      if stalled then
+        (* Delay propagated: the acquire happened while waiting on [r],
+           so it must lie between r and b (Figure 2 c). *)
+        acq := acq_side ~lo:r.time ~hi:b.time
+      else
+        (* Delay did not propagate: this *instance* of r is not the
+           release coordinating a and b (Figure 2 b).  Other dynamic
+           instances of the same operation inside the window (e.g.
+           later lock releases in a loop) remain candidates, so only
+           one occurrence is discounted. *)
+        rel :=
+          Opid.Map.update r.op
+            (function None | Some 1 -> None | Some n -> Some (n - 1))
+            !rel
+    | None -> ()
+  end;
+  let rel = !rel and acq = !acq in
+  let field = Opid.field_key a.op in
+  let rel_impossible = Opid.Map.is_empty rel || all_kinds_are rel Opid.Read in
+  let acq_impossible = Opid.Map.is_empty acq || all_kinds_are acq Opid.Write in
+  let out =
+    if rel_impossible || acq_impossible then
+      Race_out { race_pair = (a.op, b.op); race_field = field }
+    else
+      Window
+        {
+          pair = (a.op, b.op);
+          field;
+          rel;
+          acq;
+          coord =
+            {
+              first_time = a.time;
+              first_tid = a.tid;
+              second_time = b.time;
+              second_tid = b.tid;
+            };
+        }
+  in
+  { c_key = (a.op, b.op); c_dur = b.time - a.time; c_out = out }
+
+(* Pair enumeration over one address.  An address sees only a handful of
+   static ops (the field's read/write and property variants), so the
+   per-static-pair cap counters are pulled out of [pair_counts] into a
+   tiny matrix once per address: the O(k^2) candidate scan then tests an
+   int ref instead of hashing, and bails out of the whole address as soon
+   as every conflicting static pair there has reached the cap.
+   Enumeration order and cap decisions are identical to testing each
+   candidate directly.  [emit a b] fires for each accepted candidate;
+   [on_capped] fires when a pair's count reaches the cap. *)
+let scan_address ~near ~cap ~pair_counts ~on_capped ~emit
+    (accesses : Event.t array) =
+  let n = Array.length accesses in
+  let optbl : (Opid.t, int) Hashtbl.t = Hashtbl.create 8 in
+  let ops_rev = ref [] in
+  let nops = ref 0 in
+  let opidx =
+    Array.map
+      (fun (e : Event.t) ->
+        match Hashtbl.find_opt optbl e.op with
+        | Some i -> i
+        | None ->
+          let i = !nops in
+          Hashtbl.add optbl e.op i;
+          ops_rev := e.op :: !ops_rev;
+          incr nops;
+          i)
+      accesses
+  in
+  let k = !nops in
+  let by_idx = Array.make k (accesses.(0) : Event.t).op in
+  List.iteri (fun j o -> by_idx.(k - 1 - j) <- o) !ops_rev;
+  let counts =
+    Array.init k (fun ia ->
+        Array.init k (fun ib ->
+            let key = (by_idx.(ia), by_idx.(ib)) in
+            match Hashtbl.find_opt pair_counts key with
+            | Some r -> r
+            | None ->
+              let r = ref 0 in
+              Hashtbl.add pair_counts key r;
+              r))
+  in
+  let conflicting =
+    Array.init k (fun ia ->
+        Array.init k (fun ib ->
+            by_idx.(ia).kind = Opid.Write || by_idx.(ib).kind = Opid.Write))
+  in
+  (* Conflicting static pairs at this address not yet at the cap. *)
+  let live = ref 0 in
+  for ia = 0 to k - 1 do
+    for ib = 0 to k - 1 do
+      if conflicting.(ia).(ib) && !(counts.(ia).(ib)) < cap then incr live
+    done
+  done;
+  try
+    if !live = 0 then raise Exit;
+    for i = 0 to n - 1 do
+      let a = accesses.(i) in
+      let ia = opidx.(i) in
+      let j = ref (i + 1) in
+      while !j < n && (accesses.(!j) : Event.t).time - a.time <= near do
+        let b = accesses.(!j) in
+        let ib = opidx.(!j) in
+        if a.tid <> b.tid && conflicting.(ia).(ib) then begin
+          let c = counts.(ia).(ib) in
+          if !c < cap then begin
+            incr c;
+            if !c = cap then begin
+              on_capped ();
+              decr live
+            end;
+            emit a b;
+            if !live = 0 then raise Exit
+          end
+        end;
+        incr j
+      done
+    done
+  with Exit -> ()
+
 let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
-    ?metrics (log : Log.t) =
+    ?metrics ?(jobs = 1) ?pool (log : Log.t) =
  Tspan.with_span ~name:"windows.extract" @@ fun () ->
   let t_start = Unix.gettimeofday () in
   (* Telemetry histograms are resolved once per extraction and only when
-     telemetry is on, so the per-pair hot path pays a single branch. *)
+     telemetry is on, so the per-pair hot path pays a single branch.
+     They are observed exclusively on the calling domain (sequentially or
+     during the merge), never inside shards. *)
   let tm_on = Tm.enabled () in
   let h_window_dur = if tm_on then Some (Tm.histogram "windows.duration_us") else None in
   let h_pairs_per_loc =
@@ -134,154 +323,158 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
   let races = ref [] in
   let nwindows = ref 0 and nraces = ref 0 in
   let considered = ref 0 and capped = ref 0 in
-  let pair_counts : (Opid.t * Opid.t, int ref) Hashtbl.t = Hashtbl.create 64 in
-  let consider (a : Event.t) (b : Event.t) =
-    begin
-      incr considered;
-      let acq_side ~lo ~hi =
-        add_open_frames log spans
-          (side_of_span log ~tid:b.tid ~lo ~hi)
-          ~tid:b.tid ~lo
-      in
-      let rel = ref (side_of_span log ~tid:a.tid ~lo:a.time ~hi:b.time) in
-      let acq = ref (acq_side ~lo:a.time ~hi:b.time) in
-      if refine then begin
-        match first_delay log ~tid:a.tid ~lo:a.time ~hi:b.time with
-        | Some r ->
-          let delay_start = r.time - r.delayed_by in
-          (* A spin-waiting thread is logically blocked yet still emits
-             read events, so only non-read activity counts as progress. *)
-          let made_progress =
-            r.time - 1 >= delay_start
-            && Log.progress_count log ~tid:b.tid ~lo:delay_start ~hi:(r.time - 1)
-               > 0
-          in
-          let stalled = not made_progress in
-          if stalled then
-            (* Delay propagated: the acquire happened while waiting on [r],
-               so it must lie between r and b (Figure 2 c). *)
-            acq := acq_side ~lo:r.time ~hi:b.time
-          else
-            (* Delay did not propagate: this *instance* of r is not the
-               release coordinating a and b (Figure 2 b).  Other dynamic
-               instances of the same operation inside the window (e.g.
-               later lock releases in a loop) remain candidates, so only
-               one occurrence is discounted. *)
-            rel :=
-              Opid.Map.update r.op
-                (function
-                  | None | Some 1 -> None
-                  | Some n -> Some (n - 1))
-                !rel
-        | None -> ()
-      end;
-      let rel = !rel and acq = !acq in
-      let field = Opid.field_key a.op in
-      let rel_impossible = Opid.Map.is_empty rel || all_kinds_are rel Opid.Read in
-      let acq_impossible = Opid.Map.is_empty acq || all_kinds_are acq Opid.Write in
-      if rel_impossible || acq_impossible then begin
-        incr nraces;
-        races := { race_pair = (a.op, b.op); race_field = field } :: !races
-      end
-      else begin
-        incr nwindows;
-        let coord =
-          {
-            first_time = a.time;
-            first_tid = a.tid;
-            second_time = b.time;
-            second_tid = b.tid;
-          }
-        in
-        windows := { pair = (a.op, b.op); field; rel; acq; coord } :: !windows
-      end;
-      match h_window_dur with
-      | Some h -> Tm.Histogram.observe_int h (b.time - a.time)
-      | None -> ()
-    end
+  (* Accept one candidate: bump the counters, record the window or race,
+     observe the duration histogram.  Both the sequential path and the
+     parallel merge funnel through here, on the calling domain, in
+     canonical candidate order — which is what makes the two paths
+     bitwise identical. *)
+  let dispatch c =
+    incr considered;
+    (match c.c_out with
+    | Race_out r ->
+      incr nraces;
+      races := r :: !races
+    | Window w ->
+      incr nwindows;
+      windows := w :: !windows);
+    match h_window_dur with
+    | Some h -> Tm.Histogram.observe_int h c.c_dur
+    | None -> ()
   in
-  (* Pair enumeration.  An address sees only a handful of static ops (the
-     field's read/write and property variants), so the per-static-pair cap
-     counters are pulled out of the hashtable into a tiny matrix once per
-     address: the O(k^2) candidate scan then tests an int ref instead of
-     hashing, and bails out of the whole address as soon as every
-     conflicting static pair there has reached the cap.  Enumeration order
-     and cap decisions are identical to testing each candidate directly. *)
-  Log.iter_addr_accesses log (fun _addr accesses ->
-      let n = Array.length accesses in
-      if n > 1 then begin
-        let considered_before = !considered in
-        let ops = ref [] in
-        let nops = ref 0 in
-        let opidx =
-          Array.map
-            (fun (e : Event.t) ->
-              match
-                List.find_opt (fun (o, _) -> Opid.equal o e.op) !ops
-              with
-              | Some (_, i) -> i
-              | None ->
-                let i = !nops in
-                ops := (e.op, i) :: !ops;
-                incr nops;
-                i)
-            accesses
-        in
-        let k = !nops in
-        let by_idx = Array.make k (accesses.(0) : Event.t).op in
-        List.iter (fun (o, i) -> by_idx.(i) <- o) !ops;
-        let counts =
-          Array.init k (fun ia ->
-              Array.init k (fun ib ->
-                  let key = (by_idx.(ia), by_idx.(ib)) in
-                  match Hashtbl.find_opt pair_counts key with
+  let observe_pairs_per_loc accepted =
+    match h_pairs_per_loc with
+    | Some h -> Tm.Histogram.observe_int h accepted
+    | None -> ()
+  in
+  let addrs = Log.addrs_in_order log in
+  let naddrs = Array.length addrs in
+  if jobs <= 1 || naddrs < 2 then begin
+    (* Sequential path: global cap counters applied during the scan,
+       candidates dispatched as they are produced. *)
+    let pair_counts : (Opid.t * Opid.t, int ref) Hashtbl.t = Hashtbl.create 64 in
+    let cache = cache_create () in
+    Log.iter_addr_accesses log (fun _addr accesses ->
+        if Array.length accesses > 1 then begin
+          let before = !considered in
+          scan_address ~near ~cap ~pair_counts
+            ~on_capped:(fun () -> incr capped)
+            ~emit:(fun a b -> dispatch (consider_one log spans cache ~refine a b))
+            accesses;
+          observe_pairs_per_loc (!considered - before)
+        end);
+    Tm.Counter.incr ~by:cache.hits c_cache_hit;
+    Tm.Counter.incr ~by:cache.misses c_cache_miss
+  end
+  else begin
+    (* Parallel path: shard the canonical address order into contiguous
+       chunks, analyze chunks on worker domains, and merge sequentially.
+
+       The per-static-pair caps are global across addresses, so shards
+       cannot apply them.  Instead each chunk scans with *fresh local*
+       cap counters — emitting at most [cap] candidates per static pair
+       per chunk, each fully analyzed — and the merge replays chunk
+       outputs in chunk-index order against the real global counters.
+       A chunk's emissions for a pair are a prefix of that pair's
+       canonical candidate stream within the chunk, and the globally
+       accepted candidates for a pair are its first [cap] in canonical
+       order, which lie inside the per-chunk prefixes; so replaying the
+       prefixes in order accepts exactly the sequential candidate set,
+       in the sequential order.  Local counters are per *chunk*, not per
+       worker: a worker that processes a canonically-late chunk first
+       must not burn cap budget that canonically-earlier candidates
+       (from a chunk another worker owns) are entitled to.
+
+       [frame_spans] is computed once above and shared read-only; each
+       worker owns a private span cache. *)
+    let nchunks = min naddrs (jobs * 4) in
+    let chunk_lo i = i * naddrs / nchunks in
+    (* Per chunk, per scanned address (in chunk order): the emitted
+       candidates in scan order.  Every address with >1 accesses appears,
+       even with no emissions, so the merge can observe the
+       pairs-per-location histogram exactly as the sequential path does.
+       Each slot is written by exactly one worker before the pool batch
+       completes; [Pool.run]'s join publishes the writes to the caller. *)
+    let chunk_out : candidate list list array = Array.make nchunks [] in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let total_hits = Atomic.make 0 and total_misses = Atomic.make 0 in
+    let process_chunk cache ci =
+      let local_counts : (Opid.t * Opid.t, int ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let out = ref [] in
+      for ai = chunk_lo ci to chunk_lo (ci + 1) - 1 do
+        let accesses = Log.accesses_of_addr log addrs.(ai) in
+        if Array.length accesses > 1 then begin
+          let cands = ref [] in
+          scan_address ~near ~cap ~pair_counts:local_counts ~on_capped:ignore
+            ~emit:(fun a b ->
+              cands := consider_one log spans cache ~refine a b :: !cands)
+            accesses;
+          out := List.rev !cands :: !out
+        end
+      done;
+      chunk_out.(ci) <- List.rev !out
+    in
+    let work () =
+      let cache = cache_create () in
+      let rec loop () =
+        let ci = Atomic.fetch_and_add next 1 in
+        if ci < nchunks && Option.is_none (Atomic.get failure) then begin
+          (match process_chunk cache ci with
+          | () -> ()
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          loop ()
+        end
+      in
+      loop ();
+      ignore (Atomic.fetch_and_add total_hits cache.hits);
+      ignore (Atomic.fetch_and_add total_misses cache.misses)
+    in
+    let workers = min jobs nchunks - 1 in
+    (match pool with
+    | Some p -> Sherlock_util.Pool.run p ~workers work
+    | None ->
+      let p = Sherlock_util.Pool.create () in
+      Fun.protect
+        ~finally:(fun () -> Sherlock_util.Pool.retire p)
+        (fun () -> Sherlock_util.Pool.run p ~workers work));
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    (* Deterministic merge: replay every chunk's candidates in canonical
+       order against the real global cap counters. *)
+    let pair_counts : (Opid.t * Opid.t, int ref) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun addr_results ->
+        List.iter
+          (fun cands ->
+            let before = !considered in
+            List.iter
+              (fun c ->
+                let r =
+                  match Hashtbl.find_opt pair_counts c.c_key with
                   | Some r -> r
                   | None ->
                     let r = ref 0 in
-                    Hashtbl.add pair_counts key r;
-                    r))
-        in
-        let conflicting =
-          Array.init k (fun ia ->
-              Array.init k (fun ib ->
-                  by_idx.(ia).kind = Opid.Write || by_idx.(ib).kind = Opid.Write))
-        in
-        (* Conflicting static pairs at this address not yet at the cap. *)
-        let live = ref 0 in
-        for ia = 0 to k - 1 do
-          for ib = 0 to k - 1 do
-            if conflicting.(ia).(ib) && !(counts.(ia).(ib)) < cap then incr live
-          done
-        done;
-        (try
-           if !live = 0 then raise Exit;
-           for i = 0 to n - 1 do
-             let a = accesses.(i) in
-             let ia = opidx.(i) in
-             let j = ref (i + 1) in
-             while !j < n && (accesses.(!j) : Event.t).time - a.time <= near do
-               let b = accesses.(!j) in
-               let ib = opidx.(!j) in
-               if a.tid <> b.tid && conflicting.(ia).(ib) then begin
-                 let c = counts.(ia).(ib) in
-                 if !c < cap then begin
-                   incr c;
-                   if !c = cap then begin
-                     incr capped;
-                     decr live
-                   end;
-                   consider a b;
-                   if !live = 0 then raise Exit
-                 end
-               end;
-               incr j
-             done
-           done
-         with Exit -> ());
-        match h_pairs_per_loc with
-        | Some h -> Tm.Histogram.observe_int h (!considered - considered_before)
-        | None -> ()
-      end);
+                    Hashtbl.add pair_counts c.c_key r;
+                    r
+                in
+                if !r < cap then begin
+                  incr r;
+                  if !r = cap then incr capped;
+                  dispatch c
+                end)
+              cands;
+            observe_pairs_per_loc (!considered - before))
+          addr_results)
+      chunk_out;
+    Tm.Counter.incr ~by:nchunks c_shards;
+    Tm.Counter.incr ~by:(Atomic.get total_hits) c_cache_hit;
+    Tm.Counter.incr ~by:(Atomic.get total_misses) c_cache_miss
+  end;
   (match metrics with
   | None -> ()
   | Some (m : Metrics.t) ->

@@ -871,6 +871,113 @@ let prop_extract_matches_reference =
            exercising the bail-out; refinement on and off. *)
         [ (10_000, 15, true); (3_000, 2, true); (10_000, 15, false) ])
 
+(* Like [gen_ops_delayed] but wide: more threads and many more addresses,
+   so the parallel extractor actually gets multiple address chunks to
+   shard — and each static op aliases three addresses (array-element
+   style), so the global per-pair caps span chunk boundaries and the
+   merge's cap replay is genuinely exercised. *)
+let gen_ops_wide =
+  QCheck.Gen.(
+    list_size (int_range 0 150)
+      (let* time = int_range 1 10_000 in
+       let* tid = int_range 0 3 in
+       let* kind = int_range 0 3 in
+       let* addr = int_range 0 11 in
+       let* delayed = int_range 0 9 in
+       let* delay = int_range 1 400 in
+       let field = addr mod 4 in
+       let cls = "P.C" in
+       let name = Printf.sprintf "f%d" field in
+       let op =
+         match kind with
+         | 0 -> Opid.read ~cls name
+         | 1 -> Opid.write ~cls name
+         | 2 -> Opid.enter ~cls name
+         | _ -> Opid.exit ~cls name
+       in
+       let delayed_by = if delayed = 0 then delay else 0 in
+       return (Event.make ~time ~tid ~op ~target:(addr + 1) ~delayed_by ())))
+
+(* One worker pool shared by every invocation of the parallel-identity
+   property (retired when the test binary exits): spawning and joining up
+   to 7 domains per generated case would dominate the suite's runtime. *)
+let shared_pool =
+  lazy
+    (let p = Sherlock_util.Pool.create () in
+     at_exit (fun () -> Sherlock_util.Pool.retire p);
+     p)
+
+let metrics_counters (m : Sherlock_trace.Metrics.t) =
+  (m.events, m.pairs_considered, m.pairs_capped, m.windows, m.races)
+
+let prop_parallel_extract_identical =
+  QCheck.Test.make
+    ~name:"parallel extraction matches sequential for any job count" ~count:120
+    (QCheck.make gen_ops_wide)
+    (fun events ->
+      let log = mklog events in
+      let pool = Lazy.force shared_pool in
+      List.for_all
+        (fun (near, cap, refine) ->
+          let m_seq = Sherlock_trace.Metrics.create () in
+          let ws, rs = Windows.extract ~near ~cap ~refine ~metrics:m_seq log in
+          List.for_all
+            (fun jobs ->
+              let m_par = Sherlock_trace.Metrics.create () in
+              let wp, rp =
+                Windows.extract ~near ~cap ~refine ~metrics:m_par ~jobs ~pool
+                  log
+              in
+              List.length ws = List.length wp
+              && List.length rs = List.length rp
+              && List.for_all2 window_eq ws wp
+              && List.for_all2 race_eq rs rp
+              && metrics_counters m_seq = metrics_counters m_par)
+            [ 1; 2; 3; 4; 8 ])
+        [ (10_000, 15, true); (3_000, 2, true); (10_000, 15, false) ])
+
+(* The same identity on a generated stress log big enough that every
+   chunking/cap/cache interaction actually occurs. *)
+let test_parallel_extract_synth () =
+  let log = Sherlock_trace.Synth.log ~seed:7 ~addrs:96 ~threads:8 ~events:20_000 () in
+  (* [near] well under the log's span, so windows stay bounded and the
+     near-horizon filter is part of what must match. *)
+  let near = 10_000 in
+  let m_seq = Sherlock_trace.Metrics.create () in
+  let ws, rs = Windows.extract ~near ~metrics:m_seq log in
+  let pool = Lazy.force shared_pool in
+  List.iter
+    (fun jobs ->
+      let m_par = Sherlock_trace.Metrics.create () in
+      let wp, rp = Windows.extract ~near ~metrics:m_par ~jobs ~pool log in
+      Alcotest.(check int)
+        (Printf.sprintf "windows at jobs=%d" jobs)
+        (List.length ws) (List.length wp);
+      Alcotest.(check int)
+        (Printf.sprintf "races at jobs=%d" jobs)
+        (List.length rs) (List.length rp);
+      Alcotest.(check bool)
+        (Printf.sprintf "window lists identical at jobs=%d" jobs)
+        true
+        (List.for_all2 window_eq ws wp);
+      Alcotest.(check bool)
+        (Printf.sprintf "race lists identical at jobs=%d" jobs)
+        true
+        (List.for_all2 race_eq rs rp);
+      Alcotest.(check bool)
+        (Printf.sprintf "metrics identical at jobs=%d" jobs)
+        true
+        (metrics_counters m_seq = metrics_counters m_par))
+    [ 2; 4; 8 ]
+
+let test_synth_deterministic () =
+  let a = Sherlock_trace.Synth.log ~seed:3 ~addrs:32 ~threads:4 ~events:5_000 () in
+  let b = Sherlock_trace.Synth.log ~seed:3 ~addrs:32 ~threads:4 ~events:5_000 () in
+  Alcotest.(check int) "same length" (Log.length a) (Log.length b);
+  Alcotest.(check bool) "same events" true (a.events = b.events);
+  let c = Sherlock_trace.Synth.log ~seed:4 ~addrs:32 ~threads:4 ~events:5_000 () in
+  Alcotest.(check bool) "seed matters" true (a.events <> c.events)
+
 let prop_windows_no_crash =
   QCheck.Test.make ~name:"window extraction total on random logs" ~count:200
     (QCheck.make gen_ops)
@@ -971,9 +1078,16 @@ let () =
           Alcotest.test_case "corruption positioned" `Quick
             test_trace_bin_corruption_positioned;
         ] );
+      ( "parallel_extract",
+        [
+          Alcotest.test_case "synth log identity" `Quick
+            test_parallel_extract_synth;
+          Alcotest.test_case "synth deterministic" `Quick
+            test_synth_deterministic;
+        ] );
       ( "properties",
         qcheck
           [ prop_windows_no_crash; prop_window_sides_nonempty; prop_log_sorted;
             prop_trace_io_roundtrip; prop_trace_formats_roundtrip;
-            prop_extract_matches_reference ] );
+            prop_extract_matches_reference; prop_parallel_extract_identical ] );
     ]
