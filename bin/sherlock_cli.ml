@@ -168,6 +168,76 @@ let with_telemetry out f =
           path;
         r)
 
+(* ------------------------------------------------------------------ *)
+(* The always-on metrics plane: --metrics-out installs a snapshot ring
+   whose every snapshot atomically rewrites an OpenMetrics file, plus
+   runtime gauges (GC, pool occupancy, shard progress) and a SIGUSR1
+   on-demand dump; --log-out / SHERLOCK_LOG install the structured JSONL
+   log sink.  Orthogonal to --telemetry-out (span traces). *)
+
+let metrics_out_arg =
+  let doc =
+    "Continuously export the metrics registry (every counter, gauge, and \
+     histogram) as OpenMetrics text to $(docv), atomically rewritten on \
+     each snapshot and once more at exit.  Snapshots happen per inference \
+     round, every $(b,--metrics-interval) milliseconds, and on \
+     $(b,SIGUSR1).  Render the file with $(b,sherlock stats --from)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_interval_arg =
+  let doc =
+    "Snapshot interval in milliseconds while inference runs (with \
+     $(b,--metrics-out)); 0 keeps only per-round and SIGUSR1 snapshots."
+  in
+  Arg.(value & opt int 100 & info [ "metrics-interval" ] ~docv:"MS" ~doc)
+
+let log_out_arg =
+  let doc =
+    "Write structured logs (supervised retries and drops, watchdog stalls, \
+     LP degradations and aborts) as JSON lines to $(docv).  The \
+     $(b,SHERLOCK_LOG) environment variable (a path, $(b,stderr), or \
+     $(b,LEVEL:PATH)) does the same without the flag."
+  in
+  Arg.(value & opt (some string) None & info [ "log-out" ] ~docv:"FILE" ~doc)
+
+let with_metrics_plane ~metrics_out ~log_out f =
+  Telemetry.Log.init_from_env ();
+  (match log_out with Some path -> Telemetry.Log.to_file path | None -> ());
+  let close_log () = if log_out <> None then Telemetry.Log.close () in
+  match metrics_out with
+  | None -> Fun.protect ~finally:close_log f
+  | Some path ->
+    Telemetry.Metrics.set_enabled true;
+    Telemetry.Snapshot.install_runtime_gauges ();
+    let ring =
+      Telemetry.Snapshot.create
+        ~on_snapshot:(fun p ->
+          (* A full disk or unwritable path must not kill the run the
+             plane is observing. *)
+          try Telemetry.Openmetrics.write_atomic path (Telemetry.Openmetrics.of_point p)
+          with Sys_error _ -> ())
+        ()
+    in
+    Telemetry.Snapshot.install ring;
+    Telemetry.Snapshot.install_sigusr1 ();
+    Fun.protect
+      ~finally:(fun () ->
+        (* Final snapshot so the exported file reflects the finished
+           run, not the last tick. *)
+        ignore (Telemetry.Snapshot.take ~label:"final" ring);
+        Telemetry.Snapshot.uninstall ();
+        Telemetry.Metrics.set_enabled false;
+        close_log ())
+      f
+
+(* Fold the flat per-run trace metrics into the registry (as trace.*
+   counters/histograms) so exports and the stats console cover the
+   pipeline stages too. *)
+let bridge_trace_metrics (result : Orchestrator.result) =
+  Sherlock_trace.Metrics.to_registry Telemetry.Metrics.default
+    (Observations.metrics result.Orchestrator.observations)
+
 let trace_format_enum =
   Arg.enum
     [ ("text", Sherlock_trace.Trace_io.Text);
@@ -186,13 +256,22 @@ let provenance_out_arg =
 
 let run_cmd =
   let run config app_name verbose dump_dir trace_format telemetry_out
-      provenance_out =
+      provenance_out metrics_out metrics_interval log_out =
     let config =
       if provenance_out <> None then { config with Config.provenance = true }
       else config
     in
+    let config =
+      if metrics_out <> None then
+        { config with Config.metrics_interval_ms = metrics_interval }
+      else config
+    in
     let app, result =
-      with_telemetry telemetry_out (fun () -> infer_run config app_name)
+      with_metrics_plane ~metrics_out ~log_out (fun () ->
+          with_telemetry telemetry_out (fun () ->
+              let r = infer_run config app_name in
+              if metrics_out <> None then bridge_trace_metrics (snd r);
+              r))
     in
     (match (provenance_out, result.Orchestrator.provenance) with
     | Some path, Some prov ->
@@ -241,6 +320,7 @@ let run_cmd =
             (if r.stats.degraded then " [degraded LP]" else ""))
         result.rounds;
       Report.print_round_metrics Format.std_formatter result.rounds;
+      Report.print_extraction_summary Format.std_formatter ();
       if telemetry_out <> None then
         Format.printf "%a@." Telemetry.Metrics.pp_summary Telemetry.Metrics.default
     end;
@@ -281,7 +361,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Infer synchronizations for one application (3 rounds by default).")
     Term.(
       const run $ config_term $ app_arg $ verbose $ dump_dir $ trace_format
-      $ telemetry_out_arg $ provenance_out_arg)
+      $ telemetry_out_arg $ provenance_out_arg $ metrics_out_arg
+      $ metrics_interval_arg $ log_out_arg)
 
 let race_cmd =
   let run config app_name model_name =
@@ -607,6 +688,328 @@ let explain_cmd =
       const run $ config_term $ app_opt $ op_query $ all $ from_file $ json_out
       $ flows_out)
 
+(* ------------------------------------------------------------------ *)
+(* sherlock stats: a console summary of a metrics snapshot, shared
+   between the live path (run inference, snapshot the registry) and the
+   file path (parse an OpenMetrics export written by --metrics-out). *)
+
+(* Reconstruct a snapshot point from a parsed exposition.  The raw
+   registry name round-trips through the HELP text the exporter writes
+   ("SherLock metric <raw>"); histogram buckets de-cumulate from the
+   le-labelled series. *)
+let point_of_families (families : Telemetry.Openmetrics.family list) =
+  let open Telemetry.Openmetrics in
+  let raw_name (f : family) =
+    let prefix = "SherLock metric " in
+    match f.f_help with
+    | Some h when String.length h > String.length prefix
+                  && String.sub h 0 (String.length prefix) = prefix ->
+      String.sub h (String.length prefix) (String.length h - String.length prefix)
+    | _ -> f.f_name
+  in
+  let ends_with suffix s =
+    let ls = String.length s and lx = String.length suffix in
+    ls >= lx && String.sub s (ls - lx) lx = suffix
+  in
+  let ts = ref 0.0 and seq = ref 0 in
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (f : family) ->
+      match f.f_name with
+      | "sherlock_snapshot_timestamp_seconds" ->
+        (match f.f_samples with s :: _ -> ts := s.s_value | [] -> ())
+      | "sherlock_snapshot_seq" ->
+        (match f.f_samples with
+        | s :: _ -> seq := int_of_float s.s_value
+        | [] -> ())
+      | _ -> (
+        let raw = raw_name f in
+        match f.f_type with
+        | MCounter -> (
+          match f.f_samples with
+          | s :: _ -> counters := (raw, int_of_float s.s_value) :: !counters
+          | [] -> ())
+        | MGauge -> (
+          match f.f_samples with
+          | s :: _ -> gauges := (raw, int_of_float s.s_value) :: !gauges
+          | [] -> ())
+        | MHistogram ->
+          let buckets = Array.make 63 0 in
+          let sum = ref 0.0 and count = ref 0 in
+          let cums = ref [] in
+          List.iter
+            (fun s ->
+              if ends_with "_bucket" s.s_series then begin
+                match List.assoc_opt "le" s.s_labels with
+                | None | Some "+Inf" -> ()
+                | Some le -> (
+                  match float_of_string_opt le with
+                  | None -> ()
+                  | Some le ->
+                    let idx =
+                      if le <= 1.0 then 0
+                      else int_of_float (Float.round (Float.log2 le))
+                    in
+                    if idx >= 0 && idx < Array.length buckets then
+                      cums := (idx, int_of_float s.s_value) :: !cums)
+              end
+              else if ends_with "_sum" s.s_series then sum := s.s_value
+              else if ends_with "_count" s.s_series then
+                count := int_of_float s.s_value)
+            f.f_samples;
+          let cums = List.sort compare !cums in
+          let prev = ref 0 in
+          List.iter
+            (fun (i, cum) ->
+              buckets.(i) <- cum - !prev;
+              prev := cum)
+            cums;
+          hists :=
+            ( raw,
+              {
+                Telemetry.Snapshot.h_count = !count;
+                h_sum = !sum;
+                (* The exposition carries no exact min/max; the renderer
+                   treats these as unknown. *)
+                h_min = infinity;
+                h_max = neg_infinity;
+                h_buckets = buckets;
+              } )
+            :: !hists
+        | MUnknown -> ()))
+    families;
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  {
+    Telemetry.Snapshot.p_seq = !seq;
+    p_ts = !ts;
+    p_label = "file";
+    p_counters = sorted !counters;
+    p_gauges = sorted !gauges;
+    p_hists = sorted !hists;
+  }
+
+let hist_percentile (h : Telemetry.Snapshot.hist_summary) q =
+  if h.h_count = 0 then nan
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let cum = ref 0 and res = ref nan in
+    (try
+       Array.iteri
+         (fun i n ->
+           cum := !cum + n;
+           if !res <> !res && float_of_int !cum >= target then begin
+             res := (if i = 0 then 1.0 else Float.pow 2.0 (float_of_int i));
+             raise Exit
+           end)
+         h.h_buckets
+     with Exit -> ());
+    !res
+  end
+
+let utilization_bar ~width frac =
+  let frac = Float.max 0.0 (Float.min 1.0 frac) in
+  let full = int_of_float (Float.round (frac *. float_of_int width)) in
+  String.concat ""
+    [ "["; String.make full '#'; String.make (width - full) '-'; "]" ]
+
+(* One-line sparkline over the populated bucket range. *)
+let hist_spark (h : Telemetry.Snapshot.hist_summary) =
+  let first = ref (-1) and last = ref (-1) in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        if !first < 0 then first := i;
+        last := i
+      end)
+    h.h_buckets;
+  if !first < 0 then ""
+  else begin
+    let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                    "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                    "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+    let peak =
+      Array.fold_left max 1 (Array.sub h.h_buckets !first (!last - !first + 1))
+    in
+    let b = Buffer.create 32 in
+    for i = !first to !last do
+      let n = h.h_buckets.(i) in
+      if n = 0 then Buffer.add_char b ' '
+      else
+        Buffer.add_string b blocks.(min 7 (n * 8 / peak))
+    done;
+    Buffer.contents b
+  end
+
+let render_stats ppf (p : Telemetry.Snapshot.point) =
+  let c name = Option.value ~default:0 (List.assoc_opt name p.p_counters) in
+  let g name = Option.value ~default:0 (List.assoc_opt name p.p_gauges) in
+  let h name = List.assoc_opt name p.p_hists in
+  let hist_sum name = match h name with Some s -> s.h_sum | None -> 0.0 in
+  let pr fmt = Format.fprintf ppf fmt in
+  let tm = Unix.localtime p.p_ts in
+  pr "sherlock stats — snapshot #%d (%s) at %04d-%02d-%02d %02d:%02d:%02d@.@."
+    p.p_seq
+    (if p.p_label = "" then "unlabelled" else p.p_label)
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+  (* Pipeline stages: the trace.* bridge counters plus stage wall-clocks
+     (observed as histograms, one observation per inference). *)
+  let events = c "trace.events" in
+  if events > 0 then begin
+    let run_s = hist_sum "trace.run_s" in
+    let extract_s = hist_sum "trace.extract_s" in
+    let solve_s = hist_sum "trace.solve_s" in
+    pr "  pipeline@.";
+    pr "    trace events   %d%s@." events
+      (if run_s > 0.0 then
+         Printf.sprintf "  (%.0f events/s of simulated run)"
+           (float_of_int events /. run_s)
+       else "");
+    pr "    windows        %d%s@." (c "trace.windows")
+      (if extract_s > 0.0 then
+         Printf.sprintf "  (%.0f windows/s of extraction)"
+           (float_of_int (c "trace.windows") /. extract_s)
+       else "");
+    if c "trace.races" > 0 then pr "    races          %d@." (c "trace.races");
+    pr "    run / extract / solve   %.3fs / %.3fs / %.3fs@.@." run_s extract_s
+      solve_s
+  end;
+  (* Cache effectiveness and extraction sharding. *)
+  let hits = c "windows.span_cache.hit" in
+  let misses = c "windows.span_cache.miss" in
+  if hits + misses > 0 || c "windows.shards" > 0 then begin
+    pr "  extraction@.";
+    if hits + misses > 0 then begin
+      let rate = float_of_int hits /. float_of_int (hits + misses) in
+      pr "    span cache     %5.1f%% hit  %s  (%d of %d lookups)@."
+        (100.0 *. rate)
+        (utilization_bar ~width:10 rate)
+        hits (hits + misses)
+    end;
+    if c "windows.shards" > 0 then
+      pr "    shards         %d total (current extraction: %d of %d chunks done)@."
+        (c "windows.shards")
+        (g "windows.chunks.done") (g "windows.chunks.total");
+    pr "@."
+  end;
+  (* Worker-pool occupancy (live-run snapshots; zero after exit). *)
+  let live = g "pool.domains.live" in
+  if live > 0 then begin
+    let busy = g "pool.domains.busy" in
+    pr "  pool@.";
+    pr "    domains        %d busy / %d live (host recommends %d)  %s@.@." busy
+      live
+      (g "domains.recommended")
+      (utilization_bar ~width:10 (float_of_int busy /. float_of_int live))
+  end;
+  (* LP health. *)
+  if c "lp.solves" > 0 then begin
+    pr "  lp@.";
+    pr "    solves         %d (%d warm%s), aborted %d@." (c "lp.solves")
+      (c "lp.warm_start.hits")
+      (if c "lp.warm_start.pivots_saved" > 0 then
+         Printf.sprintf ", saving %d pivots" (c "lp.warm_start.pivots_saved")
+       else "")
+      (c "lp.aborted");
+    (match h "lp.pivots" with
+    | Some ph when ph.h_count > 0 ->
+      pr "    pivots         %d total, per solve p50<=%.0f p95<=%.0f@."
+        (c "lp.pivots.total") (hist_percentile ph 0.5) (hist_percentile ph 0.95)
+    | _ -> ());
+    pr "    factorization  %d refactors, eta file now %d@.@." (c "lp.refactors")
+      (g "lp.eta_len")
+  end;
+  (* Supervision / fault handling. *)
+  if c "orch.run.failed" + c "sim.fault.injected" > 0 then begin
+    pr "  supervision@.";
+    pr "    failed runs    %d (retried %d), degraded rounds %d, injected faults %d@.@."
+      (c "orch.run.failed") (c "orch.run.retried") (c "orch.run.degraded")
+      (c "sim.fault.injected")
+  end;
+  (* GC levels (from the runtime gauges; absent in files written without
+     the plane). *)
+  if g "gc.heap_words" > 0 then begin
+    pr "  gc@.";
+    pr "    heap           %.1f MW (top %.1f MW), collections %d minor / %d major@.@."
+      (float_of_int (g "gc.heap_words") /. 1e6)
+      (float_of_int (g "gc.top_heap_words") /. 1e6)
+      (g "gc.minor_collections") (g "gc.major_collections")
+  end;
+  (* Top histograms by observation count. *)
+  let top =
+    List.filter (fun (_, (s : Telemetry.Snapshot.hist_summary)) -> s.h_count > 0)
+      p.p_hists
+    |> List.sort (fun (_, (a : Telemetry.Snapshot.hist_summary)) (_, b) ->
+           compare b.h_count a.h_count)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let top = take 5 top in
+  if top <> [] then begin
+    pr "  top histograms@.";
+    List.iter
+      (fun (name, (s : Telemetry.Snapshot.hist_summary)) ->
+        pr "    %-28s n=%-8d mean %-10.1f %s%s@." name s.h_count
+          (s.h_sum /. float_of_int s.h_count)
+          (if s.h_max > neg_infinity then Printf.sprintf "max %-8.0f " s.h_max
+           else "")
+          (hist_spark s))
+      top
+  end
+
+let stats_cmd =
+  let run config app_name from_file =
+    match from_file with
+    | Some path -> (
+      match Telemetry.Openmetrics.parse_file path with
+      | Error msg ->
+        Printf.eprintf "cannot parse OpenMetrics file %s: %s\n" path msg;
+        exit 2
+      | Ok families ->
+        render_stats Format.std_formatter (point_of_families families))
+    | None -> (
+      match app_name with
+      | None ->
+        Printf.eprintf
+          "stats needs an application (-a APP) or a metrics file (--from FILE)\n";
+        exit 2
+      | Some app_name ->
+        (* Live mode: run inference with the full plane on, then render
+           the end-of-run snapshot. *)
+        Telemetry.Metrics.set_enabled true;
+        Telemetry.Snapshot.install_runtime_gauges ();
+        let _app, result = infer_run config app_name in
+        bridge_trace_metrics result;
+        let ring = Telemetry.Snapshot.create ~capacity:1 () in
+        render_stats Format.std_formatter
+          (Telemetry.Snapshot.take ~label:"live" ring))
+  in
+  let app_opt =
+    let doc = "Application to analyze live (omit when reading --from a file)." in
+    Arg.(value & opt (some string) None & info [ "a"; "app" ] ~docv:"APP" ~doc)
+  in
+  let from_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Render a saved OpenMetrics exposition (written by $(b,run \
+             --metrics-out), possibly mid-run) instead of running \
+             inference.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Render a console summary of SherLock's metrics — per-stage \
+          throughput, cache hit rates, pool utilization, LP health, and \
+          the busiest histograms — from a live inference run or a saved \
+          $(b,--metrics-out) file.")
+    Term.(const run $ config_term $ app_opt $ from_file)
+
 let main =
   let doc = "unsupervised synchronization-operation inference (ASPLOS'21 reproduction)" in
   Cmd.group
@@ -620,6 +1023,7 @@ let main =
       convert_cmd;
       timeline_cmd;
       explain_cmd;
+      stats_cmd;
     ]
 
 let () = exit (Cmd.eval main)

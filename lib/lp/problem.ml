@@ -249,6 +249,10 @@ let record_info info =
   if Tm.enabled () then begin
     Tm.Counter.incr (Tm.counter "lp.solves");
     Tm.Histogram.observe_int (Tm.histogram "lp.pivots") info.pivots;
+    (* Monotone total alongside the per-solve histogram, so the snapshot
+       plane can derive pivots/second between any two points. *)
+    if info.pivots > 0 then
+      Tm.Counter.incr ~by:info.pivots (Tm.counter "lp.pivots.total");
     if info.presolve_removed_rows > 0 then
       Tm.Counter.incr
         ~by:info.presolve_removed_rows
@@ -269,6 +273,7 @@ let record_info info =
 let record_abort () =
   let module Tm = Sherlock_telemetry.Metrics in
   if Tm.enabled () then Tm.Counter.incr (Tm.counter "lp.aborted")
+
 
 let constr_list t =
   let acc = ref [] in
@@ -352,6 +357,14 @@ let aborted t info =
   t.info <- info;
   record_info info;
   record_abort ();
+  (let module L = Sherlock_telemetry.Log in
+   L.warn "lp.aborted"
+     [
+       ("pivots", L.Int info.pivots);
+       ("refactors", L.Int info.refactors);
+       ("vars", L.Int t.count);
+       ("constraints", L.Int t.nconstrs);
+     ]);
   (Aborted, fun _ -> 0.0)
 
 let stat_info base (st : Simplex.stats) =

@@ -100,6 +100,11 @@ let set_pivot_limit n = pivot_limit := max 1 n
 
 let default_refactor_interval = 64
 
+(* Live eta-file length, visible to the snapshot ticker mid-solve: how
+   far the current factorization has drifted since the last refactor.
+   One atomic store per pivot — noise next to the FTRAN/BTRAN work. *)
+let g_eta_len = Sherlock_telemetry.Metrics.gauge "lp.eta_len"
+
 let refactor_interval = ref default_refactor_interval
 
 let set_refactor_interval n = refactor_interval := max 1 n
@@ -360,6 +365,7 @@ let do_pivot t ~row ~col ~w ~s ~delta ~enter_value ~leave_upper =
   Lu.update lu ~r:row ~w;
   t.stats.m_pivots <- t.stats.m_pivots + 1;
   t.stats.m_eta_max <- max t.stats.m_eta_max (Lu.eta_count lu);
+  Sherlock_telemetry.Metrics.Gauge.set g_eta_len (Lu.eta_count lu);
   maybe_refactor t
 
 (* Primal simplex on the current factorization, minimizing [cost], with

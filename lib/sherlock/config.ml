@@ -27,6 +27,7 @@ type t = {
   lp_engine : Sherlock_lp.Problem.engine;
   use_warm_start : bool;
   provenance : bool;
+  metrics_interval_ms : int;
 }
 
 let default =
@@ -59,6 +60,7 @@ let default =
     lp_engine = Sherlock_lp.Problem.Sparse;
     use_warm_start = true;
     provenance = false;
+    metrics_interval_ms = 0;
   }
 
 let pp ppf t =
@@ -73,5 +75,7 @@ let pp ppf t =
   | Sherlock_lp.Problem.Dense -> Format.fprintf ppf " lp=dense");
   if not t.use_warm_start then Format.fprintf ppf " warm-start=off";
   if t.provenance then Format.fprintf ppf " provenance=on";
+  if t.metrics_interval_ms > 0 then
+    Format.fprintf ppf " metrics-interval=%dms" t.metrics_interval_ms;
   if not (Sherlock_sim.Fault.is_empty t.fault_plan) then
     Format.fprintf ppf " fault=[%a]" Sherlock_sim.Fault.pp t.fault_plan

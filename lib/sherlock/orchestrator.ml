@@ -1,6 +1,8 @@
 open Sherlock_sim
 module Tspan = Sherlock_telemetry.Span
 module Tm = Sherlock_telemetry.Metrics
+module Tlog = Sherlock_telemetry.Log
+module Tsnap = Sherlock_telemetry.Snapshot
 
 type subject = {
   subject_name : string;
@@ -39,6 +41,13 @@ let failure_to_string = function
   | Crashed msg -> "crashed: " ^ msg
   | Deadlocked stuck -> "deadlocked: " ^ stuck
   | Stalled steps -> Printf.sprintf "stalled after %d steps" steps
+
+(* Event kind for structured logs: stable, grep-able, one word.
+   [Stalled] is the scheduler watchdog firing ([Config.max_steps]). *)
+let failure_kind = function
+  | Crashed _ -> "crashed"
+  | Deadlocked _ -> "deadlocked"
+  | Stalled _ -> "watchdog_stalled"
 
 let failed_runs reports =
   List.fold_left (fun acc r -> acc + List.length r.failures) 0 reports
@@ -156,11 +165,33 @@ let run_and_extract (config : Config.t) ~round ~plan ?(extract_jobs = 1) ?pool
         } )
     | Error f ->
       Tm.Counter.incr c_failed;
+      Tlog.warn "orch.run.failed"
+        [
+          ("test", Tlog.Str name);
+          ("round", Tlog.Int round);
+          ("attempt", Tlog.Int attempt);
+          ("kind", Tlog.Str (failure_kind f));
+          ("detail", Tlog.Str (failure_to_string f));
+        ];
       if attempt < config.retries then begin
         Tm.Counter.incr c_retried;
+        Tlog.info "orch.run.retry"
+          [
+            ("test", Tlog.Str name);
+            ("round", Tlog.Int round);
+            ("next_attempt", Tlog.Int (attempt + 1));
+            ("retries_left", Tlog.Int (config.retries - attempt - 1));
+          ];
         attempt_run (attempt + 1) (f :: failures)
       end
-      else
+      else begin
+        Tlog.error "orch.run.dropped"
+          [
+            ("test", Tlog.Str name);
+            ("round", Tlog.Int round);
+            ("attempts", Tlog.Int (attempt + 1));
+            ("kind", Tlog.Str (failure_kind f));
+          ];
         ( None,
           {
             test_name = name;
@@ -169,6 +200,7 @@ let run_and_extract (config : Config.t) ~round ~plan ?(extract_jobs = 1) ?pool
             injected = !injected;
             completed = false;
           } )
+      end
   in
   attempt_run 0 []
 
@@ -211,7 +243,17 @@ let infer ?(config = Config.default) subject =
      below: a finished inference must leave no parked domain behind to
      slow the caller's subsequent sequential work. *)
   let pool = Pool.create () in
-  Fun.protect ~finally:(fun () -> Pool.retire pool) @@ fun () ->
+  (* The snapshot ticker runs only while inference does: started here
+     (no-op when the interval is 0 or no ring is installed) and stopped
+     in the same [finally] that retires the pool, so a finished
+     inference leaves neither parked domains nor a live systhread. *)
+  if config.metrics_interval_ms > 0 then
+    Tsnap.start_ticker ~interval_ms:config.metrics_interval_ms ();
+  Fun.protect
+    ~finally:(fun () ->
+      if config.metrics_interval_ms > 0 then Tsnap.stop_ticker ();
+      Pool.retire pool)
+  @@ fun () ->
   for round = 1 to config.rounds do
     Tspan.with_span ~name:"round" ~attrs:[ ("round", Tspan.Int round) ]
     @@ fun () ->
@@ -249,7 +291,15 @@ let infer ?(config = Config.default) subject =
       match !rounds with r :: _ -> r.verdicts | [] -> []
     in
     let verdicts, stats = Encoder.solve ?state:enc_state ~previous config !obs in
-    if stats.degraded then Tm.Counter.incr c_degraded;
+    if stats.degraded then begin
+      Tm.Counter.incr c_degraded;
+      Tlog.warn "orch.lp.degraded"
+        [
+          ("round", Tlog.Int round);
+          ("windows", Tlog.Int stats.num_windows);
+          ("vars", Tlog.Int stats.num_vars);
+        ]
+    end;
     rounds :=
       { round; verdicts; stats; delayed_ops = Perturber.size !plan; run_reports }
       :: !rounds;
@@ -274,6 +324,16 @@ let infer ?(config = Config.default) subject =
                (Perturber.bindings !plan);
          }
          :: !prov_rounds);
+    Tlog.info "orch.round"
+      [
+        ("round", Tlog.Int round);
+        ("windows", Tlog.Int stats.num_windows);
+        ("vars", Tlog.Int stats.num_vars);
+        ("verdicts", Tlog.Int (List.length verdicts));
+        ("failed_runs", Tlog.Int (failed_runs run_reports));
+        ("degraded", Tlog.Bool stats.degraded);
+      ];
+    ignore (Tsnap.take_installed_if_due ~label:(Printf.sprintf "round %d" round) ());
     if Tm.enabled () then
       Tm.sample ~label:(Printf.sprintf "round %d" round) ();
     plan :=

@@ -45,6 +45,12 @@ val print_round_metrics : Format.formatter -> Orchestrator.round_result list -> 
     failed run attempts ("Failed"), tests dropped after exhausting
     retries ("Lost"), and whether the LP solved or degraded. *)
 
+val print_extraction_summary : Format.formatter -> unit -> unit
+(** Window-extraction cache effectiveness from the default metrics
+    registry: span-cache hit rate (hits of total lookups) and, when the
+    parallel path ran, the shard count.  Prints nothing when no
+    extraction has happened in this process. *)
+
 val print_run_failures : Format.formatter -> Orchestrator.round_result list -> unit
 (** One line per failed run attempt (round, test, attempt, cause), with
     [\[dropped\]] marking tests that exhausted their retries; prints

@@ -72,6 +72,31 @@ module Histogram = struct
 
   let max_value t = t.max_v
 
+  type export = {
+    e_count : int;
+    e_sum : float;
+    e_min : float;
+    e_max : float;
+    e_buckets : int array;
+  }
+
+  (* A coherent copy of the whole histogram, taken under its mutex: the
+     snapshot/OpenMetrics paths must not observe a count that excludes
+     an observation already folded into a bucket (or vice versa). *)
+  let export t =
+    Mutex.lock t.mutex;
+    let e =
+      {
+        e_count = t.count;
+        e_sum = t.sum;
+        e_min = t.min_v;
+        e_max = t.max_v;
+        e_buckets = Array.copy t.buckets;
+      }
+    in
+    Mutex.unlock t.mutex;
+    e
+
   let percentile t p =
     if t.count = 0 then nan
     else begin
@@ -93,6 +118,35 @@ module Histogram = struct
     end
 end
 
+module Gauge = struct
+  (* A gauge is a point-in-time level, not an accumulation: pool
+     occupancy, eta-file length, heap words.  Two sources: a [Cell] the
+     instrumented code sets/adds to, and a [Fn] callback evaluated at
+     read time (GC statistics, pool introspection) so the producer never
+     has to push updates. *)
+  type source = Cell of int Atomic.t | Fn of (unit -> int)
+
+  type t = { name : string; source : source }
+
+  let make name = { name; source = Cell (Atomic.make 0) }
+
+  let make_fn name f = { name; source = Fn f }
+
+  let name t = t.name
+
+  let set t v = match t.source with Cell c -> Atomic.set c v | Fn _ -> ()
+
+  let add t d =
+    match t.source with
+    | Cell c -> ignore (Atomic.fetch_and_add c d)
+    | Fn _ -> ()
+
+  let value t =
+    match t.source with
+    | Cell c -> Atomic.get c
+    | Fn f -> ( try f () with _ -> 0)
+end
+
 type sample = {
   sample_s : float;
   sample_label : string;
@@ -103,6 +157,7 @@ type registry = {
   mutex : Mutex.t;
   counters : (string, Counter.t) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
+  gauges : (string, Gauge.t) Hashtbl.t;
   mutable samples : sample list; (* reversed *)
 }
 
@@ -111,6 +166,7 @@ let create () =
     mutex = Mutex.create ();
     counters = Hashtbl.create 32;
     histograms = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
     samples = [];
   }
 
@@ -135,6 +191,19 @@ let counter ?(registry = default) name =
 let histogram ?(registry = default) name =
   get_or_create registry registry.histograms Histogram.make name
 
+let gauge ?(registry = default) name =
+  get_or_create registry registry.gauges Gauge.make name
+
+(* Unlike [gauge], a callback registration always installs the given
+   closure: re-installing (after a [reset], or with a closure over a
+   fresher resource) must not silently keep reading the stale one. *)
+let gauge_fn ?(registry = default) name f =
+  Mutex.lock registry.mutex;
+  let g = Gauge.make_fn name f in
+  Hashtbl.replace registry.gauges name g;
+  Mutex.unlock registry.mutex;
+  g
+
 let sorted_values tbl name_of =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
   |> List.sort (fun a b -> String.compare (name_of a) (name_of b))
@@ -142,6 +211,8 @@ let sorted_values tbl name_of =
 let counters reg = sorted_values reg.counters Counter.name
 
 let histograms reg = sorted_values reg.histograms Histogram.name
+
+let gauges reg = sorted_values reg.gauges Gauge.name
 
 let sample ?(registry = default) ~label () =
   let now = Unix.gettimeofday () in
@@ -163,6 +234,7 @@ let reset reg =
   Mutex.lock reg.mutex;
   Hashtbl.reset reg.counters;
   Hashtbl.reset reg.histograms;
+  Hashtbl.reset reg.gauges;
   reg.samples <- [];
   Mutex.unlock reg.mutex
 
@@ -171,6 +243,13 @@ let pp_summary ppf reg =
   List.iter
     (fun c -> Format.fprintf ppf "  %-42s %d@," (Counter.name c) (Counter.value c))
     (counters reg);
+  (match gauges reg with
+  | [] -> ()
+  | gs ->
+    Format.fprintf ppf "telemetry gauges:@,";
+    List.iter
+      (fun g -> Format.fprintf ppf "  %-42s %d@," (Gauge.name g) (Gauge.value g))
+      gs);
   Format.fprintf ppf "telemetry histograms:@,";
   List.iter
     (fun h ->

@@ -49,6 +49,40 @@ module Histogram : sig
   (** [percentile h p] with [p] in [0, 1]: the upper bound of the bucket
       holding the p-quantile (an over-approximation within 2x); [nan]
       when empty. *)
+
+  type export = {
+    e_count : int;
+    e_sum : float;
+    e_min : float;  (** [infinity] when empty *)
+    e_max : float;  (** [neg_infinity] when empty *)
+    e_buckets : int array;
+        (** bucket [i] counts observations in [(2^(i-1), 2^i]]; bucket 0
+            everything [<= 1] *)
+  }
+
+  val export : t -> export
+  (** A coherent copy taken under the histogram's mutex — what the
+      snapshot ring and the OpenMetrics exporter read. *)
+end
+
+module Gauge : sig
+  (** A point-in-time level (pool occupancy, heap words, eta-file
+      length), as opposed to a {!Counter}'s monotone accumulation.
+      Cell gauges ({!val-gauge}) are set by the instrumented code;
+      callback gauges ({!gauge_fn}) are evaluated at read time, so
+      sources like [Gc.quick_stat] need no pushing. *)
+
+  type t
+
+  val name : t -> string
+
+  val set : t -> int -> unit
+  (** No-op on a callback gauge. *)
+
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Cell value, or the callback's result (0 if it raises). *)
 end
 
 type registry
@@ -64,10 +98,22 @@ val counter : ?registry:registry -> string -> Counter.t
 
 val histogram : ?registry:registry -> string -> Histogram.t
 
+val gauge : ?registry:registry -> string -> Gauge.t
+(** Get or create a cell gauge; the same name always yields the same
+    gauge. *)
+
+val gauge_fn : ?registry:registry -> string -> (unit -> int) -> Gauge.t
+(** Install (or replace) a callback gauge evaluated at read time.
+    Unlike {!val-gauge}, a repeated call rebinds the name to the new
+    closure, so re-installation after {!reset} — or over a fresher
+    resource — never keeps reading a stale callback. *)
+
 val counters : registry -> Counter.t list
 (** Sorted by name. *)
 
 val histograms : registry -> Histogram.t list
+
+val gauges : registry -> Gauge.t list
 
 type sample = {
   sample_s : float;  (** [Unix.gettimeofday] at the snapshot *)
@@ -86,7 +132,7 @@ val samples : ?registry:registry -> unit -> sample list
 (** All snapshots in chronological order. *)
 
 val reset : registry -> unit
-(** Drop every counter, histogram, and sample (bench reruns). *)
+(** Drop every counter, gauge, histogram, and sample (bench reruns). *)
 
 val pp_summary : Format.formatter -> registry -> unit
 (** Text summary: one line per counter, one per histogram with

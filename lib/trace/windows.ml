@@ -120,6 +120,13 @@ let first_delay log ~tid ~lo ~hi = Log.first_delayed_in log ~tid ~lo ~hi
 
 let c_shards = Tm.counter "windows.shards"
 
+(* Shard progress, readable mid-extraction by the snapshot ticker: how
+   many chunks the current parallel extraction has, and how many have
+   completed.  Gauges, not counters — they reset per extraction. *)
+let g_chunks_total = Tm.gauge "windows.chunks.total"
+
+let g_chunks_done = Tm.gauge "windows.chunks.done"
+
 let c_cache_hit = Tm.counter "windows.span_cache.hit"
 
 let c_cache_miss = Tm.counter "windows.span_cache.miss"
@@ -395,6 +402,8 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
        Each slot is written by exactly one worker before the pool batch
        completes; [Pool.run]'s join publishes the writes to the caller. *)
     let chunk_out : candidate list list array = Array.make nchunks [] in
+    Tm.Gauge.set g_chunks_total nchunks;
+    Tm.Gauge.set g_chunks_done 0;
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let total_hits = Atomic.make 0 and total_misses = Atomic.make 0 in
@@ -422,7 +431,7 @@ let extract ?(near = default_near) ?(cap = default_cap) ?(refine = true)
         let ci = Atomic.fetch_and_add next 1 in
         if ci < nchunks && Option.is_none (Atomic.get failure) then begin
           (match process_chunk cache ci with
-          | () -> ()
+          | () -> Tm.Gauge.add g_chunks_done 1
           | exception e ->
             let bt = Printexc.get_raw_backtrace () in
             ignore (Atomic.compare_and_set failure None (Some (e, bt))));

@@ -23,6 +23,21 @@
    [run] on the same pool (a nested batch would deadlock waiting for
    workers parked inside the outer one). *)
 
+(* Process-wide occupancy, summed over every live pool: how many worker
+   domains exist and how many participants (workers plus submitting
+   callers) are inside a batch thunk right now.  Kept here — rather than
+   per pool — because the consumer is the telemetry plane's gauges,
+   which read "the process" and cannot enumerate scoped pools.  Plain
+   atomics: writers touch them once per spawn/retire/batch, never per
+   work item. *)
+let live = Atomic.make 0
+
+let busy = Atomic.make 0
+
+let live_domains () = Atomic.get live
+
+let busy_domains () = Atomic.get busy
+
 type t = {
   mutex : Mutex.t;
   start : Condition.t; (* a new batch is published, or [stop] was set *)
@@ -59,7 +74,9 @@ let worker p () =
       p.running <- p.running + 1;
       let f = p.batch in
       Mutex.unlock p.mutex;
+      ignore (Atomic.fetch_and_add busy 1);
       f ();
+      ignore (Atomic.fetch_and_add busy (-1));
       Mutex.lock p.mutex;
       p.running <- p.running - 1;
       if p.remaining = 0 && p.running = 0 then Condition.broadcast p.finished;
@@ -75,7 +92,8 @@ let worker p () =
 (* With [p.mutex] held: grow the pool to at least [want] workers. *)
 let ensure p want =
   for _ = List.length p.handles + 1 to want do
-    p.handles <- Domain.spawn (worker p) :: p.handles
+    p.handles <- Domain.spawn (worker p) :: p.handles;
+    ignore (Atomic.fetch_and_add live 1)
   done
 
 let run p ~workers f =
@@ -86,7 +104,9 @@ let run p ~workers f =
   p.remaining <- workers;
   Condition.broadcast p.start;
   Mutex.unlock p.mutex;
+  ignore (Atomic.fetch_and_add busy 1);
   f ();
+  ignore (Atomic.fetch_and_add busy (-1));
   Mutex.lock p.mutex;
   while p.remaining > 0 || p.running > 0 do
     Condition.wait p.finished p.mutex
@@ -101,7 +121,11 @@ let retire p =
   let hs = p.handles in
   p.handles <- [];
   Mutex.unlock p.mutex;
-  List.iter Domain.join hs
+  List.iter
+    (fun h ->
+      Domain.join h;
+      ignore (Atomic.fetch_and_add live (-1)))
+    hs
 
 (* Order-preserving map over [arr] with up to [domains] domains (pool
    workers plus the caller) pulling indices from a shared counter.  Each
@@ -109,8 +133,13 @@ let retire p =
    traffic is the [Atomic] work counter, the failure slot, and the
    results array, each slot written by exactly one worker before the
    batch completes.  Workers never raise: the first exception is parked
-   in [failure], remaining work is abandoned, and the exception is
-   re-raised on the calling domain once the batch has drained. *)
+   in [failure] and the work counter is drained — pushed past [n] — so
+   every outstanding item is cancelled at once instead of each worker
+   discovering the failure one fetched item at a time; at most the
+   items already in flight (one per domain) still complete.  Draining
+   also keeps the happy path free of a per-item failure load.  The
+   exception is re-raised on the calling domain once the batch has
+   drained. *)
 let parallel_map ~pool ~domains f arr =
   let n = Array.length arr in
   let results = Array.make n None in
@@ -119,12 +148,17 @@ let parallel_map ~pool ~domains f arr =
   let work () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
-      if i < n && Option.is_none (Atomic.get failure) then begin
+      if i < n then begin
         (match f i arr.(i) with
         | r -> results.(i) <- Some r
         | exception e ->
           let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+          (* Cancel outstanding items.  [Atomic.set] may race with a
+             concurrent [fetch_and_add], but the counter only ever needs
+             to be [>= n] from here on, and any index handed out before
+             the store lands was a legitimately in-flight item. *)
+          Atomic.set next n);
         loop ()
       end
     in

@@ -39,5 +39,15 @@ val parallel_map : pool:t -> domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b 
 (** Order-preserving map over the array with up to [domains] domains
     (pool workers plus the caller) pulling indices from a shared atomic
     counter.  [f] calls must be mutually independent.  If some [f]
-    raises, the first exception is re-raised on the calling domain with
-    its backtrace once the batch has drained. *)
+    raises, the shared counter is drained so every not-yet-started item
+    is cancelled (at most one in-flight item per domain still
+    completes), and the first exception is re-raised on the calling
+    domain with its backtrace once the batch has drained. *)
+
+val live_domains : unit -> int
+(** Worker domains currently spawned across every live pool in the
+    process (a telemetry gauge source). *)
+
+val busy_domains : unit -> int
+(** Participants — pool workers plus submitting callers — currently
+    inside a batch thunk, process-wide (a telemetry gauge source). *)

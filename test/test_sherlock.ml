@@ -661,6 +661,39 @@ let prop_roles_respect_property =
           | _ -> false)
         verdicts)
 
+(* --- hygiene: fault paths log structurally --- *)
+
+(* The orchestrator's failure handling (retries, drops, degradation,
+   LP aborts) must report through Sherlock_telemetry.Log, not ad-hoc
+   stderr prints.  Scan the library sources for [eprintf]; skipped when
+   the sources aren't visible from the test's working directory. *)
+let test_no_eprintf_in_sherlock () =
+  let candidates = [ "../lib/sherlock"; "lib/sherlock"; "../../lib/sherlock" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> ()
+  | Some dir ->
+    let contains_eprintf path =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      let needle = "eprintf" in
+      let nl = String.length needle and sl = String.length s in
+      let rec go i =
+        i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+      in
+      go 0
+    in
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".ml" && contains_eprintf (Filename.concat dir f)
+        then
+          Alcotest.failf
+            "%s/%s uses eprintf; fault paths must emit structured events via \
+             Sherlock_telemetry.Log"
+            dir f)
+      (Sys.readdir dir)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -732,6 +765,11 @@ let () =
         [
           Alcotest.test_case "defaults" `Quick test_config_defaults;
           Alcotest.test_case "verdict helpers" `Quick test_verdict_helpers;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "no eprintf in lib/sherlock" `Quick
+            test_no_eprintf_in_sherlock;
         ] );
       ("properties", qcheck [ prop_verdicts_respect_threshold; prop_roles_respect_property ]);
     ]

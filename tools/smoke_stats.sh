@@ -1,0 +1,80 @@
+#!/bin/sh
+# Metrics-plane smoke for the @smoke alias: run one app with
+# --metrics-out/--log-out, then check that
+#   (a) the OpenMetrics file parses under the strict parser (`stats
+#       --from` fails on any malformed exposition) and carries the
+#       expected counter / gauge / histogram families,
+#   (b) the structured log is one JSON object per line and contains the
+#       per-round orchestrator events, and
+#   (c) `sherlock stats` renders a console summary both from the file
+#       and live.
+set -eu
+
+cli=$1
+# Dune passes the executable relative to the rule's directory; qualify a
+# bare name so the shell does not search PATH for it.
+case "$cli" in
+*/*) ;;
+*) cli="./$cli" ;;
+esac
+d=$(mktemp -d)
+trap 'rm -rf "$d"' EXIT INT TERM
+
+"$cli" run -a App-2 --rounds 2 --metrics-out "$d/metrics.om" \
+  --log-out "$d/run.jsonl" >/dev/null
+
+# --- OpenMetrics exposition ---
+test -s "$d/metrics.om" || {
+  echo "smoke_stats: metrics file missing or empty" >&2
+  exit 1
+}
+grep -q '^# EOF$' "$d/metrics.om" || {
+  echo "smoke_stats: metrics file lacks the # EOF terminator" >&2
+  exit 1
+}
+for family in \
+  sherlock_snapshot_timestamp_seconds \
+  sherlock_gc_heap_words \
+  sherlock_trace_events_total \
+  sherlock_lp_solves_total \
+  sherlock_trace_run_s_count; do
+  grep -q "^$family " "$d/metrics.om" || {
+    echo "smoke_stats: expected family $family missing from exposition" >&2
+    exit 1
+  }
+done
+grep -q '_bucket{le="+Inf"}' "$d/metrics.om" || {
+  echo "smoke_stats: no histogram buckets in exposition" >&2
+  exit 1
+}
+
+# --- structured log ---
+test -s "$d/run.jsonl" || {
+  echo "smoke_stats: structured log missing or empty" >&2
+  exit 1
+}
+bad=$(grep -cv '^{.*}$' "$d/run.jsonl" || true)
+if [ "$bad" -ne 0 ]; then
+  echo "smoke_stats: $bad log lines are not single JSON objects" >&2
+  exit 1
+fi
+grep -q '"event":"orch.round"' "$d/run.jsonl" || {
+  echo "smoke_stats: no orch.round events in the structured log" >&2
+  exit 1
+}
+
+# --- stats console ---
+"$cli" stats --from "$d/metrics.om" >"$d/stats-file.out"
+grep -q "lp" "$d/stats-file.out" || {
+  echo "smoke_stats: stats --from rendered no LP section" >&2
+  exit 1
+}
+"$cli" stats -a App-2 --rounds 2 >"$d/stats-live.out"
+grep -q "pipeline" "$d/stats-live.out" || {
+  echo "smoke_stats: live stats rendered no pipeline section" >&2
+  exit 1
+}
+
+lines=$(wc -l <"$d/run.jsonl" | tr -d ' ')
+families=$(grep -c '^# TYPE ' "$d/metrics.om" | tr -d ' ')
+echo "smoke_stats: $families metric families exported, $lines structured log lines, stats rendered from file and live"
